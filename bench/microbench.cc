@@ -1,0 +1,173 @@
+// Host-time microbenchmarks of the simulator's own hot paths (google-
+// benchmark). These do not reproduce a paper table; they keep the
+// simulator honest: the virtual-time results in the table benches are only
+// trustworthy if the simulation itself runs at a usable speed.
+
+#include <benchmark/benchmark.h>
+
+#include "src/api/ulib.h"
+#include "src/kern/kernel.h"
+#include "src/workloads/checkpoint.h"
+#include "src/workloads/pager.h"
+
+namespace fluke {
+namespace {
+
+void BM_NullSyscall(benchmark::State& state) {
+  const bool interrupt_model = state.range(0) != 0;
+  KernelConfig cfg;
+  cfg.model = interrupt_model ? ExecModel::kInterrupt : ExecModel::kProcess;
+  Kernel k(cfg);
+  auto space = k.CreateSpace("bm");
+  space->SetAnonRange(0x10000, 1 << 20);
+  Assembler a("spin");
+  const auto loop = a.NewLabel();
+  a.Bind(loop);
+  EmitSys(a, kSysNull);
+  a.Jmp(loop);
+  space->program = a.Build();
+  Thread* t = k.CreateThread(space.get());
+  k.StartThread(t);
+
+  uint64_t calls = 0;
+  for (auto _ : state) {
+    const uint64_t before = k.stats.syscalls;
+    k.Run(k.clock.now() + 100 * kNsPerUs);
+    calls += k.stats.syscalls - before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(calls));
+}
+BENCHMARK(BM_NullSyscall)->Arg(0)->Arg(1);
+
+void BM_RpcRoundTrip(benchmark::State& state) {
+  KernelConfig cfg;
+  Kernel k(cfg);
+  auto cs = k.CreateSpace("cl");
+  auto ss = k.CreateSpace("sv");
+  cs->SetAnonRange(0x10000, 1 << 20);
+  ss->SetAnonRange(0x10000, 1 << 20);
+  auto port = k.NewPort(1);
+  const Handle sp = k.Install(ss.get(), port);
+  const Handle cr = k.Install(cs.get(), k.NewReference(port));
+
+  Assembler ca("client");
+  EmitSys(ca, kSysIpcClientConnect, cr);
+  const auto loop = ca.NewLabel();
+  ca.Bind(loop);
+  EmitSys(ca, kSysIpcClientSendOverReceive, kUlibKeep, 0x10000, 1, 0x10100, 1);
+  ca.Jmp(loop);
+  cs->program = ca.Build();
+  Assembler sa("server");
+  EmitSys(sa, kSysIpcWaitReceive, sp, 0, 0, 0x10000, 1);
+  const auto sloop = sa.NewLabel();
+  sa.Bind(sloop);
+  EmitSys(sa, kSysIpcServerAckSendOverReceive, 0, 0x10100, 1, 0x10000, 1);
+  sa.Jmp(sloop);
+  ss->program = sa.Build();
+  k.StartThread(k.CreateThread(ss.get()));
+  k.StartThread(k.CreateThread(cs.get()));
+
+  uint64_t switches = 0;
+  for (auto _ : state) {
+    const uint64_t before = k.stats.context_switches;
+    k.Run(k.clock.now() + 1 * kNsPerMs);
+    switches += k.stats.context_switches - before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(switches / 2));  // ~2 switches per RPC
+}
+BENCHMARK(BM_RpcRoundTrip);
+
+void BM_BulkTransferMB(benchmark::State& state) {
+  KernelConfig cfg;
+  Kernel k(cfg);
+  auto cs = k.CreateSpace("cl");
+  auto ss = k.CreateSpace("sv");
+  cs->SetAnonRange(0x10000, 4 << 20);
+  ss->SetAnonRange(0x10000, 4 << 20);
+  auto port = k.NewPort(1);
+  const Handle sp = k.Install(ss.get(), port);
+  const Handle cr = k.Install(cs.get(), k.NewReference(port));
+  constexpr uint32_t kWords = (1 << 20) / 4;
+
+  Assembler ca("client");
+  EmitSys(ca, kSysIpcClientConnect, cr);
+  const auto loop = ca.NewLabel();
+  ca.Bind(loop);
+  EmitSys(ca, kSysIpcClientSend, kUlibKeep, 0x20000, kWords, 0, 0);
+  ca.Jmp(loop);
+  cs->program = ca.Build();
+  Assembler sa("server");
+  EmitSys(sa, kSysIpcWaitReceive, sp, 0, 0, 0x20000, kWords);
+  const auto sloop = sa.NewLabel();
+  sa.Bind(sloop);
+  EmitSys(sa, kSysIpcServerReceive, 0, 0, 0, 0x20000, kWords);
+  sa.Jmp(sloop);
+  ss->program = sa.Build();
+  k.StartThread(k.CreateThread(ss.get()));
+  k.StartThread(k.CreateThread(cs.get()));
+  // Warm the buffers.
+  k.Run(k.clock.now() + 10 * kNsPerMs);
+
+  for (auto _ : state) {
+    k.Run(k.clock.now() + 3 * kNsPerMs);  // ~1 MiB of virtual copy time
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_BulkTransferMB);
+
+void BM_HardFaultRoundTrip(benchmark::State& state) {
+  KernelConfig cfg;
+  Kernel k(cfg);
+  ManagedSetup m = BuildManagedSpace(k, 64 << 20, "bm");
+  k.StartThread(m.manager_thread);
+  Assembler a("walker");
+  // Touch one byte per page, forever (every touch is a fresh hard fault).
+  const auto loop = a.NewLabel();
+  a.MovImm(kRegB, 0);
+  a.Bind(loop);
+  a.LoadB(kRegC, kRegB, 0);
+  a.AddImm(kRegB, kRegB, kPageSize);
+  a.Jmp(loop);
+  m.child_space->program = a.Build();
+  k.StartThread(k.CreateThread(m.child_space.get()));
+
+  uint64_t faults = 0;
+  for (auto _ : state) {
+    const uint64_t before = k.stats.hard_faults;
+    k.Run(k.clock.now() + 2 * kNsPerMs);
+    faults += k.stats.hard_faults - before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(faults));
+}
+BENCHMARK(BM_HardFaultRoundTrip);
+
+void BM_CheckpointCapture(benchmark::State& state) {
+  KernelConfig cfg;
+  Kernel k(cfg);
+  auto space = k.CreateSpace("ck");
+  space->SetAnonRange(0x10000, 4 << 20);
+  for (uint32_t i = 0; i < 64; ++i) {
+    FrameId f = space->ProvidePage(0x10000 + i * kPageSize);
+    benchmark::DoNotOptimize(f);
+  }
+  Assembler a("idle");
+  a.Halt();
+  ProgramRegistry reg;
+  reg.Register(a.Build());
+  space->program = reg.Find("idle");
+  for (int i = 0; i < 8; ++i) {
+    k.CreateThread(space.get());
+  }
+
+  for (auto _ : state) {
+    CheckpointImage img = CaptureSpace(k, *space);
+    benchmark::DoNotOptimize(img.pages.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64 * kPageSize);
+}
+BENCHMARK(BM_CheckpointCapture);
+
+}  // namespace
+}  // namespace fluke
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Reproduces Table 1 (breakdown of the number and types of system calls in
+// the Fluke API) and Table 2 (the nine primitive object types). The
+// breakdown is computed from the live syscall registry, so the counts are a
+// measured property of this implementation, not a transcription.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/kern/syscall_table.h"
+
+namespace fluke {
+namespace {
+
+int Main() {
+  const auto& defs = AllSyscalls();
+
+  std::map<SysCat, std::vector<const SyscallDef*>> by_cat;
+  std::vector<const SyscallDef*> restart_points;
+  for (const auto& d : defs) {
+    by_cat[d.cat].push_back(&d);
+    if (d.restart_point) {
+      restart_points.push_back(&d);
+    }
+  }
+
+  std::printf("Table 1: breakdown of the number and types of system calls\n\n");
+  std::printf("  %-12s %-22s %6s %8s   %s\n", "Type", "Example", "Count", "Percent", "(paper)");
+  const struct {
+    SysCat cat;
+    const char* example;
+    int paper_count;
+    int paper_pct;
+  } rows[] = {
+      {SysCat::kTrivial, "thread_self", 8, 7},
+      {SysCat::kShort, "mutex_trylock", 68, 64},
+      {SysCat::kLong, "mutex_lock", 8, 7},
+      {SysCat::kMultiStage, "cond_wait, IPC", 23, 22},
+  };
+  size_t total = 0;
+  for (const auto& row : rows) {
+    const size_t n = by_cat[row.cat].size();
+    total += n;
+    std::printf("  %-12s %-22s %6zu %7zu%%   (%d, %d%%)\n", SysCatName(row.cat), row.example, n,
+                n * 100 / defs.size(), row.paper_count, row.paper_pct);
+  }
+  std::printf("  %-12s %-22s %6zu %7s    (107)\n\n", "Total", "", total, "100%");
+
+  std::printf("Restart-point entrypoints (section 4.4: \"five system calls that are\n"
+              "rarely called directly ... usually only used as restart points\"):\n");
+  for (const auto* d : restart_points) {
+    std::printf("  %s\n", d->name);
+  }
+
+  std::printf("\nTable 2: the nine primitive object types\n\n");
+  const struct {
+    ObjType t;
+    const char* desc;
+  } objs[] = {
+      {ObjType::kMutex, "kernel-supported mutex, safe for sharing between processes"},
+      {ObjType::kCond, "kernel-supported condition variable"},
+      {ObjType::kMapping, "imported region of memory (destination Space + source Region)"},
+      {ObjType::kRegion, "exportable region of memory, associated with a Space"},
+      {ObjType::kPort, "server-side endpoint of an IPC"},
+      {ObjType::kPortset, "set of Ports on which a server thread waits"},
+      {ObjType::kSpace, "associates memory and threads"},
+      {ObjType::kThread, "thread of control, associated with a Space"},
+      {ObjType::kReference, "cross-process handle on another object"},
+  };
+  for (const auto& o : objs) {
+    std::printf("  %-10s %s\n", ObjTypeName(o.t), o.desc);
+  }
+
+  std::printf("\nMulti-stage inventory check (section 4.2: all multi-stage calls are\n"
+              "IPC except cond_wait and region_search):\n");
+  int non_ipc = 0;
+  for (const auto* d : by_cat[SysCat::kMultiStage]) {
+    if (d->num == kSysCondWait || d->num == kSysRegionSearch) {
+      ++non_ipc;
+    }
+  }
+  std::printf("  multi-stage: %zu total, %d non-IPC (cond_wait, region_search), %zu IPC\n",
+              by_cat[SysCat::kMultiStage].size(), non_ipc,
+              by_cat[SysCat::kMultiStage].size() - non_ipc);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fluke
+
+int main() { return fluke::Main(); }

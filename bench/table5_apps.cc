@@ -1,0 +1,110 @@
+// Reproduces Table 5: performance of memtest / flukeperf / gcc across the
+// five kernel configurations, normalized to Process NP (whose absolute time
+// is also printed), plus Table 4 (the configuration legend).
+//
+// Usage: table5_apps [--quick]
+//   --quick runs scaled-down workloads (CI-friendly); the full run uses the
+//   paper-scale parameters from src/workloads/apps.h.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/workloads/apps.h"
+
+namespace fluke {
+namespace {
+
+const char* kConfigDesc[kNumPaperConfigs] = {
+    "Process model with no kernel preemption. Requires no kernel-internal "
+    "locking.",
+    "Process model with \"partial\" kernel preemption: a single explicit "
+    "preemption point on the IPC data copy path (every 8k).",
+    "Process model with full kernel preemption. Requires blocking mutex "
+    "locks for kernel locking.",
+    "Interrupt model with no kernel preemption. Requires no kernel locking.",
+    "Interrupt model with partial preemption (same IPC preemption point).",
+};
+
+int Main(bool quick) {
+  MemtestParams mp;
+  FlukeperfParams fp;
+  GccParams gp;
+  if (quick) {
+    mp.bytes = 2 * 1024 * 1024;
+    fp.null_syscalls = 20000;
+    fp.mutex_pairs = 12000;
+    fp.rpc_rounds = 8000;
+    fp.bulk_1mb_sends = 10;
+    fp.bulk_big_sends = 2;
+    fp.small_searches = 50;
+    fp.big_searches = 2;
+    gp.units = 2;
+    gp.compute_per_unit = 40000000;
+  }
+
+  std::printf("Table 4: kernel configurations\n");
+  for (int i = 0; i < kNumPaperConfigs; ++i) {
+    std::printf("  %-12s %s\n", PaperConfig(i).Label().c_str(), kConfigDesc[i]);
+  }
+  std::printf("\n");
+
+  double base_ms[3] = {0, 0, 0};
+  double times[kNumPaperConfigs][3];
+  uint64_t ctx[kNumPaperConfigs][3];
+
+  for (int c = 0; c < kNumPaperConfigs; ++c) {
+    const KernelConfig cfg = PaperConfig(c);
+    std::fprintf(stderr, "running %s...\n", cfg.Label().c_str());
+    AppResult rm = RunMemtest(cfg, mp);
+    AppResult rf = RunFlukeperf(cfg, fp);
+    AppResult rg = RunGcc(cfg, gp);
+    if (!rm.completed || !rf.completed || !rg.completed) {
+      std::fprintf(stderr, "FATAL: %s did not complete (m=%d f=%d g=%d)\n",
+                   cfg.Label().c_str(), rm.completed, rf.completed, rg.completed);
+      return 1;
+    }
+    times[c][0] = static_cast<double>(rm.elapsed_ns) / kNsPerMs;
+    times[c][1] = static_cast<double>(rf.elapsed_ns) / kNsPerMs;
+    times[c][2] = static_cast<double>(rg.elapsed_ns) / kNsPerMs;
+    ctx[c][0] = rm.stats.context_switches;
+    ctx[c][1] = rf.stats.context_switches;
+    ctx[c][2] = rg.stats.context_switches;
+    if (c == 0) {
+      for (int a = 0; a < 3; ++a) {
+        base_ms[a] = times[0][a];
+      }
+    }
+  }
+
+  std::printf("Table 5: application performance, normalized to Process NP\n");
+  std::printf("  %-14s %9s %10s %9s\n", "Configuration", "memtest", "flukeperf", "gcc");
+  for (int c = 0; c < kNumPaperConfigs; ++c) {
+    std::printf("  %-14s %9.2f %10.2f %9.2f\n", PaperConfig(c).Label().c_str(),
+                times[c][0] / base_ms[0], times[c][1] / base_ms[1], times[c][2] / base_ms[2]);
+    if (c == 0) {
+      std::printf("  %-14s %7.0fms %8.0fms %7.0fms   (absolute)\n", "",
+                  base_ms[0], base_ms[1], base_ms[2]);
+    }
+  }
+  std::printf("\n  (paper: memtest FP 1.11; flukeperf Interrupt 0.94, FP 1.20; "
+              "gcc FP 1.05)\n");
+  std::printf("\n  context switches: memtest=%llu flukeperf=%llu gcc=%llu (Process NP)\n",
+              static_cast<unsigned long long>(ctx[0][0]),
+              static_cast<unsigned long long>(ctx[0][1]),
+              static_cast<unsigned long long>(ctx[0][2]));
+  return 0;
+}
+
+}  // namespace
+}  // namespace fluke
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  return fluke::Main(quick);
+}

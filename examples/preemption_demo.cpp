@@ -1,0 +1,52 @@
+// Preemption latency, felt: what Table 6 means for a real-time thread.
+//
+// A "sensor" thread must run every millisecond while a bulk IPC hog
+// saturates the kernel. Watch its worst-case wake-to-run latency collapse
+// as the kernel configuration moves from non-preemptible, to a single
+// explicit preemption point on the IPC copy path (the paper's PP), to full
+// preemptibility.
+//
+// Build & run:  ./build/examples/preemption_demo
+
+#include <cstdio>
+
+#include "src/workloads/apps.h"
+
+using namespace fluke;
+
+int main() {
+  FlukeperfParams hog;
+  hog.latency_probe = true;  // the 1 ms "sensor" thread
+  hog.null_syscalls = 0;
+  hog.mutex_pairs = 0;
+  hog.rpc_rounds = 1;
+  hog.bulk_1mb_sends = 60;
+  hog.bulk_big_sends = 6;
+  hog.small_searches = 0;
+  hog.big_searches = 4;
+
+  std::printf("A 1 ms periodic 'sensor' thread vs. a bulk-IPC hog:\n\n");
+  std::printf("  %-14s %12s %12s %10s\n", "configuration", "avg lat", "worst lat", "deadline");
+  std::printf("  %-14s %12s %12s %10s\n", "", "(us)", "(us)", "misses");
+  for (int c = 0; c < kNumPaperConfigs; ++c) {
+    const KernelConfig cfg = PaperConfig(c);
+    AppResult r = RunFlukeperf(cfg, hog);
+    if (!r.completed) {
+      std::printf("  %-14s did not complete!\n", cfg.Label().c_str());
+      return 1;
+    }
+    std::printf("  %-14s %12.1f %12.1f %10llu\n", cfg.Label().c_str(),
+                static_cast<double>(r.stats.ProbeAvg()) / kNsPerUs,
+                static_cast<double>(r.stats.ProbeMax()) / kNsPerUs,
+                static_cast<unsigned long long>(r.stats.probe_misses));
+  }
+  std::printf(
+      "\nReading the table:\n"
+      "  * NP: the sensor waits out entire multi-megabyte kernel copies.\n"
+      "  * PP: ONE preemption point (every 8 KiB on the copy path) removes\n"
+      "    almost all of it; what remains is region_search, which has no\n"
+      "    point (the paper placed one only on the IPC path).\n"
+      "  * FP: preemptible at every work quantum -- microsecond latency,\n"
+      "    paid for with kernel-wide blocking locks (see bench/table5).\n");
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "src/api/abi.h"
+
+namespace fluke {
+
+const char* FlukeErrorName(uint32_t e) {
+  switch (e) {
+    case kFlukeOk:
+      return "OK";
+    case kFlukeErrBadHandle:
+      return "BAD_HANDLE";
+    case kFlukeErrBadType:
+      return "BAD_TYPE";
+    case kFlukeErrBadAddress:
+      return "BAD_ADDRESS";
+    case kFlukeErrBadArgument:
+      return "BAD_ARGUMENT";
+    case kFlukeErrNoMemory:
+      return "NO_MEMORY";
+    case kFlukeErrNotConnected:
+      return "NOT_CONNECTED";
+    case kFlukeErrAlreadyConnected:
+      return "ALREADY_CONNECTED";
+    case kFlukeErrNoPager:
+      return "NO_PAGER";
+    case kFlukeErrProtection:
+      return "PROTECTION";
+    case kFlukeErrDead:
+      return "DEAD";
+    case kFlukeErrWouldBlock:
+      return "WOULD_BLOCK";
+    case kFlukeErrInterrupted:
+      return "INTERRUPTED";
+    case kFlukeErrDisconnected:
+      return "DISCONNECTED";
+    case kFlukeErrTimeout:
+      return "TIMEOUT";
+    case kFlukeErrNotFound:
+      return "NOT_FOUND";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+const char* ObjTypeName(ObjType t) {
+  switch (t) {
+    case ObjType::kMutex:
+      return "Mutex";
+    case ObjType::kCond:
+      return "Cond";
+    case ObjType::kMapping:
+      return "Mapping";
+    case ObjType::kRegion:
+      return "Region";
+    case ObjType::kPort:
+      return "Port";
+    case ObjType::kPortset:
+      return "Portset";
+    case ObjType::kSpace:
+      return "Space";
+    case ObjType::kThread:
+      return "Thread";
+    case ObjType::kReference:
+      return "Reference";
+  }
+  return "Unknown";
+}
+
+const char* SysCatName(SysCat c) {
+  switch (c) {
+    case SysCat::kTrivial:
+      return "Trivial";
+    case SysCat::kShort:
+      return "Short";
+    case SysCat::kLong:
+      return "Long";
+    case SysCat::kMultiStage:
+      return "Multi-stage";
+  }
+  return "Unknown";
+}
+
+namespace {
+struct SysNameEntry {
+  uint32_t num;
+  const char* name;
+};
+
+#define FLUKE_SYS(x) {kSys##x, "sys_" #x}
+constexpr SysNameEntry kSysNames[] = {
+    FLUKE_SYS(Null),
+    FLUKE_SYS(ThreadSelf),
+    FLUKE_SYS(SpaceSelf),
+    FLUKE_SYS(ClockGet),
+    FLUKE_SYS(CpuId),
+    FLUKE_SYS(PageSize),
+    FLUKE_SYS(ApiVersion),
+    FLUKE_SYS(RandomGet),
+    FLUKE_SYS(MutexCreate),
+    FLUKE_SYS(MutexDestroy),
+    FLUKE_SYS(MutexRename),
+    FLUKE_SYS(MutexReference),
+    FLUKE_SYS(MutexGetState),
+    FLUKE_SYS(MutexSetState),
+    FLUKE_SYS(CondCreate),
+    FLUKE_SYS(CondDestroy),
+    FLUKE_SYS(CondRename),
+    FLUKE_SYS(CondReference),
+    FLUKE_SYS(CondGetState),
+    FLUKE_SYS(CondSetState),
+    FLUKE_SYS(MappingCreate),
+    FLUKE_SYS(MappingDestroy),
+    FLUKE_SYS(MappingRename),
+    FLUKE_SYS(MappingReference),
+    FLUKE_SYS(MappingGetState),
+    FLUKE_SYS(MappingSetState),
+    FLUKE_SYS(RegionCreate),
+    FLUKE_SYS(RegionDestroy),
+    FLUKE_SYS(RegionRename),
+    FLUKE_SYS(RegionReference),
+    FLUKE_SYS(RegionGetState),
+    FLUKE_SYS(RegionSetState),
+    FLUKE_SYS(PortCreate),
+    FLUKE_SYS(PortDestroy),
+    FLUKE_SYS(PortRename),
+    FLUKE_SYS(PortReference),
+    FLUKE_SYS(PortGetState),
+    FLUKE_SYS(PortSetState),
+    FLUKE_SYS(PortsetCreate),
+    FLUKE_SYS(PortsetDestroy),
+    FLUKE_SYS(PortsetRename),
+    FLUKE_SYS(PortsetReference),
+    FLUKE_SYS(PortsetGetState),
+    FLUKE_SYS(PortsetSetState),
+    FLUKE_SYS(SpaceCreate),
+    FLUKE_SYS(SpaceDestroy),
+    FLUKE_SYS(SpaceRename),
+    FLUKE_SYS(SpaceReference),
+    FLUKE_SYS(SpaceGetState),
+    FLUKE_SYS(SpaceSetState),
+    FLUKE_SYS(ThreadCreate),
+    FLUKE_SYS(ThreadDestroy),
+    FLUKE_SYS(ThreadRename),
+    FLUKE_SYS(ThreadReference),
+    FLUKE_SYS(ThreadGetState),
+    FLUKE_SYS(ThreadSetState),
+    FLUKE_SYS(RefCreate),
+    FLUKE_SYS(RefDestroy),
+    FLUKE_SYS(RefRename),
+    FLUKE_SYS(RefReference),
+    FLUKE_SYS(RefGetState),
+    FLUKE_SYS(RefSetState),
+    FLUKE_SYS(MutexTrylock),
+    FLUKE_SYS(MutexUnlock),
+    FLUKE_SYS(CondSignal),
+    FLUKE_SYS(CondBroadcast),
+    FLUKE_SYS(RegionProtect),
+    FLUKE_SYS(RegionInfo),
+    FLUKE_SYS(MappingInfo),
+    FLUKE_SYS(PortsetAdd),
+    FLUKE_SYS(PortsetRemove),
+    FLUKE_SYS(ThreadInterrupt),
+    FLUKE_SYS(ThreadResume),
+    FLUKE_SYS(ConsolePutc),
+    FLUKE_SYS(IpcClientDisconnect),
+    FLUKE_SYS(IpcServerDisconnect),
+    FLUKE_SYS(MutexLock),
+    FLUKE_SYS(ClockSleep),
+    FLUKE_SYS(ThreadJoin),
+    FLUKE_SYS(ThreadStopSelf),
+    FLUKE_SYS(IrqWait),
+    FLUKE_SYS(DiskWait),
+    FLUKE_SYS(ConsoleGetc),
+    FLUKE_SYS(PortsetWait),
+    FLUKE_SYS(CondWait),
+    FLUKE_SYS(RegionSearch),
+    FLUKE_SYS(IpcClientConnect),
+    FLUKE_SYS(IpcClientConnectSend),
+    FLUKE_SYS(IpcClientConnectSendOverReceive),
+    FLUKE_SYS(IpcClientSend),
+    FLUKE_SYS(IpcClientSendOverReceive),
+    FLUKE_SYS(IpcClientReceive),
+    FLUKE_SYS(IpcClientAlert),
+    FLUKE_SYS(IpcClientOnewaySend),
+    FLUKE_SYS(IpcClientConnectOnewaySend),
+    FLUKE_SYS(IpcServerReceive),
+    FLUKE_SYS(IpcServerSend),
+    FLUKE_SYS(IpcServerSendOverReceive),
+    FLUKE_SYS(IpcServerAckSend),
+    FLUKE_SYS(IpcServerAckSendOverReceive),
+    FLUKE_SYS(IpcServerAckSendWaitReceive),
+    FLUKE_SYS(IpcServerSendWaitReceive),
+    FLUKE_SYS(IpcServerOnewayReceive),
+    FLUKE_SYS(IpcServerAlertWait),
+    FLUKE_SYS(IpcWaitReceive),
+    FLUKE_SYS(IpcReplyWaitReceive),
+    FLUKE_SYS(IpcExceptionSend),
+};
+#undef FLUKE_SYS
+}  // namespace
+
+const char* SysName(uint32_t sys) {
+  for (const auto& e : kSysNames) {
+    if (e.num == sys) {
+      return e.name;
+    }
+  }
+  return "sys_unknown";
+}
+
+}  // namespace fluke

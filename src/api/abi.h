@@ -1,0 +1,283 @@
+// The Fluke user/kernel ABI: registers, syscall numbers, error codes.
+//
+// This header is the analogue of the Fluke API headers: it is shared between
+// the kernel (src/kern) and user programs (built with src/api + src/uvm).
+//
+// Register conventions (paper section 4.3, "Examples from Fluke"):
+//  * The syscall entrypoint number is held in register A. Restarting an
+//    interrupted multi-stage operation is done by rewriting A (and the
+//    parameter registers) in place and leaving the PC at the syscall
+//    instruction -- the registers ARE the continuation.
+//  * Parameters live in registers B, C, D, SI, DI. Multi-stage IPC advances
+//    the buffer-pointer/word-count registers exactly like x86 string
+//    instructions advance ESI/EDI/ECX.
+//  * Two kernel-implemented pseudo-registers PR0/PR1 hold intermediate IPC
+//    state (the paper adds these on x86 "because it has so few registers").
+//  * On completion the kernel writes the user-visible result code into A and
+//    advances the PC past the syscall instruction.
+
+#ifndef SRC_API_ABI_H_
+#define SRC_API_ABI_H_
+
+#include <cstdint>
+
+namespace fluke {
+
+// ---------------------------------------------------------------------------
+// Registers.
+// ---------------------------------------------------------------------------
+
+inline constexpr int kNumGprs = 8;
+
+// GPR indices.
+enum Reg : int {
+  kRegA = 0,   // syscall entrypoint on entry; result code on exit
+  kRegB = 1,   // arg0 / secondary result
+  kRegC = 2,   // arg1: send buffer address (IPC)
+  kRegD = 3,   // arg2: send word count (IPC)
+  kRegSI = 4,  // arg3: receive buffer address (IPC)
+  kRegDI = 5,  // arg4: receive word count (IPC)
+  kRegBP = 6,  // scratch
+  kRegSP = 7,  // stack pointer (by convention; the kernel never touches it)
+};
+
+// The complete user-visible thread register state. This struct is exactly
+// what thread_get_state/thread_set_state transfer: there is no other state a
+// suspended user thread owns (the atomic-API correctness property).
+struct UserRegisters {
+  uint32_t gpr[kNumGprs] = {0, 0, 0, 0, 0, 0, 0, 0};
+  uint32_t pc = 0;   // instruction index into the thread's program
+  uint32_t pr0 = 0;  // pseudo-register: intermediate IPC state
+  uint32_t pr1 = 0;  // pseudo-register: intermediate IPC state
+
+  friend bool operator==(const UserRegisters&, const UserRegisters&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// User-visible result codes (returned in register A).
+// ---------------------------------------------------------------------------
+
+enum FlukeError : uint32_t {
+  kFlukeOk = 0,
+  kFlukeErrBadHandle = 1,
+  kFlukeErrBadType = 2,
+  kFlukeErrBadAddress = 3,
+  kFlukeErrBadArgument = 4,
+  kFlukeErrNoMemory = 5,
+  kFlukeErrNotConnected = 6,
+  kFlukeErrAlreadyConnected = 7,
+  kFlukeErrNoPager = 8,
+  kFlukeErrProtection = 9,
+  kFlukeErrDead = 10,
+  kFlukeErrWouldBlock = 11,   // trylock-style failures
+  kFlukeErrInterrupted = 12,  // thread_interrupt broke a long/multi-stage call
+  kFlukeErrDisconnected = 13, // IPC peer went away
+  kFlukeErrTimeout = 14,
+  kFlukeErrNotFound = 15,
+};
+
+const char* FlukeErrorName(uint32_t e);
+
+// ---------------------------------------------------------------------------
+// Object types (paper Table 2: the nine primitive object types).
+// ---------------------------------------------------------------------------
+
+enum class ObjType : uint32_t {
+  kMutex = 1,
+  kCond = 2,
+  kMapping = 3,
+  kRegion = 4,
+  kPort = 5,
+  kPortset = 6,
+  kSpace = 7,
+  kThread = 8,
+  kReference = 9,
+};
+
+inline constexpr int kNumObjTypes = 9;
+
+const char* ObjTypeName(ObjType t);
+
+// ---------------------------------------------------------------------------
+// Syscall categories (paper Table 1).
+// ---------------------------------------------------------------------------
+
+enum class SysCat : int {
+  kTrivial = 0,     // always runs to completion, never blocks or faults
+  kShort = 1,       // usually completes immediately; may roll back & restart
+  kLong = 2,        // may sleep indefinitely (single stage)
+  kMultiStage = 3,  // may sleep; interruptible at intermediate points
+};
+
+const char* SysCatName(SysCat c);
+
+// ---------------------------------------------------------------------------
+// Syscall entrypoints.
+//
+// The inventory is designed to match the paper's Table 1 exactly:
+//   8 trivial + 68 short + 8 long + 23 multi-stage = 107 entrypoints.
+// The 23 multi-stage calls are cond_wait, region_search and 21 IPC
+// entrypoints (paper section 4.2). Five entrypoints are "restart points"
+// rarely called directly (section 4.4); they are flagged in the registry.
+// ---------------------------------------------------------------------------
+
+enum Sys : uint32_t {
+  // --- Trivial (8) ---
+  kSysNull = 0,
+  kSysThreadSelf,
+  kSysSpaceSelf,
+  kSysClockGet,
+  kSysCpuId,
+  kSysPageSize,
+  kSysApiVersion,
+  kSysRandomGet,
+
+  // --- Short: common operations on the nine object types (54) ---
+  kSysMutexCreate,
+  kSysMutexDestroy,
+  kSysMutexRename,
+  kSysMutexReference,
+  kSysMutexGetState,
+  kSysMutexSetState,
+  kSysCondCreate,
+  kSysCondDestroy,
+  kSysCondRename,
+  kSysCondReference,
+  kSysCondGetState,
+  kSysCondSetState,
+  kSysMappingCreate,
+  kSysMappingDestroy,
+  kSysMappingRename,
+  kSysMappingReference,
+  kSysMappingGetState,
+  kSysMappingSetState,
+  kSysRegionCreate,
+  kSysRegionDestroy,
+  kSysRegionRename,
+  kSysRegionReference,
+  kSysRegionGetState,
+  kSysRegionSetState,
+  kSysPortCreate,
+  kSysPortDestroy,
+  kSysPortRename,
+  kSysPortReference,
+  kSysPortGetState,
+  kSysPortSetState,
+  kSysPortsetCreate,
+  kSysPortsetDestroy,
+  kSysPortsetRename,
+  kSysPortsetReference,
+  kSysPortsetGetState,
+  kSysPortsetSetState,
+  kSysSpaceCreate,
+  kSysSpaceDestroy,
+  kSysSpaceRename,
+  kSysSpaceReference,
+  kSysSpaceGetState,
+  kSysSpaceSetState,
+  kSysThreadCreate,
+  kSysThreadDestroy,
+  kSysThreadRename,
+  kSysThreadReference,
+  kSysThreadGetState,
+  kSysThreadSetState,
+  kSysRefCreate,
+  kSysRefDestroy,
+  kSysRefRename,
+  kSysRefReference,
+  kSysRefGetState,
+  kSysRefSetState,
+
+  // --- Short: type-specific non-blocking operations (14) ---
+  kSysMutexTrylock,
+  kSysMutexUnlock,
+  kSysCondSignal,
+  kSysCondBroadcast,
+  kSysRegionProtect,
+  kSysRegionInfo,
+  kSysMappingInfo,
+  kSysPortsetAdd,
+  kSysPortsetRemove,
+  kSysThreadInterrupt,
+  kSysThreadResume,
+  kSysConsolePutc,
+  kSysIpcClientDisconnect,
+  kSysIpcServerDisconnect,
+
+  // --- Long (8): may sleep indefinitely, single stage ---
+  kSysMutexLock,
+  kSysClockSleep,
+  kSysThreadJoin,
+  kSysThreadStopSelf,
+  kSysIrqWait,
+  kSysDiskWait,
+  kSysConsoleGetc,
+  kSysPortsetWait,
+
+  // --- Multi-stage (23): cond_wait, region_search + 21 IPC entrypoints ---
+  kSysCondWait,
+  kSysRegionSearch,
+  // Client side (9).
+  kSysIpcClientConnect,
+  kSysIpcClientConnectSend,
+  kSysIpcClientConnectSendOverReceive,
+  kSysIpcClientSend,             // restart point
+  kSysIpcClientSendOverReceive,
+  kSysIpcClientReceive,          // restart point
+  kSysIpcClientAlert,
+  kSysIpcClientOnewaySend,
+  kSysIpcClientConnectOnewaySend,
+  // Server side (9).
+  kSysIpcServerReceive,          // restart point
+  kSysIpcServerSend,             // restart point
+  kSysIpcServerSendOverReceive,
+  kSysIpcServerAckSend,
+  kSysIpcServerAckSendOverReceive,
+  kSysIpcServerAckSendWaitReceive,
+  kSysIpcServerSendWaitReceive,
+  kSysIpcServerOnewayReceive,
+  kSysIpcServerAlertWait,
+  // Common (3).
+  kSysIpcWaitReceive,            // restart point
+  kSysIpcReplyWaitReceive,
+  kSysIpcExceptionSend,
+
+  kSysCount,
+};
+
+const char* SysName(uint32_t sys);
+
+// ---------------------------------------------------------------------------
+// Memory constants.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint32_t kPageShift = 12;
+inline constexpr uint32_t kPageSize = 1u << kPageShift;  // 4 KiB
+inline constexpr uint32_t kPageMask = kPageSize - 1;
+
+// Memory access permissions for regions/mappings/pages.
+enum Prot : uint32_t {
+  kProtNone = 0,
+  kProtRead = 1,
+  kProtWrite = 2,
+  kProtReadWrite = 3,
+};
+
+// ---------------------------------------------------------------------------
+// Exception / page-fault IPC message layout (words), delivered to a space's
+// keeper port when a hard fault occurs (paper sections 4.2, 4.3).
+// ---------------------------------------------------------------------------
+
+enum FaultMsg : int {
+  kFaultMsgKind = 0,    // kFaultKindPage for page faults
+  kFaultMsgThread = 1,  // victim thread id (kernel-global id, informational)
+  kFaultMsgAddr = 2,    // faulting virtual address
+  kFaultMsgWrite = 3,   // 1 if write access
+  kFaultMsgWords = 4,
+};
+
+inline constexpr uint32_t kFaultKindPage = 1;
+
+}  // namespace fluke
+
+#endif  // SRC_API_ABI_H_

@@ -1,0 +1,76 @@
+#include "src/api/ulib.h"
+
+namespace fluke {
+
+void EmitSys(Assembler& a, uint32_t sys, uint32_t b, uint32_t c, uint32_t d, uint32_t si,
+             uint32_t di) {
+  if (b != kUlibKeep) {
+    a.MovImm(kRegB, b);
+  }
+  if (c != kUlibKeep) {
+    a.MovImm(kRegC, c);
+  }
+  if (d != kUlibKeep) {
+    a.MovImm(kRegD, d);
+  }
+  if (si != kUlibKeep) {
+    a.MovImm(kRegSI, si);
+  }
+  if (di != kUlibKeep) {
+    a.MovImm(kRegDI, di);
+  }
+  a.MovImm(kRegA, sys);
+  a.Syscall();
+}
+
+void EmitCheckOk(Assembler& a) {
+  const auto ok = a.NewLabel();
+  a.MovImm(kRegBP, kFlukeOk);
+  a.Beq(kRegA, kRegBP, ok);
+  a.Halt();
+  a.Bind(ok);
+}
+
+void EmitPuts(Assembler& a, const std::string& text) {
+  for (char ch : text) {
+    EmitSys(a, kSysConsolePutc, static_cast<uint32_t>(static_cast<unsigned char>(ch)));
+  }
+}
+
+void EmitCompute(Assembler& a, uint64_t total_cycles, uint32_t chunk) {
+  if (total_cycles <= chunk) {
+    a.Compute(static_cast<uint32_t>(total_cycles));
+    return;
+  }
+  const uint32_t iters = static_cast<uint32_t>(total_cycles / chunk);
+  const auto loop = a.NewLabel();
+  const auto done = a.NewLabel();
+  a.MovImm(kRegBP, iters);
+  a.Bind(loop);
+  a.MovImm(kRegSP, 0);
+  a.Beq(kRegBP, kRegSP, done);
+  a.Compute(chunk);
+  a.MovImm(kRegSP, 1);
+  a.Sub(kRegBP, kRegBP, kRegSP);
+  a.Jmp(loop);
+  a.Bind(done);
+}
+
+void EmitTouchRange(Assembler& a, uint32_t base, uint32_t len, bool write) {
+  const auto loop = a.NewLabel();
+  const auto done = a.NewLabel();
+  a.MovImm(kRegB, base);
+  a.MovImm(kRegBP, base + len);
+  a.Bind(loop);
+  a.Bge(kRegB, kRegBP, done);
+  if (write) {
+    a.StoreB(kRegA, kRegB);
+  } else {
+    a.LoadB(kRegA, kRegB);
+  }
+  a.AddImm(kRegB, kRegB, 1);
+  a.Jmp(loop);
+  a.Bind(done);
+}
+
+}  // namespace fluke

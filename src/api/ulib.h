@@ -1,0 +1,45 @@
+// User-side library: syscall stubs and code-generation helpers.
+//
+// User programs are built with the UVM assembler; these helpers emit the
+// calling sequences for the Fluke API (load the entrypoint number into
+// register A, arguments into B/C/D/SI/DI, trap). They are the analogue of
+// the libfluke stubs that wrap the kernel entrypoints on real Fluke.
+
+#ifndef SRC_API_ULIB_H_
+#define SRC_API_ULIB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/api/abi.h"
+#include "src/uvm/program.h"
+
+namespace fluke {
+
+// Emits a syscall with up to five immediate arguments (pass kUlibKeep to
+// leave a register untouched, e.g. when it was computed into place).
+inline constexpr uint32_t kUlibKeep = 0xFFFFFFFFu;
+
+void EmitSys(Assembler& a, uint32_t sys, uint32_t b = kUlibKeep, uint32_t c = kUlibKeep,
+             uint32_t d = kUlibKeep, uint32_t si = kUlibKeep, uint32_t di = kUlibKeep);
+
+// Emits: if (A != kFlukeOk) halt. For fail-fast test programs.
+// Clobbers BP.
+void EmitCheckOk(Assembler& a);
+
+// Emits console output of a literal string (one console_putc per byte).
+// Clobbers A and B.
+void EmitPuts(Assembler& a, const std::string& text);
+
+// Emits a compute loop consuming ~total_cycles using `chunk` cycles per
+// iteration (so the thread stays preemptible at instruction granularity).
+// Clobbers BP and SP.
+void EmitCompute(Assembler& a, uint64_t total_cycles, uint32_t chunk = 400);
+
+// Emits a byte-at-a-time touch (read or write) of [base, base+len).
+// Clobbers A, B, BP.
+void EmitTouchRange(Assembler& a, uint32_t base, uint32_t len, bool write);
+
+}  // namespace fluke
+
+#endif  // SRC_API_ULIB_H_

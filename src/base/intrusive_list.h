@@ -1,0 +1,119 @@
+// A minimal intrusive doubly-linked list.
+//
+// Kernel objects that can sit on wait queues or run queues embed a ListNode
+// and are linked without allocation, exactly as a real kernel would link
+// thread control blocks. A node can be on at most one list at a time; the
+// list asserts on double-insertion.
+
+#ifndef SRC_BASE_INTRUSIVE_LIST_H_
+#define SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+
+namespace fluke {
+
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+
+  void Unlink() {
+    assert(linked());
+    prev->next = next;
+    next->prev = prev;
+    prev = nullptr;
+    next = nullptr;
+  }
+};
+
+// Intrusive list of T, where `Member` is a pointer-to-member naming the
+// embedded ListNode. Iteration order is insertion order (FIFO).
+template <typename T, ListNode T::* Member>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next == &head_; }
+
+  size_t size() const {
+    size_t n = 0;
+    for (ListNode* p = head_.next; p != &head_; p = p->next) {
+      ++n;
+    }
+    return n;
+  }
+
+  void PushBack(T* obj) {
+    ListNode* n = &(obj->*Member);
+    assert(!n->linked());
+    n->prev = head_.prev;
+    n->next = &head_;
+    head_.prev->next = n;
+    head_.prev = n;
+  }
+
+  void PushFront(T* obj) {
+    ListNode* n = &(obj->*Member);
+    assert(!n->linked());
+    n->next = head_.next;
+    n->prev = &head_;
+    head_.next->prev = n;
+    head_.next = n;
+  }
+
+  T* Front() const { return empty() ? nullptr : FromNode(head_.next); }
+
+  T* PopFront() {
+    if (empty()) {
+      return nullptr;
+    }
+    ListNode* n = head_.next;
+    n->Unlink();
+    return FromNode(n);
+  }
+
+  void Remove(T* obj) { (obj->*Member).Unlink(); }
+
+  bool Contains(const T* obj) const {
+    const ListNode* target = &(obj->*Member);
+    for (ListNode* p = head_.next; p != &head_; p = p->next) {
+      if (p == target) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Applies `fn` to every element; `fn` may not mutate the list.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (ListNode* p = head_.next; p != &head_;) {
+      ListNode* next = p->next;
+      fn(FromNode(p));
+      p = next;
+    }
+  }
+
+ private:
+  static T* FromNode(ListNode* n) {
+    // Standard container_of computation for a data member.
+    const T* probe = nullptr;
+    const auto offset =
+        reinterpret_cast<const char*>(&(probe->*Member)) - reinterpret_cast<const char*>(probe);
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(n) - offset);
+  }
+
+  ListNode head_;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_BASE_INTRUSIVE_LIST_H_

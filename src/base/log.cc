@@ -1,0 +1,42 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+
+namespace fluke {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void LogImpl(LogLevel level, const char* fmt, ...) {
+  std::fprintf(stderr, "[fluke:%s] ", LevelTag(level));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace fluke

@@ -1,0 +1,43 @@
+// Tiny leveled logger for the simulator.
+//
+// Logging is off by default (benchmarks must not pay for it); tests and
+// debugging sessions can raise the level. Printf-style because the kernel
+// logs from hot paths and we do not want iostream formatting costs.
+
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <cstdarg>
+
+namespace fluke {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+  kTrace = 5,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogImpl(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace fluke
+
+#define FLUKE_LOG(level, ...)                       \
+  do {                                              \
+    if (::fluke::GetLogLevel() >= (level)) {        \
+      ::fluke::LogImpl((level), __VA_ARGS__);       \
+    }                                               \
+  } while (0)
+
+#define FLOG_ERROR(...) FLUKE_LOG(::fluke::LogLevel::kError, __VA_ARGS__)
+#define FLOG_WARN(...) FLUKE_LOG(::fluke::LogLevel::kWarn, __VA_ARGS__)
+#define FLOG_INFO(...) FLUKE_LOG(::fluke::LogLevel::kInfo, __VA_ARGS__)
+#define FLOG_DEBUG(...) FLUKE_LOG(::fluke::LogLevel::kDebug, __VA_ARGS__)
+#define FLOG_TRACE(...) FLUKE_LOG(::fluke::LogLevel::kTrace, __VA_ARGS__)
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generator (xorshift128+).
+//
+// Every source of "randomness" in the simulator (workload data patterns,
+// fault-injection points, property-test schedules) draws from a seeded Rng so
+// that all tests and benchmarks are exactly reproducible.
+
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace fluke {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    s0_ = seed ^ 0x2545f4914f6cdd1dull;
+    s1_ = seed * 0x9e3779b97f4a7c15ull + 1;
+    // Scramble the initial state so small seeds diverge quickly.
+    for (int i = 0; i < 8; ++i) {
+      Next64();
+    }
+  }
+
+  uint64_t Next64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t Below(uint64_t bound) { return Next64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_BASE_RNG_H_

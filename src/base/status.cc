@@ -1,0 +1,41 @@
+#include "src/base/status.h"
+
+namespace fluke {
+
+const char* KStatusName(KStatus s) {
+  switch (s) {
+    case KStatus::kOk:
+      return "OK";
+    case KStatus::kBlocked:
+      return "BLOCKED";
+    case KStatus::kPreempted:
+      return "PREEMPTED";
+    case KStatus::kCancelled:
+      return "CANCELLED";
+    case KStatus::kHardFault:
+      return "HARD_FAULT";
+    case KStatus::kBadHandle:
+      return "BAD_HANDLE";
+    case KStatus::kBadType:
+      return "BAD_TYPE";
+    case KStatus::kBadAddress:
+      return "BAD_ADDRESS";
+    case KStatus::kBadArgument:
+      return "BAD_ARGUMENT";
+    case KStatus::kNoMemory:
+      return "NO_MEMORY";
+    case KStatus::kNotConnected:
+      return "NOT_CONNECTED";
+    case KStatus::kAlreadyConnected:
+      return "ALREADY_CONNECTED";
+    case KStatus::kNoPager:
+      return "NO_PAGER";
+    case KStatus::kProtection:
+      return "PROTECTION";
+    case KStatus::kDead:
+      return "DEAD";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace fluke

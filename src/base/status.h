@@ -1,0 +1,48 @@
+// Kernel-internal status codes.
+//
+// These are the result codes syscall handlers return *inside* the kernel.
+// Per the paper (section 5.1), "Return values in the kernel are only used for
+// kernel-internal exception processing; results intended to be seen by user
+// code are returned by modifying the thread's saved user-mode register state."
+// User-visible error codes live in src/api/abi.h.
+
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cstdint>
+
+namespace fluke {
+
+enum class KStatus : int32_t {
+  kOk = 0,
+  // The operation must wait; the thread has been enqueued on a wait queue
+  // after committing a consistent restart state to its user registers.
+  kBlocked,
+  // The thread hit an explicit preemption point with a preemption pending.
+  // Registers already name the restart point.
+  kPreempted,
+  // The operation was cancelled (state extraction / thread_interrupt);
+  // registers already name the restart point.
+  kCancelled,
+  // A hard page fault must be serviced by a user-mode manager. The faulting
+  // work since the last commit point is rolled back (redone on restart).
+  kHardFault,
+  // Kernel-internal error conditions (translated to user codes at exit).
+  kBadHandle,
+  kBadType,
+  kBadAddress,
+  kBadArgument,
+  kNoMemory,
+  kNotConnected,
+  kAlreadyConnected,
+  kNoPager,
+  kProtection,
+  kDead,
+};
+
+// Returns a stable human-readable name for logging and tests.
+const char* KStatusName(KStatus s);
+
+}  // namespace fluke
+
+#endif  // SRC_BASE_STATUS_H_

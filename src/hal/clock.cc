@@ -1,0 +1,21 @@
+#include "src/hal/clock.h"
+
+#include <utility>
+
+namespace fluke {
+
+void EventQueue::ScheduleAt(Time when, Handler fn) {
+  heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::RunDue(Time now) {
+  while (!heap_.empty() && heap_.top().when <= now) {
+    // Copy the handler out before popping: the handler may push new events,
+    // which would invalidate a reference into the heap.
+    Handler fn = heap_.top().fn;
+    heap_.pop();
+    fn();
+  }
+}
+
+}  // namespace fluke

@@ -1,0 +1,79 @@
+// Virtual time base and hardware event queue.
+//
+// The simulator runs on a virtual clock: every instruction, copy loop, lock
+// acquisition and context switch advances it by a cost drawn from the
+// CostModel (src/kern/costs.h). Hardware devices schedule future events
+// (timer ticks, disk completions) on an EventQueue keyed by virtual time;
+// the kernel's dispatch loop delivers events that have come due.
+//
+// 1 cycle = 5 ns models the paper's 200 MHz Pentium Pro testbed.
+
+#ifndef SRC_HAL_CLOCK_H_
+#define SRC_HAL_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fluke {
+
+using Time = uint64_t;  // nanoseconds of virtual time
+
+inline constexpr Time kNsPerUs = 1000;
+inline constexpr Time kNsPerMs = 1000 * 1000;
+inline constexpr Time kNsPerCycle = 5;  // 200 MHz
+
+constexpr Time Cycles(uint64_t n) { return n * kNsPerCycle; }
+
+class VirtualClock {
+ public:
+  Time now() const { return now_; }
+  void Advance(Time delta) { now_ += delta; }
+  void AdvanceTo(Time t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+ private:
+  Time now_ = 0;
+};
+
+// A time-ordered queue of hardware events. Events with equal deadlines fire
+// in insertion order, which keeps the simulation deterministic.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  void ScheduleAt(Time when, Handler fn);
+  void ScheduleIn(const VirtualClock& clock, Time delta, Handler fn) {
+    ScheduleAt(clock.now() + delta, std::move(fn));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Earliest pending deadline; only valid when !empty().
+  Time NextDeadline() const { return heap_.top().when; }
+
+  // Fires every event with deadline <= now. Handlers may schedule new events.
+  void RunDue(Time now);
+
+ private:
+  struct Event {
+    Time when;
+    uint64_t seq;
+    Handler fn;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_HAL_CLOCK_H_

@@ -1,0 +1,75 @@
+#include "src/hal/devices.h"
+
+#include <cstdlib>
+
+namespace fluke {
+
+void TimerDevice::Start(Time period_ns) {
+  period_ = period_ns;
+  running_ = true;
+  ++generation_;
+  Arm(clock_->now() + period_);
+}
+
+void TimerDevice::Arm(Time deadline) {
+  const uint64_t gen = generation_;
+  // Absolute cadence: the event may be *processed* late (the kernel was in
+  // a nonpreemptible operation), but the line is raised with the scheduled
+  // tick time and the next tick keeps the 1 ms grid -- exactly like real
+  // interval-timer hardware.
+  events_->ScheduleAt(deadline, [this, gen, deadline] {
+    if (!running_ || gen != generation_) {
+      return;
+    }
+    ++ticks_;
+    irqs_->Raise(kIrqTimer, deadline);
+    Arm(deadline + period_);
+  });
+}
+
+uint64_t DiskDevice::Submit(uint64_t sector, uint32_t sectors, bool write) {
+  const uint64_t id = next_id_++;
+  // Seek cost scales (coarsely) with distance; zero-distance requests still
+  // pay rotational latency folded into kSeekNs / 4.
+  const uint64_t distance = sector > last_sector_ ? sector - last_sector_ : last_sector_ - sector;
+  last_sector_ = sector;
+  const Time seek = distance == 0 ? kSeekNs / 4 : kSeekNs;
+  const Time latency = seek + static_cast<Time>(sectors) * kPerSectorNs;
+  (void)write;  // reads and writes cost the same in this model
+  events_->ScheduleIn(*clock_, latency, [this, id] {
+    done_.push_back(id);
+    irqs_->Raise(kIrqDisk, clock_->now());
+  });
+  return id;
+}
+
+bool DiskDevice::PopCompletion(uint64_t* id_out) {
+  if (done_.empty()) {
+    return false;
+  }
+  *id_out = done_.front();
+  done_.pop_front();
+  return true;
+}
+
+void ConsoleDevice::InjectInput(const std::string& text, Time when, Time gap) {
+  Time t = when;
+  for (char c : text) {
+    events_->ScheduleAt(t, [this, c] {
+      input_.push_back(c);
+      irqs_->Raise(kIrqConsole, clock_->now());
+    });
+    t += gap;
+  }
+}
+
+int ConsoleDevice::GetChar() {
+  if (input_.empty()) {
+    return -1;
+  }
+  const char c = input_.front();
+  input_.pop_front();
+  return c;
+}
+
+}  // namespace fluke

@@ -1,0 +1,113 @@
+// Simulated hardware devices: periodic timer, disk, console.
+//
+// The paper's kernel "borrowed" legacy process-model device drivers (section
+// 5.6); this repo's legacy-driver example runs a process-model driver thread
+// against the DiskDevice. Devices interact with the kernel only through the
+// EventQueue (completions) and the InterruptController (IRQ lines), exactly
+// like real hardware talks to a kernel through MMIO + interrupt pins.
+
+#ifndef SRC_HAL_DEVICES_H_
+#define SRC_HAL_DEVICES_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/hal/clock.h"
+#include "src/hal/irq.h"
+
+namespace fluke {
+
+// Periodic interval timer. Each tick raises kIrqTimer. The kernel's
+// scheduler uses it for timeslicing and the Table 6 experiment uses a 1 ms
+// period to wake the high-priority latency-probe thread.
+class TimerDevice {
+ public:
+  TimerDevice(VirtualClock* clock, EventQueue* events, InterruptController* irqs)
+      : clock_(clock), events_(events), irqs_(irqs) {}
+
+  void Start(Time period_ns);
+  void Stop() { running_ = false; }
+  bool running() const { return running_; }
+  Time period() const { return period_; }
+  uint64_t ticks() const { return ticks_; }
+
+ private:
+  void Arm(Time deadline);
+
+  VirtualClock* clock_;
+  EventQueue* events_;
+  InterruptController* irqs_;
+  Time period_ = 0;
+  uint64_t ticks_ = 0;
+  bool running_ = false;
+  uint64_t generation_ = 0;  // invalidates stale scheduled ticks after Stop/Start
+};
+
+// A simple seek+transfer disk. Requests complete after a simulated latency
+// and raise kIrqDisk; completed request ids queue up until the driver drains
+// them (what a real driver would read from a completion ring).
+class DiskDevice {
+ public:
+  struct Request {
+    uint64_t id;
+    uint64_t sector;
+    uint32_t sectors;
+    bool write;
+  };
+
+  DiskDevice(VirtualClock* clock, EventQueue* events, InterruptController* irqs)
+      : clock_(clock), events_(events), irqs_(irqs) {}
+
+  // Submits a request; returns its id. Completion raises kIrqDisk.
+  uint64_t Submit(uint64_t sector, uint32_t sectors, bool write);
+
+  // Drains one completed request id; returns false if none are ready.
+  bool PopCompletion(uint64_t* id_out);
+
+  size_t completions_pending() const { return done_.size(); }
+  uint64_t submitted() const { return next_id_; }
+
+  // Latency model: fixed seek plus per-sector transfer.
+  static constexpr Time kSeekNs = 5 * kNsPerMs;
+  static constexpr Time kPerSectorNs = 16 * kNsPerUs;
+
+ private:
+  VirtualClock* clock_;
+  EventQueue* events_;
+  InterruptController* irqs_;
+  uint64_t next_id_ = 0;
+  uint64_t last_sector_ = 0;
+  std::deque<uint64_t> done_;
+};
+
+// Console: byte output sink (captured for test assertions) and an input
+// queue whose arrivals raise kIrqConsole.
+class ConsoleDevice {
+ public:
+  ConsoleDevice(VirtualClock* clock, EventQueue* events, InterruptController* irqs)
+      : clock_(clock), events_(events), irqs_(irqs) {}
+
+  void PutChar(char c) { output_.push_back(c); }
+  const std::string& output() const { return output_; }
+  void ClearOutput() { output_.clear(); }
+
+  // Schedules `text` to arrive one byte at a time starting at `when`,
+  // spaced `gap` apart. Each byte raises kIrqConsole.
+  void InjectInput(const std::string& text, Time when, Time gap);
+
+  bool HasInput() const { return !input_.empty(); }
+  int GetChar();
+
+ private:
+  VirtualClock* clock_;
+  EventQueue* events_;
+  InterruptController* irqs_;
+  std::string output_;
+  std::deque<char> input_;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_HAL_DEVICES_H_

@@ -1,0 +1,6 @@
+#include "src/hal/irq.h"
+
+// InterruptController is header-only; this TU exists so the target has a
+// stable archive member for the header's symbols if any are added later.
+
+namespace fluke {}  // namespace fluke

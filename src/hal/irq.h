@@ -1,0 +1,63 @@
+// Simulated interrupt controller.
+//
+// Devices raise IRQ lines; the kernel polls for pending interrupts at the
+// points its preemption model allows (every user instruction; kernel
+// preemption points in PP; every work quantum in FP) and dispatches them.
+// Per-line statistics support the preemption-latency experiments (Table 6):
+// the controller records the raise time so the kernel can compute
+// wake-to-run latency.
+
+#ifndef SRC_HAL_IRQ_H_
+#define SRC_HAL_IRQ_H_
+
+#include <cstdint>
+
+#include "src/hal/clock.h"
+
+namespace fluke {
+
+inline constexpr int kNumIrqLines = 8;
+
+// Well-known line assignments.
+enum IrqLine : int {
+  kIrqTimer = 0,
+  kIrqDisk = 1,
+  kIrqConsole = 2,
+};
+
+class InterruptController {
+ public:
+  void Raise(int line, Time now) {
+    const uint32_t bit = 1u << line;
+    if ((pending_ & bit) == 0) {
+      pending_ |= bit;
+      raise_time_[line] = now;
+    }
+    ++raise_count_[line];
+  }
+
+  bool AnyPending() const { return pending_ != 0; }
+  bool Pending(int line) const { return (pending_ & (1u << line)) != 0; }
+
+  // Returns the lowest pending line, or -1. Does not acknowledge.
+  int HighestPending() const {
+    if (pending_ == 0) {
+      return -1;
+    }
+    return __builtin_ctz(pending_);
+  }
+
+  void Ack(int line) { pending_ &= ~(1u << line); }
+
+  Time raise_time(int line) const { return raise_time_[line]; }
+  uint64_t raise_count(int line) const { return raise_count_[line]; }
+
+ private:
+  uint32_t pending_ = 0;
+  Time raise_time_[kNumIrqLines] = {};
+  uint64_t raise_count_[kNumIrqLines] = {};
+};
+
+}  // namespace fluke
+
+#endif  // SRC_HAL_IRQ_H_

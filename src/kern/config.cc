@@ -1,0 +1,53 @@
+#include "src/kern/config.h"
+
+#include <cassert>
+
+namespace fluke {
+
+std::string KernelConfig::Label() const {
+  std::string s = model == ExecModel::kProcess ? "Process" : "Interrupt";
+  switch (preempt) {
+    case PreemptMode::kNone:
+      s += " NP";
+      break;
+    case PreemptMode::kPartial:
+      s += " PP";
+      break;
+    case PreemptMode::kFull:
+      s += " FP";
+      break;
+  }
+  return s;
+}
+
+KernelConfig PaperConfig(int index) {
+  KernelConfig c;
+  switch (index) {
+    case 0:  // Process NP
+      c.model = ExecModel::kProcess;
+      c.preempt = PreemptMode::kNone;
+      break;
+    case 1:  // Process PP
+      c.model = ExecModel::kProcess;
+      c.preempt = PreemptMode::kPartial;
+      break;
+    case 2:  // Process FP
+      c.model = ExecModel::kProcess;
+      c.preempt = PreemptMode::kFull;
+      break;
+    case 3:  // Interrupt NP
+      c.model = ExecModel::kInterrupt;
+      c.preempt = PreemptMode::kNone;
+      break;
+    case 4:  // Interrupt PP
+      c.model = ExecModel::kInterrupt;
+      c.preempt = PreemptMode::kPartial;
+      break;
+    default:
+      assert(false && "PaperConfig index out of range");
+      break;
+  }
+  return c;
+}
+
+}  // namespace fluke

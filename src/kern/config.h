@@ -1,0 +1,63 @@
+// Kernel configuration: execution model and preemption mode.
+//
+// The paper's Table 4 defines five configurations. Full preemption requires
+// the ability to block (be descheduled) inside the kernel while retaining
+// kernel-stack state, so it exists only in the process model; the same
+// constraint is enforced here in KernelConfig::Validate().
+//
+// The paper selects the model at compile time; we select it at runtime so a
+// single binary can run the controlled comparison. The property the paper
+// actually demonstrates -- that the syscall handler source is shared between
+// models, with only the entry/exit/context-switch layer differing -- is
+// preserved: the model is consulted only in src/kern/dispatch.cc and
+// src/kern/ktask.h.
+
+#ifndef SRC_KERN_CONFIG_H_
+#define SRC_KERN_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fluke {
+
+enum class ExecModel : int {
+  kProcess = 0,   // one kernel stack (coroutine frame) per thread
+  kInterrupt = 1, // one kernel stack per CPU; frames destroyed on block
+};
+
+enum class PreemptMode : int {
+  kNone = 0,     // NP: kernel never preempted
+  kPartial = 1,  // PP: explicit preemption point on the IPC copy path
+  kFull = 2,     // FP: preemptible at every work quantum (process model only)
+};
+
+struct KernelConfig {
+  ExecModel model = ExecModel::kProcess;
+  PreemptMode preempt = PreemptMode::kNone;
+  int num_cpus = 1;
+  // Timeslice for same-priority round-robin, in timer ticks.
+  uint32_t timeslice_ticks = 10;
+  // Timer tick period (default 1 ms, as in the paper's latency experiment).
+  uint64_t tick_ns = 1000 * 1000;
+  // IPC copy-path preemption point interval, in bytes (paper: 8 KiB).
+  uint32_t preempt_chunk_bytes = 8 * 1024;
+  uint64_t rng_seed = 1;
+
+  bool Valid() const {
+    if (preempt == PreemptMode::kFull && model == ExecModel::kInterrupt) {
+      return false;  // paper section 5.2: FP needs per-thread kernel stacks
+    }
+    return num_cpus >= 1 && num_cpus <= 8;
+  }
+
+  // Paper-style label, e.g. "Process NP", "Interrupt PP".
+  std::string Label() const;
+};
+
+// The five valid configurations of Table 4, in the paper's order.
+inline constexpr int kNumPaperConfigs = 5;
+KernelConfig PaperConfig(int index);
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_CONFIG_H_

@@ -1,0 +1,84 @@
+// The calibrated cost model (all values in CPU cycles; 1 cycle = 5 ns).
+//
+// Every virtual-time cost in the kernel comes from this table. The structure
+// of each comparison in the paper (who pays what, where) is encoded in the
+// kernel code; these constants only scale the effects. Calibration targets
+// the paper's 200 MHz Pentium Pro measurements:
+//   * minimal user/kernel crossing ~70 cycles (section 5.5),
+//   * interrupt-model entry/exit penalty ~6 cycles (section 5.5),
+//   * process-model context switches save/restore six 32-bit kernel-mode
+//     registers that the interrupt model does not (section 5.3),
+//   * full preemptibility pays blocking-lock costs on kernel object
+//     acquisitions (section 5.2, Table 5),
+//   * soft faults cost a mapping-hierarchy walk; hard faults cost an RPC to
+//     a user-mode manager (Table 3).
+
+#ifndef SRC_KERN_COSTS_H_
+#define SRC_KERN_COSTS_H_
+
+#include <cstdint>
+
+namespace fluke {
+
+struct CostModel {
+  // --- User/kernel crossings ---
+  uint32_t syscall_entry = 35;
+  uint32_t syscall_exit = 35;
+  // Extra cycles the interrupt model pays per crossing on a process-model-
+  // biased CPU (moving saved state between the per-CPU stack and the TCB).
+  uint32_t interrupt_entry_extra = 3;
+  uint32_t interrupt_exit_extra = 3;
+
+  // --- Context switching ---
+  uint32_t ctx_switch = 250;
+  // Extra per-switch cost in the process model: saving and restoring the
+  // six 32-bit kernel-mode registers plus kernel-stack cache pressure.
+  // (The paper observes a ~6% whole-app win for the interrupt model on the
+  // context-switch-heavy flukeperf, which implies substantially more than
+  // the 12 raw memory references -- the difference is cache misses on the
+  // per-thread stacks. This constant folds that in.)
+  uint32_t process_ctx_extra = 60;
+
+  // --- Syscall body costs ---
+  uint32_t trivial_body = 10;
+  uint32_t short_body = 40;        // handle lookup, object mutation
+  uint32_t object_create = 120;
+  uint32_t object_destroy = 100;
+  uint32_t wait_enqueue = 30;
+  uint32_t wake = 60;
+
+  // --- IPC ---
+  uint32_t ipc_connect = 150;
+  uint32_t ipc_rendezvous = 120;   // pairing client with server
+  uint32_t ipc_per_word = 1;       // copy cost: ~0.75 GB/s, P6-era kernel copy
+  uint32_t ipc_chunk_setup = 120;  // per copy chunk: address check + map probe
+  uint32_t ipc_finish = 60;
+  uint32_t preempt_point_check = 4;
+
+  // --- Memory / faults ---
+  uint32_t fault_enter = 80;            // fault frame decode, region lookup
+  uint32_t soft_fault_walk_per_level = 1850;  // mapping-hierarchy walk per level
+  uint32_t pte_install = 150;
+  uint32_t fault_msg_build = 400;       // building/delivering the exception IPC
+  uint32_t zero_fill = 900;             // kernel zero-fill of a fresh frame
+
+  // --- Full-preemption (FP) locking ---
+  uint32_t fp_lock = 20;    // blocking-mutex acquire, uncontended
+  uint32_t fp_unlock = 14;
+  // FP work quantum: maximum cycles between preemption opportunities.
+  uint32_t fp_quantum = 3000;
+
+  // --- region_search ---
+  uint32_t region_search_per_page = 150;
+
+  // --- Scheduler ---
+  uint32_t tick_work = 80;  // timer-tick bookkeeping
+  uint32_t irq_dispatch = 90;
+
+  // --- Legacy (user-mode-in-kernel-space) support ---
+  uint32_t kernel_call_gate = 40;  // mode switch into the core kernel and back
+};
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_COSTS_H_

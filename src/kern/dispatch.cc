@@ -1,0 +1,386 @@
+// The dispatcher: the only place the execution model matters.
+//
+// RunThread() executes one burst of a thread: resuming a retained kernel
+// activation (process model), or running user code until it traps. When a
+// handler blocks, HandleOpOutcome() applies the model:
+//
+//   * interrupt model -- destroy the coroutine frame ("unwind the per-CPU
+//     kernel stack"); the thread's committed registers are the
+//     continuation, and waking it re-executes the (rewritten) entrypoint;
+//   * process model -- retain the frame (the thread keeps its kernel
+//     stack while sleeping) and resume it mid-handler at wake.
+//
+// Preemption policy also lives here: NP never preempts kernel operations,
+// PP honors the explicit preemption point on the IPC copy path, and FP
+// (process model only) preempts at every work quantum.
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/kern/kernel.h"
+#include "src/kern/legacy.h"
+#include "src/kern/syscall_table.h"
+#include "src/uvm/interp.h"
+
+namespace fluke {
+
+void Kernel::Run(Time until) {
+  while (clock.now() < until) {
+    events.RunDue(clock.now());
+    DispatchIrqs();
+    Thread* t = PickNext();
+    if (t == nullptr) {
+      if (events.empty()) {
+        return;  // nothing can ever happen again
+      }
+      const Time next = events.NextDeadline();
+      if (next >= until) {
+        clock.AdvanceTo(until);
+        return;
+      }
+      clock.AdvanceTo(next);
+      continue;
+    }
+    Time horizon = until;
+    if (!events.empty()) {
+      horizon = std::min(horizon, events.NextDeadline());
+    }
+    RunThread(t, horizon);
+    if (cfg.num_cpus > 1) {
+      active_cpu_ = (active_cpu_ + 1) % cfg.num_cpus;
+    }
+  }
+}
+
+Thread* Kernel::PickNext() {
+  for (int p = kNumPrio - 1; p >= 0; --p) {
+    Thread* t = runq_[p].PopFront();
+    if (t != nullptr) {
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void Kernel::DispatchIrqs() {
+  int line;
+  while ((line = irqs.HighestPending()) >= 0) {
+    irqs.Ack(line);
+    Charge(costs.irq_dispatch);
+    if (line == kIrqTimer) {
+      // Several ticks may have coalesced into one pending interrupt while
+      // the kernel ran a long nonpreemptible operation.
+      const uint64_t raised = irqs.raise_count(kIrqTimer);
+      const uint64_t n_ticks = raised - last_timer_raises_;
+      last_timer_raises_ = raised;
+      ticks_seen_ += static_cast<uint32_t>(n_ticks);
+      Charge(costs.tick_work);
+      if (ticks_seen_ % cfg.timeslice_ticks < n_ticks) {
+        rotate_pending_ = true;
+      }
+      // Table 6 probe accounting: a probe that is waiting will run once now
+      // (the remaining coalesced ticks are misses); one that is still
+      // running or queued misses all of them.
+      for (const auto& t : threads_) {
+        if (!t->latency_probe || t->run_state == ThreadRun::kDead) {
+          continue;
+        }
+        const bool waiting =
+            t->run_state == ThreadRun::kBlocked && t->irq_line == kIrqTimer;
+        stats.probe_misses += waiting ? n_ticks - 1 : n_ticks;
+      }
+    } else if (line == kIrqDisk) {
+      WakeAll(&disk_waiters);
+    } else if (line == kIrqConsole) {
+      WakeAll(&console_waiters);
+    }
+    // irq_wait() completes on the raised line. The wake is timestamped with
+    // the line's raise time: latency is measured from the hardware event,
+    // not from when a busy kernel finally processed it.
+    while (Thread* w = irq_waiters[line].Dequeue()) {
+      w->irq_line = -1;
+      CompleteBlockedOp(w, kFlukeOk);
+      w->wake_time = irqs.raise_time(line);
+    }
+  }
+}
+
+void Kernel::RunThread(Thread* t, Time horizon) {
+  Cpu& cpu = cur_cpu();
+  if (cpu.last != t) {
+    ++stats.context_switches;
+    trace.Record(clock.now(), TraceKind::kContextSwitch, t->id(),
+                 cpu.last != nullptr ? static_cast<uint32_t>(cpu.last->id()) : 0);
+    uint64_t cost = costs.ctx_switch;
+    if (cfg.model == ExecModel::kProcess) {
+      // Saving/restoring the kernel-mode register state the interrupt model
+      // does not keep (paper section 5.3).
+      cost += costs.process_ctx_extra;
+    }
+    Charge(cost);
+  }
+  cpu.current = t;
+  if (t->latency_probe && t->wake_time != 0) {
+    stats.RecordProbe(clock.now(), clock.now() - t->wake_time);
+  }
+  t->wake_time = 0;
+  t->run_state = ThreadRun::kRunning;
+
+  if (t->op.valid()) {
+    // Retained kernel activation (process model): resume mid-handler.
+    ResumeOp(t);
+    HandleOpOutcome(t);
+  } else if (t->program == nullptr) {
+    ThreadExit(t, 0xBAD0);  // no code to run
+  } else {
+    uint64_t budget = 1;
+    if (horizon > clock.now()) {
+      budget = (horizon - clock.now()) / kNsPerCycle;
+      if (budget == 0) {
+        budget = 1;
+      }
+    }
+    const RunResult r = RunUser(*t->program, &t->regs, t->space, budget);
+    clock.Advance(r.cycles * kNsPerCycle);
+    switch (r.event) {
+      case UserEvent::kBudget:
+        break;  // horizon reached; requeue below
+      case UserEvent::kSyscall:
+        EnterSyscall(t);
+        break;
+      case UserEvent::kFault:
+        HandleUserFault(t, r.fault_addr, r.fault_is_write);
+        break;
+      case UserEvent::kHalt:
+        ThreadExit(t, t->regs.gpr[kRegB]);
+        break;
+      case UserEvent::kBreak:
+        ++t->regs.pc;  // resume continues after the breakpoint
+        t->run_state = ThreadRun::kStopped;
+        break;
+      case UserEvent::kBadPc:
+        ThreadExit(t, 0xDEAD);
+        break;
+    }
+  }
+
+  if (t->run_state == ThreadRun::kRunning) {
+    t->run_state = ThreadRun::kRunnable;
+    if (rotate_pending_) {
+      runq_[t->priority].PushBack(t);  // timeslice round-robin
+      rotate_pending_ = false;
+    } else {
+      runq_[t->priority].PushFront(t);  // keep running next pick
+    }
+  }
+  cpu.last = t;
+  cpu.current = nullptr;
+}
+
+void Kernel::EnterSyscall(Thread* t) {
+  ++stats.syscalls;
+  if (t->restart_pending) {
+    ++stats.syscall_restarts;
+    trace.Record(clock.now(), TraceKind::kSyscallRestart, t->id(), t->regs.gpr[kRegA]);
+    t->restart_pending = false;
+  } else {
+    trace.Record(clock.now(), TraceKind::kSyscallEnter, t->id(), t->regs.gpr[kRegA]);
+  }
+  uint64_t entry = costs.syscall_entry;
+  if (cfg.model == ExecModel::kInterrupt) {
+    entry += costs.interrupt_entry_extra;
+  }
+  Charge(entry);
+
+  const uint32_t sys = t->regs.gpr[kRegA];
+
+  // Privileged pseudo-syscalls for legacy (user-mode-in-kernel-space)
+  // threads -- handled synchronously, outside the public API (section 5.6).
+  if (sys >= kPsysBase) {
+    HandlePseudoSyscall(t, sys);
+    Charge(costs.syscall_exit);
+    return;
+  }
+
+  const SyscallDef* def = GetSyscall(sys);
+  if (def == nullptr || def->handler == nullptr) {
+    Finish(t, kFlukeErrBadArgument);
+    Charge(costs.syscall_exit);
+    return;
+  }
+  t->op_sys = sys;
+  t->op_aux = def->aux;
+  SetFrameAccounting(this, t);
+  t->op = def->handler(t->ctx);
+  ResumeOp(t);
+  HandleOpOutcome(t);
+}
+
+void Kernel::ResumeOp(Thread* t) {
+  SetFrameAccounting(this, t);
+  UncountBlockedBytes(t);
+  t->op_status = KStatus::kOk;
+  std::coroutine_handle<> h = t->resume_point ? t->resume_point : t->op.handle();
+  t->resume_point = {};
+  h.resume();
+}
+
+void Kernel::UncountBlockedBytes(Thread* t) {
+  if (t->blocked_bytes_counted) {
+    blocked_frame_bytes_ -= t->kstack_bytes;
+    t->blocked_bytes_counted = false;
+  }
+}
+
+void Kernel::HandleOpOutcome(Thread* t) {
+  if (t->op.valid() && t->op.done()) {
+    // The operation completed (co_return): result registers are final.
+    trace.Record(clock.now(), TraceKind::kSyscallExit, t->id(), t->op_sys,
+                 t->regs.gpr[kRegA]);
+    SetFrameAccounting(this, t);
+    t->op.Reset();
+    t->resume_point = {};
+    uint64_t exit = costs.syscall_exit;
+    if (cfg.model == ExecModel::kInterrupt) {
+      exit += costs.interrupt_exit_extra;
+    }
+    Charge(exit);
+    return;  // thread continues per its run_state (usually still kRunning)
+  }
+
+  switch (t->op_status) {
+    case KStatus::kBlocked:
+      trace.Record(clock.now(), TraceKind::kBlock, t->id(), t->op_sys,
+                   static_cast<uint32_t>(t->block_kind));
+      if (cfg.model == ExecModel::kInterrupt) {
+        // Unwind the per-CPU stack: RAII in the frame releases any kernel
+        // state; the committed registers are the continuation.
+        SetFrameAccounting(this, t);
+        t->op.Reset();
+        t->resume_point = {};
+      } else {
+        // The retained frame is the thread's kernel stack (Table 7).
+        blocked_frame_bytes_ += t->kstack_bytes;
+        t->blocked_bytes_counted = true;
+        if (blocked_frame_bytes_ > stats.blocked_frame_bytes_peak) {
+          stats.blocked_frame_bytes_peak = blocked_frame_bytes_;
+        }
+      }
+      break;
+    case KStatus::kPreempted:
+      ++stats.kernel_preemptions;
+      trace.Record(clock.now(), TraceKind::kPreempt, t->id(), t->op_sys);
+      if (cfg.model == ExecModel::kInterrupt) {
+        SetFrameAccounting(this, t);
+        t->op.Reset();
+        t->resume_point = {};
+        t->restart_pending = true;
+      }
+      MakeRunnable(t);
+      break;
+    default:
+      assert(false && "unexpected op status at suspension");
+      break;
+  }
+}
+
+void Kernel::HandleUserFault(Thread* t, uint32_t addr, bool is_write) {
+  ++stats.user_faults;
+  Charge(costs.fault_enter);
+  ChargeFpLocks(2);  // pmap + mapping-hierarchy locks
+  const Time t0 = clock.now();
+
+  SoftFaultResult r = t->space->TryResolveSoft(addr, is_write);
+  if (r.resolved) {
+    uint64_t cost = costs.soft_fault_walk_per_level * static_cast<uint64_t>(r.levels_walked + 1) +
+                    costs.pte_install;
+    if (r.zero_filled) {
+      cost += costs.zero_fill;
+    }
+    Charge(cost);
+    ++stats.soft_faults;
+    trace.Record(clock.now(), TraceKind::kSoftFault, t->id(), addr, is_write);
+    stats.remedy_soft_ns += clock.now() - t0;
+    return;  // PC is still at the faulting instruction: it simply retries
+  }
+
+  Port* keeper = t->space->keeper;
+  if (keeper == nullptr || !keeper->alive()) {
+    ThreadExit(t, 0xFA07);  // unhandled fault kills the thread
+    return;
+  }
+  ++stats.hard_faults;
+  trace.Record(clock.now(), TraceKind::kHardFault, t->id(), addr, is_write);
+  Charge(costs.fault_msg_build);
+  KernelMsg msg;
+  msg.words[kFaultMsgKind] = kFaultKindPage;
+  msg.words[kFaultMsgThread] = static_cast<uint32_t>(t->id());
+  msg.words[kFaultMsgAddr] = addr;
+  msg.words[kFaultMsgWrite] = is_write ? 1u : 0u;
+  msg.len = kFaultMsgWords;
+  msg.victim = t;
+  msg.badge = keeper->badge;
+
+  t->fault_addr = addr;
+  t->fault_write = is_write;
+  t->fault_side = kFaultSideClient;
+  t->fault_count_ipc = false;
+  t->fault_deliver_time = clock.now();
+  t->block_kind = BlockKind::kFaultWait;
+  t->run_state = ThreadRun::kBlocked;
+  DeliverKernelMsg(keeper, msg);
+  // CompleteFaultWait() will make the thread runnable; re-running the
+  // faulting instruction is the restart.
+}
+
+void Kernel::HandlePseudoSyscall(Thread* t, uint32_t sys) {
+  if (!t->legacy) {
+    Finish(t, kFlukeErrProtection);
+    return;
+  }
+  Charge(costs.kernel_call_gate);
+  switch (sys) {
+    case kPsysDiskSubmit: {
+      const uint64_t id =
+          disk.Submit(t->regs.gpr[kRegB], t->regs.gpr[kRegC], t->regs.gpr[kRegD] != 0);
+      FinishWith(t, kFlukeOk, static_cast<uint32_t>(id));
+      return;
+    }
+    case kPsysKstat: {
+      uint32_t v = 0;
+      switch (t->regs.gpr[kRegB]) {
+        case kKstatContextSwitches:
+          v = static_cast<uint32_t>(stats.context_switches);
+          break;
+        case kKstatSyscalls:
+          v = static_cast<uint32_t>(stats.syscalls);
+          break;
+        case kKstatSoftFaults:
+          v = static_cast<uint32_t>(stats.soft_faults);
+          break;
+        case kKstatHardFaults:
+          v = static_cast<uint32_t>(stats.hard_faults);
+          break;
+        case kKstatAliveThreads:
+          v = static_cast<uint32_t>(AliveThreads());
+          break;
+        default:
+          Finish(t, kFlukeErrBadArgument);
+          return;
+      }
+      FinishWith(t, kFlukeOk, v);
+      return;
+    }
+    case kPsysConsoleFlush: {
+      while (console.GetChar() >= 0) {
+      }
+      Finish(t, kFlukeOk);
+      return;
+    }
+    default:
+      Finish(t, kFlukeErrBadArgument);
+      return;
+  }
+}
+
+}  // namespace fluke

@@ -1,0 +1,23 @@
+// Forward declarations shared across kernel headers.
+
+#ifndef SRC_KERN_FWD_H_
+#define SRC_KERN_FWD_H_
+
+namespace fluke {
+
+class Kernel;
+class Space;
+struct Thread;
+struct SysCtx;
+class WaitQueue;
+class Port;
+class Portset;
+class Mutex;
+class Cond;
+class Region;
+class Mapping;
+class Reference;
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_FWD_H_

@@ -1,0 +1,110 @@
+#include "src/kern/inspect.h"
+
+#include <cstdio>
+
+#include "src/kern/ipc.h"
+
+namespace fluke {
+
+namespace {
+
+const char* BlockKindName(BlockKind b) {
+  switch (b) {
+    case BlockKind::kNone:
+      return "-";
+    case BlockKind::kWaitQueue:
+      return "waitq";
+    case BlockKind::kIpcWait:
+      return "ipc";
+    case BlockKind::kFaultWait:
+      return "fault";
+    case BlockKind::kStopSelf:
+      return "stop";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DumpThreads(const Kernel& k) {
+  std::string out = "THREADS\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %-4s %-14s %-9s %3s %-6s %-28s %s\n", "tid", "program",
+                "state", "pri", "block", "restart point", "detail");
+  out += line;
+  for (const auto& t : k.threads()) {
+    const char* prog = t->program != nullptr ? t->program->name().c_str() : "-";
+    std::string restart = "-";
+    std::string detail;
+    if (t->run_state == ThreadRun::kBlocked || t->run_state == ThreadRun::kStopped) {
+      // The committed restart state is fully describable.
+      const uint32_t sys = t->regs.gpr[kRegA];
+      if (t->program != nullptr && t->program->At(t->regs.pc) != nullptr &&
+          t->program->At(t->regs.pc)->op == Op::kSyscall) {
+        restart = SysName(sys);
+        char d[96];
+        std::snprintf(d, sizeof(d), "B=%u C=0x%x D=%u SI=0x%x DI=%u", t->regs.gpr[kRegB],
+                      t->regs.gpr[kRegC], t->regs.gpr[kRegD], t->regs.gpr[kRegSI],
+                      t->regs.gpr[kRegDI]);
+        detail = d;
+      } else {
+        char d[48];
+        std::snprintf(d, sizeof(d), "user pc=%u", t->regs.pc);
+        restart = d;
+      }
+      if (t->ipc_peer != nullptr) {
+        detail += " peer=t" + std::to_string(t->ipc_peer->id());
+      }
+    } else if (t->run_state == ThreadRun::kDead) {
+      detail = "exit=" + std::to_string(t->exit_code);
+    }
+    std::snprintf(line, sizeof(line), "  %-4llu %-14.14s %-9s %3d %-6s %-28.28s %s\n",
+                  static_cast<unsigned long long>(t->id()), prog, ThreadRunName(t->run_state),
+                  t->priority, BlockKindName(t->block_kind), restart.c_str(), detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string DumpSpaces(const Kernel& k) {
+  std::string out = "SPACES\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %-4s %-16s %7s %9s %-20s %7s %s\n", "id", "name", "pages",
+                "handles", "anon", "threads", "keeper");
+  out += line;
+  for (const auto& s : k.spaces()) {
+    char anon[40] = "-";
+    if (s->anon_size() != 0) {
+      std::snprintf(anon, sizeof(anon), "0x%x+0x%x", s->anon_base(), s->anon_size());
+    }
+    size_t alive_threads = 0;
+    for (const Thread* t : s->threads) {
+      if (t->run_state != ThreadRun::kDead) {
+        ++alive_threads;
+      }
+    }
+    std::snprintf(line, sizeof(line), "  %-4llu %-16.16s %7zu %9zu %-20s %7zu %s\n",
+                  static_cast<unsigned long long>(s->id()), s->name().c_str(), s->mapped_pages(),
+                  s->handle_count(), anon, alive_threads,
+                  s->keeper != nullptr ? "port" : "-");
+    out += line;
+  }
+  return out;
+}
+
+std::string DumpKernel(const Kernel& k) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "FLUKE %s | t=%.3fms | syscalls=%llu (restarts=%llu) switches=%llu "
+                "faults=%llu/%llu (soft/hard) preemptions=%llu\n",
+                k.cfg.Label().c_str(), static_cast<double>(k.clock.now()) / kNsPerMs,
+                static_cast<unsigned long long>(k.stats.syscalls),
+                static_cast<unsigned long long>(k.stats.syscall_restarts),
+                static_cast<unsigned long long>(k.stats.context_switches),
+                static_cast<unsigned long long>(k.stats.soft_faults),
+                static_cast<unsigned long long>(k.stats.hard_faults),
+                static_cast<unsigned long long>(k.stats.kernel_preemptions));
+  return std::string(line) + DumpThreads(k) + DumpSpaces(k);
+}
+
+}  // namespace fluke

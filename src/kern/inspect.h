@@ -1,0 +1,28 @@
+// Kernel state inspection: human-readable dumps of threads, spaces and
+// ports, in the spirit of a kernel debugger's `ps`. Because the atomic API
+// keeps every suspended thread at a committed restart point, the dump can
+// always say exactly what each thread is doing -- there is no "somewhere
+// inside the kernel" line.
+
+#ifndef SRC_KERN_INSPECT_H_
+#define SRC_KERN_INSPECT_H_
+
+#include <string>
+
+#include "src/kern/kernel.h"
+
+namespace fluke {
+
+// One line per thread: id, name/program, state, and -- when suspended in a
+// kernel operation -- the committed restart entrypoint and key registers.
+std::string DumpThreads(const Kernel& k);
+
+// Spaces: page counts, anon ranges, keeper, handle-table occupancy.
+std::string DumpSpaces(const Kernel& k);
+
+// Everything, plus headline statistics.
+std::string DumpKernel(const Kernel& k);
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_INSPECT_H_

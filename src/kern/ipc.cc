@@ -1,0 +1,906 @@
+#include "src/kern/ipc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/kern/kernel.h"
+#include "src/kern/space.h"
+
+namespace fluke {
+
+namespace {
+
+// Copy granularity: registers are committed after each chunk, so a chunk is
+// the maximum work a fault or preemption can discard.
+constexpr uint32_t kChunkWords = 512;  // 2 KiB
+
+uint32_t WordsToPageEnd(uint32_t addr) { return (kPageSize - (addr & kPageMask)) / 4; }
+
+bool BlockedInIpc(const Thread* t) {
+  return t->run_state == ThreadRun::kBlocked &&
+         (t->block_kind == BlockKind::kIpcWait || t->block_kind == BlockKind::kWaitQueue);
+}
+
+// Looks up register B as either a Reference-to-Port or a direct Port handle.
+Port* LookupPortArg(Thread* t, Handle h) {
+  KernelObject* o = t->space->Lookup(h);
+  if (o == nullptr) {
+    return nullptr;
+  }
+  if (o->type() == ObjType::kPort) {
+    return static_cast<Port*>(o);
+  }
+  if (o->type() == ObjType::kReference) {
+    auto* r = static_cast<Reference*>(o);
+    if (r->target != nullptr && r->target->alive() && r->target->type() == ObjType::kPort) {
+      return static_cast<Port*>(r->target.get());
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+IpcStanceKind IpcStance(const Thread* t) {
+  switch (t->regs.gpr[kRegA]) {
+    case kSysIpcClientConnect:
+    case kSysIpcClientConnectSend:
+    case kSysIpcClientConnectSendOverReceive:
+    case kSysIpcClientConnectOnewaySend:
+      return IpcStance_kConnecting;
+    case kSysIpcClientSend:
+    case kSysIpcClientSendOverReceive:
+    case kSysIpcServerSend:
+    case kSysIpcServerSendOverReceive:
+    case kSysIpcServerAckSend:
+    case kSysIpcServerAckSendOverReceive:
+    case kSysIpcServerAckSendWaitReceive:
+    case kSysIpcServerSendWaitReceive:
+      return IpcStance_kSending;
+    case kSysIpcClientReceive:
+    case kSysIpcServerReceive:
+      return IpcStance_kReceiving;
+    case kSysIpcWaitReceive:
+    case kSysIpcReplyWaitReceive:
+    case kSysIpcServerOnewayReceive:
+    case kSysIpcServerAlertWait:
+      return IpcStance_kWaiting;
+    default:
+      return IpcStance_kNone;
+  }
+}
+
+uint32_t SendSuccessor(uint32_t sys, bool* disconnect) {
+  *disconnect = false;
+  switch (sys) {
+    case kSysIpcClientSend:
+    case kSysIpcServerSend:
+    case kSysIpcServerAckSend:
+      return 0;
+    case kSysIpcClientSendOverReceive:
+      return kSysIpcClientReceive;
+    case kSysIpcServerSendOverReceive:
+    case kSysIpcServerAckSendOverReceive:
+      return kSysIpcServerReceive;
+    case kSysIpcServerSendWaitReceive:
+    case kSysIpcServerAckSendWaitReceive:
+      *disconnect = true;
+      return kSysIpcWaitReceive;
+    default:
+      return 0;
+  }
+}
+
+void IpcDisconnect(Kernel& k, Thread* t) {
+  Thread* peer = t->ipc_peer;
+  t->ipc_peer = nullptr;
+  t->regs.pr0 = 0;
+  if (peer == nullptr) {
+    return;
+  }
+  peer->ipc_peer = nullptr;
+  peer->regs.pr0 = 0;
+  if (BlockedInIpc(peer) && IpcStance(peer) != IpcStance_kNone) {
+    // The peer was blocked mid-operation on this connection; complete it
+    // with an error (its registers are at a commit point, so the error is
+    // delivered at a well-defined stage boundary).
+    k.CancelOpQueuesOnly(peer, /*counts_as_restart=*/false);
+    k.Finish(peer, kFlukeErrDisconnected);
+    k.MakeRunnable(peer);
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Completion/advance of a BLOCKED peer, by mutating its state only.
+// ---------------------------------------------------------------------------
+
+// Completes a blocked thread's current operation with `err` and wakes it.
+void CompleteBlocked(Kernel& k, Thread* t, uint32_t err) { k.CompleteBlockedOp(t, err); }
+
+// The blocked sender's send stage just finished: rewrite its entrypoint
+// register to the successor stage, or complete the operation outright.
+void AdvanceBlockedSender(Kernel& k, Thread* sender) {
+  bool disconnect = false;
+  const uint32_t succ = SendSuccessor(sender->regs.gpr[kRegA], &disconnect);
+  if (succ == 0) {
+    CompleteBlocked(k, sender, kFlukeOk);
+    return;
+  }
+  sender->regs.gpr[kRegA] = succ;  // commit the stage transition in place
+  if (disconnect) {
+    IpcDisconnect(k, sender);
+  }
+  if (IpcStance(sender) == IpcStance_kWaiting) {
+    // wait_receive needs to enqueue on its portset; wake the thread and let
+    // the restart entrypoint do it.
+    k.CancelOpQueuesOnly(sender);
+    k.MakeRunnable(sender);
+  }
+  // Otherwise (now receiving) the thread stays blocked; the reply transfer
+  // will be driven by the running peer against its advancing registers.
+}
+
+// Settles a BLOCKED peer whose stage was exhausted by the commit that just
+// happened. This must run BEFORE any suspension point (FP work quantum, PP
+// preemption point): in the interrupt model a suspension destroys the
+// running thread's frame and restarts it from its registers, and the
+// restart path must never find a peer stranded in a completed-but-
+// unsettled stage (receiver full, or sender's message fully taken).
+void SettleBlockedPeerAtCommit(Kernel& k, Thread* running, Thread* sender, Thread* recver) {
+  if (recver != running && BlockedInIpc(recver) &&
+      (recver->regs.gpr[kRegDI] == 0 || sender->regs.gpr[kRegD] == 0)) {
+    // Receiver full, or the sender's message completed (message boundary).
+    CompleteBlocked(k, recver, kFlukeOk);
+  }
+  if (sender != running && BlockedInIpc(sender) && sender->regs.gpr[kRegD] == 0) {
+    AdvanceBlockedSender(k, sender);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The data transfer. Runs on ctx.thread (one of sender/recver); commits both
+// threads' registers after every chunk. Faults are attributed to the space
+// that faulted (Table 3); explicit preemption points fire every
+// cfg.preempt_chunk_bytes (PP).
+// ---------------------------------------------------------------------------
+
+FaultSide SideOf(const Thread* t) {
+  return t->ipc_is_server ? kFaultSideServer : kFaultSideClient;
+}
+
+KTask TransferData(SysCtx& ctx, Thread* sender, Thread* recver) {
+  Kernel& k = *ctx.kernel;
+  auto& sreg = sender->regs;
+  auto& rreg = recver->regs;
+  uint32_t pp_bytes = 0;
+  uint32_t buf[kChunkWords];
+
+  while (sreg.gpr[kRegD] > 0 && rreg.gpr[kRegDI] > 0) {
+    const uint32_t src = sreg.gpr[kRegC];
+    const uint32_t dst = rreg.gpr[kRegSI];
+    uint32_t words = std::min(sreg.gpr[kRegD], rreg.gpr[kRegDI]);
+    words = std::min(words, kChunkWords);
+    words = std::min(words, WordsToPageEnd(src));
+    words = std::min(words, WordsToPageEnd(dst));
+    if (words == 0) {
+      // Misaligned buffer straddling a page at every word; fall back to one
+      // word so progress is guaranteed.
+      words = 1;
+    }
+
+    k.Charge(k.costs.ipc_chunk_setup);
+    k.ChargeFpLocks();  // per-chunk: both spaces' pmap access is locked
+    Time uncommitted = Cycles(k.costs.ipc_chunk_setup);
+
+    // Fast path: both PTEs present with sufficient rights (the common case
+    // after warm-up). Cost-identical to the word loop; only host time
+    // differs.
+    {
+      const Pte* spte = sender->space->FindPte(src);
+      const Pte* dpte = recver->space->FindPte(dst);
+      if (spte != nullptr && dpte != nullptr && (spte->prot & kProtRead) != 0 &&
+          (dpte->prot & kProtWrite) != 0) {
+        std::memcpy(recver->space->phys()->Data(dpte->frame) + (dst & kPageMask),
+                    sender->space->phys()->Data(spte->frame) + (src & kPageMask), 4 * words);
+        k.Charge(2ull * words * k.costs.ipc_per_word);
+        sreg.gpr[kRegC] += 4 * words;
+        sreg.gpr[kRegD] -= words;
+        rreg.gpr[kRegSI] += 4 * words;
+        rreg.gpr[kRegDI] -= words;
+        SettleBlockedPeerAtCommit(k, ctx.thread, sender, recver);
+        // Preemption opportunities only while work remains: suspending
+        // after the FINAL commit would let an interrupt-model restart
+        // re-enter the send stage with D == 0, which must stay reserved
+        // for genuine zero-length messages.
+        if (sreg.gpr[kRegD] > 0 && rreg.gpr[kRegDI] > 0) {
+          co_await Work(ctx, 0);  // FP preemption opportunity
+          pp_bytes += 4 * words;
+          if (pp_bytes >= k.cfg.preempt_chunk_bytes) {
+            pp_bytes = 0;
+            co_await PreemptPoint(ctx);
+          }
+        }
+        continue;
+      }
+    }
+
+    // --- Read phase (faults attributed to the sender's side) ---
+    bool fault = false;
+    uint32_t fault_addr = 0;
+    for (uint32_t i = 0; i < words; ++i) {
+      if (!sender->space->ReadWord(src + 4 * i, &buf[i], &fault_addr)) {
+        KStatus s = co_await ResolveFault(ctx, sender->space, fault_addr, /*is_write=*/false,
+                                          SideOf(sender), /*count_ipc=*/true, uncommitted);
+        if (s != KStatus::kOk) {
+          co_return s;
+        }
+        fault = true;
+        break;
+      }
+      k.Charge(k.costs.ipc_per_word);
+      uncommitted += Cycles(k.costs.ipc_per_word);
+    }
+    if (fault) {
+      continue;  // registers unchanged: retry the chunk from the commit point
+    }
+
+    // --- Write phase (faults attributed to the receiver's side) ---
+    for (uint32_t i = 0; i < words; ++i) {
+      if (!recver->space->WriteWord(dst + 4 * i, buf[i], &fault_addr)) {
+        KStatus s = co_await ResolveFault(ctx, recver->space, fault_addr, /*is_write=*/true,
+                                          SideOf(recver), /*count_ipc=*/true, uncommitted);
+        if (s != KStatus::kOk) {
+          co_return s;
+        }
+        fault = true;
+        break;
+      }
+      k.Charge(k.costs.ipc_per_word);
+      uncommitted += Cycles(k.costs.ipc_per_word);
+    }
+    if (fault) {
+      continue;
+    }
+
+    // --- Commit: advance both threads' parameter registers in place ---
+    sreg.gpr[kRegC] += 4 * words;
+    sreg.gpr[kRegD] -= words;
+    rreg.gpr[kRegSI] += 4 * words;
+    rreg.gpr[kRegDI] -= words;
+    SettleBlockedPeerAtCommit(k, ctx.thread, sender, recver);
+
+    if (sreg.gpr[kRegD] > 0 && rreg.gpr[kRegDI] > 0) {
+      // FP preemption opportunity (no cost when not FP).
+      co_await Work(ctx, 0);
+      // PP: the single explicit preemption point on the copy path.
+      pp_bytes += 4 * words;
+      if (pp_bytes >= k.cfg.preempt_chunk_bytes) {
+        pp_bytes = 0;
+        co_await PreemptPoint(ctx);
+      }
+    }
+  }
+  co_return KStatus::kOk;
+}
+
+// After a transfer driven by the running thread, settle the *blocked* peer's
+// stage. Returns true if the running thread's receive stage is complete
+// because the peer's send stage ended (message boundary).
+bool SettlePeerAfterTransfer(Kernel& k, Thread* running, Thread* peer) {
+  bool message_complete = false;
+  if (!BlockedInIpc(peer)) {
+    return false;
+  }
+  const IpcStanceKind stance = IpcStance(peer);
+  if (stance == IpcStance_kSending && peer->regs.gpr[kRegD] == 0) {
+    // Peer's send stage exhausted: its message is complete.
+    message_complete = true;
+    AdvanceBlockedSender(k, peer);
+  } else if (stance == IpcStance_kReceiving && peer->regs.gpr[kRegDI] == 0) {
+    // Peer's receive buffer is full.
+    CompleteBlocked(k, peer, kFlukeOk);
+  } else if (stance == IpcStance_kReceiving && running->regs.gpr[kRegD] == 0 &&
+             IpcStance(running) == IpcStance_kSending) {
+    // The running sender finished its message: complete the blocked
+    // receiver at the message boundary.
+    CompleteBlocked(k, peer, kFlukeOk);
+  }
+  return message_complete;
+}
+
+// ---------------------------------------------------------------------------
+// Connect phase.
+// ---------------------------------------------------------------------------
+
+void PairClientServer(Kernel& k, Thread* client, Thread* server, Port* port) {
+  client->ipc_peer = server;
+  server->ipc_peer = client;
+  client->ipc_is_server = false;
+  server->ipc_is_server = true;
+  client->port_badge = port->badge;
+  server->port_badge = port->badge;
+  // Pseudo-registers: exported "connected" marker + badge (paper 4.4:
+  // kernel-implemented pseudo-registers holding intermediate IPC state).
+  client->regs.pr0 = 1;
+  server->regs.pr0 = 1;
+  client->regs.pr1 = port->badge;
+  server->regs.pr1 = port->badge;
+  k.Charge(k.costs.ipc_rendezvous);
+}
+
+// Commits a just-connected client's entrypoint register to its post-connect
+// stage. Returns 0 if the operation is complete (pure connect).
+uint32_t ConnectSuccessor(uint32_t sys) {
+  switch (sys) {
+    case kSysIpcClientConnect:
+      return 0;
+    case kSysIpcClientConnectSend:
+      return kSysIpcClientSend;
+    case kSysIpcClientConnectSendOverReceive:
+      return kSysIpcClientSendOverReceive;
+    case kSysIpcClientConnectOnewaySend:
+      return kSysIpcClientOnewaySend;
+    default:
+      return 0;
+  }
+}
+
+// A running server accepted a queued (blocked) client.
+void AdvanceBlockedClientAfterAccept(Kernel& k, Thread* client) {
+  const uint32_t succ = ConnectSuccessor(client->regs.gpr[kRegA]);
+  if (succ == 0) {
+    CompleteBlocked(k, client, kFlukeOk);
+    return;
+  }
+  client->regs.gpr[kRegA] = succ;  // commit; the client stays blocked,
+                                   // now in sending stance
+}
+
+// Client side: establish a connection (blocking until a server accepts).
+KTask DoConnect(SysCtx& ctx) {
+  Kernel& k = *ctx.kernel;
+  Thread* t = ctx.thread;
+  for (;;) {
+    if (t->ipc_peer != nullptr) {
+      co_return KStatus::kOk;  // connected (possibly while we were queued)
+    }
+    Port* port = LookupPortArg(t, t->regs.gpr[kRegB]);
+    if (port == nullptr) {
+      co_return KStatus::kBadHandle;
+    }
+    k.Charge(k.costs.ipc_connect);
+    Thread* server = port->servers.Dequeue();
+    if (server == nullptr && port->member_of != nullptr) {
+      server = port->member_of->servers.Dequeue();
+    }
+    if (server != nullptr) {
+      server->block_kind = BlockKind::kIpcWait;  // now blocked on the connection
+      PairClientServer(k, t, server, port);
+      // The server was blocked in wait_receive: commit it to the receive
+      // stage of this connection and leave it blocked; this client's send
+      // stage (if any) will feed it.
+      server->regs.gpr[kRegA] = kSysIpcServerReceive;
+      server->regs.gpr[kRegB] = port->badge;
+      co_return KStatus::kOk;
+    }
+    // No server ready: queue on the port and block. The registers already
+    // name this connect entrypoint, which is the restart point.
+    port->waiting_clients.PushBack(t);
+    t->queued_on_port = port;
+    t->block_kind = BlockKind::kIpcWait;
+    // Wake portset_wait-style pollers: the port is now "ready".
+    k.WakeAll(&port->pollers);
+    if (port->member_of != nullptr) {
+      k.WakeAll(&port->member_of->pollers);
+    }
+    co_await Block(ctx, nullptr);
+    // (process model) resumed: either we were paired -- ipc_peer set, loop
+    // exits -- or the wait was cancelled and we re-queue.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Send / receive phases (running-thread side).
+// ---------------------------------------------------------------------------
+
+KTask DoSendPhase(SysCtx& ctx) {
+  Kernel& k = *ctx.kernel;
+  Thread* t = ctx.thread;
+  for (;;) {
+    if (t->regs.gpr[kRegD] == 0) {
+      // A zero-length send is a pure message boundary (transfers never
+      // suspend between their final commit and the stage advance, so
+      // reaching here always means a genuine empty message): complete a
+      // blocked peer receiver with nothing delivered.
+      Thread* peer = t->ipc_peer;
+      if (peer != nullptr && BlockedInIpc(peer) && IpcStance(peer) == IpcStance_kReceiving) {
+        CompleteBlocked(k, peer, kFlukeOk);
+      }
+      co_return KStatus::kOk;  // send stage complete
+    }
+    Thread* peer = t->ipc_peer;
+    if (peer == nullptr || !peer->alive()) {
+      co_return KStatus::kNotConnected;
+    }
+    if (BlockedInIpc(peer) && IpcStance(peer) == IpcStance_kReceiving &&
+        peer->regs.gpr[kRegDI] > 0) {
+      KStatus s = co_await TransferData(ctx, t, peer);
+      if (s != KStatus::kOk) {
+        co_return s;
+      }
+      SettlePeerAfterTransfer(k, t, peer);
+      continue;  // re-evaluate: either done or peer can't take more
+    }
+    // Peer not ready to receive: block at the committed restart point.
+    t->block_kind = BlockKind::kIpcWait;
+    co_await Block(ctx, nullptr);
+  }
+}
+
+KTask DoReceivePhase(SysCtx& ctx) {
+  Kernel& k = *ctx.kernel;
+  Thread* t = ctx.thread;
+  for (;;) {
+    if (t->ipc_alerted) {
+      t->ipc_alerted = false;
+      co_return KStatus::kCancelled;  // surfaced as kFlukeErrInterrupted
+    }
+    if (t->regs.gpr[kRegDI] == 0) {
+      co_return KStatus::kOk;  // buffer full
+    }
+    Thread* peer = t->ipc_peer;
+    if (peer == nullptr || !peer->alive()) {
+      co_return KStatus::kNotConnected;
+    }
+    if (BlockedInIpc(peer) && IpcStance(peer) == IpcStance_kSending) {
+      if (peer->regs.gpr[kRegD] > 0) {
+        KStatus s = co_await TransferData(ctx, peer, t);
+        if (s != KStatus::kOk) {
+          co_return s;
+        }
+      }
+      if (peer->regs.gpr[kRegD] == 0) {
+        // Message boundary: the peer's send stage completed.
+        SettlePeerAfterTransfer(k, t, peer);
+        co_return KStatus::kOk;
+      }
+      // Our buffer must be full (transfer stopped on DI == 0).
+      continue;
+    }
+    t->block_kind = BlockKind::kIpcWait;
+    co_await Block(ctx, nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wait phase (server side): accept a connection or take a kernel message.
+// `out_finished` semantics: the op completed (kmsg delivered) vs. a client
+// was accepted (caller proceeds to the receive stage).
+// ---------------------------------------------------------------------------
+
+// Delivers a kernel message into the server's SI/DI buffer. Never consumes
+// the message until fully delivered (hard faults requeue it at the front so
+// the restart re-takes it).
+KTask DeliverKmsg(SysCtx& ctx, Port* port) {
+  Kernel& k = *ctx.kernel;
+  Thread* t = ctx.thread;
+  for (;;) {
+    if (port->kmsgs.empty()) {
+      co_return KStatus::kOk;  // lost a race with another server; caller re-scans
+    }
+    KernelMsg msg = port->kmsgs.front();
+    port->kmsgs.pop_front();
+    const uint32_t base = t->regs.gpr[kRegSI];
+    const uint32_t cap = t->regs.gpr[kRegDI];
+    const uint32_t n = std::min(msg.len, cap);
+    bool faulted = false;
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t fa = 0;
+      if (!t->space->WriteWord(base + 4 * i, msg.words[i], &fa)) {
+        // Put the message back before possibly losing our frame to a hard
+        // fault (interrupt model): the restart re-takes it.
+        port->kmsgs.push_front(msg);
+        KStatus s = co_await ResolveFault(ctx, t->space, fa, /*is_write=*/true,
+                                          kFaultSideServer, /*count_ipc=*/false, 0);
+        if (s != KStatus::kOk) {
+          co_return s;
+        }
+        faulted = true;
+        break;
+      }
+      k.Charge(k.costs.ipc_per_word);
+    }
+    if (faulted) {
+      continue;  // re-take the (re-queued) message
+    }
+    // Commit the delivery.
+    t->regs.gpr[kRegSI] += 4 * n;
+    t->regs.gpr[kRegDI] -= n;
+    if (msg.victim != nullptr) {
+      t->exception_victim = msg.victim;
+    }
+    k.FinishWith(t, kFlukeOk, msg.badge);
+    co_return KStatus::kDead;  // sentinel: "operation fully completed"
+  }
+}
+
+// Returns the port (self or member) with a pending kernel message, or null.
+Port* PortWithKmsg(KernelObject* obj) {
+  if (obj->type() == ObjType::kPort) {
+    auto* p = static_cast<Port*>(obj);
+    return p->kmsgs.empty() ? nullptr : p;
+  }
+  auto* ps = static_cast<Portset*>(obj);
+  for (Port* p : ps->ports) {
+    if (p->alive() && !p->kmsgs.empty()) {
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+Port* PortWithClient(KernelObject* obj) {
+  if (obj->type() == ObjType::kPort) {
+    auto* p = static_cast<Port*>(obj);
+    return p->waiting_clients.Front() == nullptr ? nullptr : p;
+  }
+  auto* ps = static_cast<Portset*>(obj);
+  for (Port* p : ps->ports) {
+    if (p->alive() && p->waiting_clients.Front() != nullptr) {
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+WaitQueue* ServersQueueOf(KernelObject* obj) {
+  if (obj->type() == ObjType::kPort) {
+    return &static_cast<Port*>(obj)->servers;
+  }
+  return &static_cast<Portset*>(obj)->servers;
+}
+
+// kDead sentinel: op fully completed (kmsg). kOk: client accepted, register
+// A already committed to kSysIpcServerReceive.
+KTask DoWaitPhase(SysCtx& ctx, bool accept_clients) {
+  Kernel& k = *ctx.kernel;
+  Thread* t = ctx.thread;
+  for (;;) {
+    KernelObject* obj = t->space->Lookup(t->regs.gpr[kRegB]);
+    if (obj == nullptr ||
+        (obj->type() != ObjType::kPort && obj->type() != ObjType::kPortset)) {
+      co_return KStatus::kBadHandle;
+    }
+    if (Port* p = PortWithKmsg(obj)) {
+      KStatus s = co_await DeliverKmsg(ctx, p);
+      if (s == KStatus::kDead) {
+        co_return KStatus::kDead;  // completed
+      }
+      if (s != KStatus::kOk) {
+        co_return s;
+      }
+      continue;  // raced; re-scan
+    }
+    if (accept_clients) {
+      if (Port* p = PortWithClient(obj)) {
+        Thread* client = p->waiting_clients.PopFront();
+        client->queued_on_port = nullptr;
+        PairClientServer(k, client, t, p);
+        AdvanceBlockedClientAfterAccept(k, client);
+        // Commit ourselves to the receive stage of this connection.
+        t->regs.gpr[kRegA] = kSysIpcServerReceive;
+        t->regs.gpr[kRegB] = p->badge;
+        co_return KStatus::kOk;
+      }
+    }
+    co_await Block(ctx, ServersQueueOf(obj));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oneway datagrams.
+// ---------------------------------------------------------------------------
+
+KTask DoOnewaySend(SysCtx& ctx) {
+  Kernel& k = *ctx.kernel;
+  Thread* t = ctx.thread;
+  // Oneway IPC is port-addressed and connectionless; register B names the
+  // target port (directly or via a Reference).
+  Port* port = LookupPortArg(t, t->regs.gpr[kRegB]);
+  if (port == nullptr) {
+    co_return KStatus::kBadHandle;
+  }
+  KernelMsg msg;
+  msg.badge = port->badge;
+  const uint32_t n = std::min<uint32_t>(t->regs.gpr[kRegD], 8);
+  for (uint32_t i = 0; i < n;) {
+    uint32_t fa = 0;
+    if (!t->space->ReadWord(t->regs.gpr[kRegC] + 4 * i, &msg.words[i], &fa)) {
+      KStatus s = co_await ResolveFault(ctx, t->space, fa, /*is_write=*/false, kFaultSideClient,
+                                        /*count_ipc=*/false, 0);
+      if (s != KStatus::kOk) {
+        co_return s;
+      }
+      continue;  // retry this word
+    }
+    k.Charge(k.costs.ipc_per_word);
+    ++i;
+  }
+  msg.len = n;
+  k.DeliverKernelMsg(port, msg);
+  co_return KStatus::kOk;
+}
+
+uint32_t ToUserError(KStatus s) {
+  switch (s) {
+    case KStatus::kOk:
+      return kFlukeOk;
+    case KStatus::kBadHandle:
+      return kFlukeErrBadHandle;
+    case KStatus::kBadType:
+      return kFlukeErrBadType;
+    case KStatus::kBadAddress:
+    case KStatus::kNoPager:
+      return kFlukeErrBadAddress;
+    case KStatus::kBadArgument:
+      return kFlukeErrBadArgument;
+    case KStatus::kNotConnected:
+      return kFlukeErrNotConnected;
+    case KStatus::kAlreadyConnected:
+      return kFlukeErrAlreadyConnected;
+    case KStatus::kCancelled:
+      return kFlukeErrInterrupted;
+    case KStatus::kDead:
+      return kFlukeErrDead;
+    default:
+      return kFlukeErrBadArgument;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The engine: interprets the thread's entrypoint register until the
+// operation completes or blocks. Stage commits rewrite register A in place,
+// so a restart (interrupt model) or a resume (process model) both land in
+// the right stage.
+// ---------------------------------------------------------------------------
+
+KTask SysIpcEngine(SysCtx& ctx) {
+  Kernel& k = *ctx.kernel;
+  Thread* t = ctx.thread;
+  KLockGuard lock(ctx);
+  k.Charge(k.costs.short_body);
+
+  for (;;) {
+    const uint32_t sys = t->regs.gpr[kRegA];
+    switch (sys) {
+      // --- Client connect phase ---
+      case kSysIpcClientConnect:
+      case kSysIpcClientConnectSend:
+      case kSysIpcClientConnectSendOverReceive: {
+        if (t->ipc_peer != nullptr) {
+          k.Finish(t, kFlukeErrAlreadyConnected);
+          co_return KStatus::kOk;
+        }
+        KStatus s = co_await DoConnect(ctx);
+        if (s != KStatus::kOk) {
+          k.Finish(t, ToUserError(s));
+          co_return KStatus::kOk;
+        }
+        const uint32_t succ = ConnectSuccessor(sys);
+        if (succ == 0) {
+          k.Finish(t, kFlukeOk);
+          co_return KStatus::kOk;
+        }
+        t->regs.gpr[kRegA] = succ;  // commit
+        break;
+      }
+
+      // --- Send stages ---
+      case kSysIpcClientSend:
+      case kSysIpcClientSendOverReceive:
+      case kSysIpcServerSend:
+      case kSysIpcServerSendOverReceive:
+      case kSysIpcServerAckSend:
+      case kSysIpcServerAckSendOverReceive:
+      case kSysIpcServerAckSendWaitReceive:
+      case kSysIpcServerSendWaitReceive: {
+        // Ack variants first complete a pending exception reply.
+        if ((sys == kSysIpcServerAckSend || sys == kSysIpcServerAckSendOverReceive ||
+             sys == kSysIpcServerAckSendWaitReceive) &&
+            t->exception_victim != nullptr) {
+          Thread* victim = t->exception_victim;
+          t->exception_victim = nullptr;
+          k.CompleteFaultWait(victim);
+          bool disconnect = false;
+          const uint32_t succ = SendSuccessor(sys, &disconnect);
+          // Exception replies carry no data payload.
+          if (succ == 0 || succ == kSysIpcWaitReceive) {
+            if (succ == 0) {
+              k.Finish(t, kFlukeOk);
+              co_return KStatus::kOk;
+            }
+            t->regs.gpr[kRegA] = succ;
+            break;
+          }
+          t->regs.gpr[kRegA] = succ;
+          break;
+        }
+        KStatus s = co_await DoSendPhase(ctx);
+        if (s != KStatus::kOk) {
+          k.Finish(t, ToUserError(s));
+          co_return KStatus::kOk;
+        }
+        bool disconnect = false;
+        const uint32_t succ = SendSuccessor(sys, &disconnect);
+        if (disconnect) {
+          IpcDisconnect(k, t);
+        }
+        if (succ == 0) {
+          k.Charge(k.costs.ipc_finish);
+          k.Finish(t, kFlukeOk);
+          co_return KStatus::kOk;
+        }
+        t->regs.gpr[kRegA] = succ;  // commit the stage transition
+        break;
+      }
+
+      // --- Receive stages ---
+      case kSysIpcClientReceive:
+      case kSysIpcServerReceive: {
+        KStatus s = co_await DoReceivePhase(ctx);
+        k.Charge(k.costs.ipc_finish);
+        k.Finish(t, ToUserError(s));
+        co_return KStatus::kOk;
+      }
+
+      // --- Server wait stages ---
+      case kSysIpcWaitReceive: {
+        KStatus s = co_await DoWaitPhase(ctx, /*accept_clients=*/true);
+        if (s == KStatus::kDead) {
+          co_return KStatus::kOk;  // kmsg delivered; op finished inside
+        }
+        if (s != KStatus::kOk) {
+          k.Finish(t, ToUserError(s));
+          co_return KStatus::kOk;
+        }
+        break;  // accepted: A committed to kSysIpcServerReceive
+      }
+      case kSysIpcServerOnewayReceive: {
+        KStatus s = co_await DoWaitPhase(ctx, /*accept_clients=*/false);
+        if (s == KStatus::kDead) {
+          co_return KStatus::kOk;
+        }
+        k.Finish(t, ToUserError(s == KStatus::kOk ? KStatus::kBadArgument : s));
+        co_return KStatus::kOk;
+      }
+      case kSysIpcReplyWaitReceive: {
+        // Zero-data reply: complete a pending exception, or signal the
+        // message boundary to a blocked peer receiver; then disconnect and
+        // wait for the next request.
+        if (t->exception_victim != nullptr) {
+          Thread* victim = t->exception_victim;
+          t->exception_victim = nullptr;
+          k.CompleteFaultWait(victim);
+        } else if (t->ipc_peer != nullptr) {
+          Thread* peer = t->ipc_peer;
+          if (BlockedInIpc(peer) && IpcStance(peer) == IpcStance_kReceiving) {
+            CompleteBlocked(k, peer, kFlukeOk);
+          }
+          IpcDisconnect(k, t);
+        }
+        t->regs.gpr[kRegA] = kSysIpcWaitReceive;  // commit
+        break;
+      }
+
+      // --- Alerts ---
+      case kSysIpcClientAlert: {
+        Thread* peer = t->ipc_peer;
+        if (peer == nullptr) {
+          k.Finish(t, kFlukeErrNotConnected);
+          co_return KStatus::kOk;
+        }
+        if (BlockedInIpc(peer) && (IpcStance(peer) == IpcStance_kReceiving ||
+                                   peer->regs.gpr[kRegA] == kSysIpcServerAlertWait)) {
+          CompleteBlocked(k, peer, peer->regs.gpr[kRegA] == kSysIpcServerAlertWait
+                                       ? kFlukeOk
+                                       : kFlukeErrInterrupted);
+        } else {
+          peer->ipc_alerted = true;
+        }
+        k.Finish(t, kFlukeOk);
+        co_return KStatus::kOk;
+      }
+      case kSysIpcServerAlertWait: {
+        if (t->ipc_alerted) {
+          t->ipc_alerted = false;
+          k.Finish(t, kFlukeOk);
+          co_return KStatus::kOk;
+        }
+        t->block_kind = BlockKind::kIpcWait;
+        co_await Block(ctx, nullptr);
+        break;  // re-check on resume/restart
+      }
+
+      // --- Oneway datagrams (connect_oneway_send is a fused
+      //     connect+send+disconnect, i.e. exactly a datagram) ---
+      case kSysIpcClientOnewaySend:
+      case kSysIpcClientConnectOnewaySend: {
+        KStatus s = co_await DoOnewaySend(ctx);
+        k.Finish(t, ToUserError(s));
+        co_return KStatus::kOk;
+      }
+
+      // --- User-initiated exception IPC to the space keeper ---
+      case kSysIpcExceptionSend: {
+        Space* space = t->space;
+        if (space->keeper == nullptr || !space->keeper->alive()) {
+          k.Finish(t, kFlukeErrNoPager);
+          co_return KStatus::kOk;
+        }
+        k.Charge(k.costs.fault_msg_build);
+        KernelMsg msg;
+        msg.words[kFaultMsgKind] = 2;  // user exception
+        msg.words[kFaultMsgThread] = static_cast<uint32_t>(t->id());
+        msg.words[kFaultMsgAddr] = t->regs.gpr[kRegC];
+        msg.words[kFaultMsgWrite] = t->regs.gpr[kRegD];
+        msg.len = kFaultMsgWords;
+        msg.victim = t;
+        msg.badge = space->keeper->badge;
+        t->fault_deliver_time = k.clock.now();
+        t->fault_count_ipc = false;
+        t->fault_from_exception_send = true;
+        t->block_kind = BlockKind::kFaultWait;
+        k.DeliverKernelMsg(space->keeper, msg);
+        co_await Block(ctx, nullptr);
+        // The keeper's reply completes this op via CompleteFaultWait (which
+        // recognizes exception_send); if we resume here (process model after
+        // a spurious wake), just finish.
+        k.Finish(t, kFlukeOk);
+        co_return KStatus::kOk;
+      }
+
+      default:
+        k.Finish(t, kFlukeErrBadArgument);
+        co_return KStatus::kOk;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Short disconnect entrypoints.
+// ---------------------------------------------------------------------------
+
+KTask SysIpcClientDisconnect(SysCtx& ctx) {
+  Kernel& k = *ctx.kernel;
+  k.Charge(k.costs.short_body);
+  IpcDisconnect(k, ctx.thread);
+  k.Finish(ctx.thread, kFlukeOk);
+  co_return KStatus::kOk;
+}
+
+KTask SysIpcServerDisconnect(SysCtx& ctx) {
+  Kernel& k = *ctx.kernel;
+  k.Charge(k.costs.short_body);
+  Thread* t = ctx.thread;
+  if (t->exception_victim != nullptr) {
+    // Dropping a fault without remedy: fail the victim.
+    Thread* victim = t->exception_victim;
+    t->exception_victim = nullptr;
+    if (victim->run_state == ThreadRun::kBlocked &&
+        victim->block_kind == BlockKind::kFaultWait) {
+      victim->block_kind = BlockKind::kNone;
+      k.Finish(victim, kFlukeErrNoPager);
+      k.MakeRunnable(victim);
+    }
+  }
+  IpcDisconnect(k, t);
+  k.Finish(t, kFlukeOk);
+  co_return KStatus::kOk;
+}
+
+}  // namespace fluke

@@ -1,0 +1,63 @@
+// Fluke IPC: reliable, connection-oriented, fully restartable.
+//
+// The 21 IPC entrypoints are faces of one engine. A thread's current IPC
+// stance (sending with C/D naming the buffer, or receiving with SI/DI) is
+// derivable purely from its user registers -- specifically the entrypoint
+// number in register A -- so a blocked thread's exported state is complete,
+// and restarting an interrupted operation is just re-executing the
+// (possibly rewritten) entrypoint. Multi-stage operations commit stage
+// transitions by rewriting register A in place, exactly as the paper
+// describes for ipc_client_connect_send -> ipc_client_send.
+//
+// The engine runs in whichever of the two connected threads is on-CPU; it
+// advances BOTH threads' parameter registers at each commit, so a blocked
+// peer's exported state stays current ("both threads are left in the
+// well-defined state of having transferred some data and about to start an
+// IPC to transfer more"). Completion of a blocked peer's stage is performed
+// by mutating its thread state without running it -- the "continuation
+// recognition" optimization the paper inherits from Draves et al., which an
+// atomic API gets for free.
+
+#ifndef SRC_KERN_IPC_H_
+#define SRC_KERN_IPC_H_
+
+#include <cstdint>
+
+#include "src/kern/fwd.h"
+#include "src/kern/ktask.h"
+#include "src/kern/objects.h"
+
+namespace fluke {
+
+enum IpcStanceKind : int {
+  IpcStance_kNone = 0,
+  IpcStance_kConnecting,  // register A names a connect-phase entrypoint
+  IpcStance_kSending,     // register A names a send-phase entrypoint
+  IpcStance_kReceiving,   // register A names a receive-phase entrypoint
+  IpcStance_kWaiting,     // register A names a wait_receive-style entrypoint
+};
+
+// The stance encoded in a thread's current entrypoint register.
+IpcStanceKind IpcStance(const Thread* t);
+
+// What a send-phase entrypoint's register A becomes once its send stage
+// completes; 0 means the operation finishes outright. `disconnect` is set
+// for the *_wait_receive variants that drop the connection after replying.
+uint32_t SendSuccessor(uint32_t sys, bool* disconnect);
+
+// The unified engine; registered as the handler for every multi-stage IPC
+// entrypoint. Interprets the thread's register A (which stage commits
+// rewrite in place) until the operation completes or blocks.
+KTask SysIpcEngine(SysCtx& ctx);
+
+// Short (non-blocking) IPC entrypoints.
+KTask SysIpcClientDisconnect(SysCtx& ctx);
+KTask SysIpcServerDisconnect(SysCtx& ctx);
+
+// Breaks `t`'s connection; a peer blocked mid-IPC completes with
+// kFlukeErrDisconnected.
+void IpcDisconnect(Kernel& k, Thread* t);
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_IPC_H_

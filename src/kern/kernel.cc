@@ -1,0 +1,679 @@
+#include "src/kern/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/base/log.h"
+#include "src/kern/ipc.h"
+
+namespace fluke {
+
+Kernel::Kernel(const KernelConfig& config, ProgramRegistry* program_registry)
+    : cfg(config), rng(config.rng_seed), programs(program_registry) {
+  assert(cfg.Valid() && "invalid kernel configuration (FP requires process model)");
+  cpus_.resize(cfg.num_cpus);
+  for (int i = 0; i < cfg.num_cpus; ++i) {
+    cpus_[i].id = i;
+  }
+  timer.Start(cfg.tick_ns);
+}
+
+Kernel::~Kernel() {
+  // Destroy retained kernel activations before the thread objects go away.
+  for (auto& t : threads_) {
+    SetFrameAccounting(this, t.get());
+    t->op.Reset();
+  }
+  SetFrameAccounting(nullptr, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Setup API.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Space> Kernel::CreateSpace(const std::string& name) {
+  auto s = std::make_shared<Space>(NextObjId(), &phys);
+  s->set_name(name);
+  spaces_.push_back(s);
+  s->self_handle = s->Install(s);  // space_self
+  return s;
+}
+
+Thread* Kernel::CreateThread(Space* space, ProgramRef program, int priority) {
+  if (program == nullptr) {
+    program = space->program;
+  }
+  auto t = std::make_shared<Thread>(NextObjId(), space, std::move(program));
+  t->priority = priority;
+  t->slice_ticks = cfg.timeslice_ticks;
+  t->ctx = SysCtx{this, t.get()};
+  threads_.push_back(t);
+  space->threads.push_back(t.get());
+  t->self_handle = space->Install(t);  // thread_self
+  return t.get();
+}
+
+void Kernel::StartThread(Thread* t) {
+  assert(t->run_state == ThreadRun::kEmbryo || t->run_state == ThreadRun::kStopped);
+  MakeRunnable(t);
+  t->wake_time = 0;  // thread startup is not a preemption-latency event
+}
+
+std::shared_ptr<Mutex> Kernel::NewMutex() {
+  auto m = std::make_shared<Mutex>(NextObjId());
+  anchors_.push_back(m);
+  return m;
+}
+
+std::shared_ptr<Cond> Kernel::NewCond() {
+  auto c = std::make_shared<Cond>(NextObjId());
+  anchors_.push_back(c);
+  return c;
+}
+
+std::shared_ptr<Port> Kernel::NewPort(uint32_t badge) {
+  auto p = std::make_shared<Port>(NextObjId());
+  p->badge = badge;
+  anchors_.push_back(p);
+  return p;
+}
+
+std::shared_ptr<Portset> Kernel::NewPortset() {
+  auto p = std::make_shared<Portset>(NextObjId());
+  anchors_.push_back(p);
+  return p;
+}
+
+std::shared_ptr<Region> Kernel::NewRegion(Space* source, uint32_t base, uint32_t size,
+                                          uint32_t prot) {
+  auto r = std::make_shared<Region>(NextObjId());
+  r->source = source;
+  r->base = base;
+  r->size = size;
+  r->prot = prot;
+  source->regions.push_back(r.get());
+  anchors_.push_back(r);
+  return r;
+}
+
+std::shared_ptr<Mapping> Kernel::NewMapping(Space* dest, uint32_t base, Region* src,
+                                            uint32_t offset, uint32_t size, uint32_t prot) {
+  auto m = std::make_shared<Mapping>(NextObjId());
+  m->dest = dest;
+  m->base = base;
+  m->src = src;
+  m->offset = offset;
+  m->size = size;
+  m->prot = prot;
+  dest->AddMapping(m.get());
+  anchors_.push_back(m);
+  return m;
+}
+
+std::shared_ptr<Reference> Kernel::NewReference(std::shared_ptr<KernelObject> target) {
+  auto r = std::make_shared<Reference>(NextObjId());
+  r->target = std::move(target);
+  anchors_.push_back(r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling primitives.
+// ---------------------------------------------------------------------------
+
+void Kernel::MakeRunnable(Thread* t) {
+  assert(!t->rq_node.linked());
+  ChargeFpLocks();  // run-queue lock
+  t->run_state = ThreadRun::kRunnable;
+  t->wake_time = clock.now();
+  runq_[t->priority].PushBack(t);
+}
+
+void Kernel::WakeOne(WaitQueue* q) {
+  Thread* t = q->Dequeue();
+  if (t != nullptr) {
+    FinishWake(this, t);
+  }
+}
+
+void Kernel::WakeAll(WaitQueue* q) {
+  while (!q->empty()) {
+    WakeOne(q);
+  }
+}
+
+// Shared wake bookkeeping (free function so ipc.cc can reuse it).
+void FinishWake(Kernel* k, Thread* t) {
+  k->trace.Record(k->clock.now(), TraceKind::kWake, t->id());
+  t->block_kind = BlockKind::kNone;
+  if (k->cfg.model == ExecModel::kInterrupt && !t->op.valid()) {
+    // The frame was destroyed at block time; the restart entrypoint in the
+    // thread's registers will re-enter the syscall.
+    t->restart_pending = true;
+  }
+  k->Charge(k->costs.wake);
+  k->MakeRunnable(t);
+}
+
+bool Kernel::PreemptPending(const Thread* t) const {
+  for (int p = t->priority + 1; p < kNumPrio; ++p) {
+    if (!runq_[p].empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Kernel::CancelOp(Thread* t) {
+  assert(t->run_state != ThreadRun::kRunning && "cannot cancel a thread on-CPU");
+  if (t->waiting_on != nullptr) {
+    t->waiting_on->Remove(t);
+  }
+  if (t->queued_on_port != nullptr) {
+    t->queued_on_port->waiting_clients.Remove(t);
+    t->queued_on_port = nullptr;
+  }
+  UncountBlockedBytes(t);
+  if (t->op.valid()) {
+    SetFrameAccounting(this, t);
+    t->op.Reset();
+  }
+  t->resume_point = {};
+  t->block_kind = BlockKind::kNone;
+  t->restart_pending = true;
+}
+
+// ---------------------------------------------------------------------------
+// Thread state export (the atomic API's promptness + correctness).
+// ---------------------------------------------------------------------------
+
+bool Kernel::GetThreadState(Thread* t, ThreadState* out) const {
+  if (t->run_state == ThreadRun::kRunning) {
+    // Only reachable from host code on an MP configuration; a thread never
+    // examines itself through this path.
+    return false;
+  }
+  // A thread that is not running is always at a commit point: handlers
+  // commit a consistent restart state to the registers before every block.
+  // Extraction is therefore prompt (no waiting) and correct (the registers
+  // fully describe the suspended computation).
+  out->regs = t->regs;
+  out->priority = static_cast<uint32_t>(t->priority);
+  return true;
+}
+
+bool Kernel::SetThreadState(Thread* t, const ThreadState& s) {
+  if (t->run_state == ThreadRun::kRunning || t->run_state == ThreadRun::kDead) {
+    return false;
+  }
+  if (s.priority > 7) {
+    return false;
+  }
+  if (t->run_state == ThreadRun::kBlocked) {
+    // Transparent rollback: the operation's restart point is already in the
+    // registers we are about to replace.
+    CancelOp(t);
+    t->run_state = ThreadRun::kStopped;
+  } else if (t->run_state == ThreadRun::kRunnable) {
+    runq_[t->priority].Remove(t);
+    // An FP-preempted thread may hold a retained kernel activation; roll it
+    // back (its registers are at the last commit point).
+    CancelOpQueuesOnly(t);
+    t->run_state = ThreadRun::kStopped;
+  }
+  t->regs = s.regs;
+  const int new_prio = static_cast<int>(s.priority);
+  t->priority = new_prio;
+  return true;
+}
+
+void Kernel::InterruptThread(Thread* t) {
+  if (t->run_state != ThreadRun::kBlocked) {
+    return;  // nothing to interrupt; trivial/short ops are atomic
+  }
+  CancelOp(t);
+  // The interrupted operation completes with an error rather than silently
+  // restarting: registers are at the restart point, so just finish there.
+  Finish(t, kFlukeErrInterrupted);
+  MakeRunnable(t);
+}
+
+void Kernel::StopThread(Thread* t) {
+  switch (t->run_state) {
+    case ThreadRun::kRunnable:
+      runq_[t->priority].Remove(t);
+      CancelOpQueuesOnly(t);  // roll back any FP-preempted activation
+      t->run_state = ThreadRun::kStopped;
+      break;
+    case ThreadRun::kBlocked:
+      CancelOp(t);
+      t->run_state = ThreadRun::kStopped;
+      break;
+    case ThreadRun::kEmbryo:
+    case ThreadRun::kStopped:
+    case ThreadRun::kDead:
+      break;
+    case ThreadRun::kRunning:
+      assert(false && "cannot stop a thread on-CPU");
+      break;
+  }
+}
+
+void Kernel::ResumeThread(Thread* t) {
+  if (t->run_state == ThreadRun::kStopped || t->run_state == ThreadRun::kEmbryo) {
+    MakeRunnable(t);
+  }
+}
+
+void Kernel::ThreadExit(Thread* t, uint32_t code) {
+  trace.Record(clock.now(), TraceKind::kThreadExit, t->id(), code);
+  t->exit_code = code;
+  DetachFromIpc(t);
+  if (t->join_wait != nullptr) {
+    WakeAll(t->join_wait.get());
+  }
+  t->run_state = ThreadRun::kDead;
+  t->MarkDead();
+}
+
+void Kernel::DestroyThread(Thread* t) {
+  if (t->run_state == ThreadRun::kDead) {
+    return;
+  }
+  switch (t->run_state) {
+    case ThreadRun::kRunnable:
+      runq_[t->priority].Remove(t);
+      CancelOpQueuesOnly(t);
+      break;
+    case ThreadRun::kBlocked:
+      CancelOp(t);
+      break;
+    default:
+      break;
+  }
+  ThreadExit(t, 0);
+}
+
+void Kernel::DetachFromIpc(Thread* t) {
+  if (t->queued_on_port != nullptr) {
+    t->queued_on_port->waiting_clients.Remove(t);
+    t->queued_on_port = nullptr;
+  }
+  if (t->ipc_peer != nullptr) {
+    Thread* peer = t->ipc_peer;
+    peer->ipc_peer = nullptr;
+    t->ipc_peer = nullptr;
+    // A peer blocked mid-IPC sees the connection die.
+    if (peer->run_state == ThreadRun::kBlocked &&
+        (peer->block_kind == BlockKind::kIpcWait ||
+         peer->block_kind == BlockKind::kWaitQueue) &&
+        IpcStance(peer) != IpcStance_kNone) {
+      CancelOp(peer);
+      Finish(peer, kFlukeErrDisconnected);
+      MakeRunnable(peer);
+    }
+  }
+  if (t->exception_victim != nullptr) {
+    // A manager died while holding a fault: the victim can never be
+    // remedied; fail it.
+    Thread* v = t->exception_victim;
+    t->exception_victim = nullptr;
+    if (v->run_state == ThreadRun::kBlocked && v->block_kind == BlockKind::kFaultWait) {
+      v->block_kind = BlockKind::kNone;
+      Finish(v, kFlukeErrNoPager);
+      MakeRunnable(v);
+    }
+  }
+}
+
+void Kernel::DestroyObject(KernelObject* obj) {
+  if (!obj->alive()) {
+    return;
+  }
+  switch (obj->type()) {
+    case ObjType::kThread:
+      DestroyThread(static_cast<Thread*>(obj));
+      return;  // DestroyThread marks dead
+    case ObjType::kMutex: {
+      auto* m = static_cast<Mutex*>(obj);
+      while (!m->waiters.empty()) {
+        Thread* t = m->waiters.Dequeue();
+        CancelOpQueuesOnly(t);
+        Finish(t, kFlukeErrDead);
+        MakeRunnable(t);
+      }
+      break;
+    }
+    case ObjType::kCond: {
+      auto* c = static_cast<Cond*>(obj);
+      while (!c->waiters.empty()) {
+        Thread* t = c->waiters.Dequeue();
+        CancelOpQueuesOnly(t);
+        // The committed restart point is mutex_lock; waking the thread sends
+        // it there -- a (legal) spurious wakeup.
+        MakeRunnable(t);
+        if (cfg.model == ExecModel::kInterrupt && !t->op.valid()) {
+          t->restart_pending = true;
+        }
+      }
+      break;
+    }
+    case ObjType::kPort: {
+      auto* p = static_cast<Port*>(obj);
+      while (!p->servers.empty()) {
+        Thread* t = p->servers.Dequeue();
+        CancelOpQueuesOnly(t);
+        Finish(t, kFlukeErrDead);
+        MakeRunnable(t);
+      }
+      while (Thread* c = p->waiting_clients.PopFront()) {
+        c->queued_on_port = nullptr;
+        CancelOpQueuesOnly(c);
+        Finish(c, kFlukeErrDead);
+        MakeRunnable(c);
+      }
+      if (p->member_of != nullptr) {
+        auto& v = p->member_of->ports;
+        for (size_t i = 0; i < v.size(); ++i) {
+          if (v[i] == p) {
+            v.erase(v.begin() + i);
+            break;
+          }
+        }
+        p->member_of = nullptr;
+      }
+      break;
+    }
+    case ObjType::kPortset: {
+      auto* ps = static_cast<Portset*>(obj);
+      while (!ps->servers.empty()) {
+        Thread* t = ps->servers.Dequeue();
+        CancelOpQueuesOnly(t);
+        Finish(t, kFlukeErrDead);
+        MakeRunnable(t);
+      }
+      for (Port* p : ps->ports) {
+        p->member_of = nullptr;
+      }
+      ps->ports.clear();
+      break;
+    }
+    case ObjType::kMapping: {
+      auto* m = static_cast<Mapping*>(obj);
+      if (m->dest != nullptr) {
+        m->dest->RemoveMapping(m);
+      }
+      break;
+    }
+    case ObjType::kRegion: {
+      auto* r = static_cast<Region*>(obj);
+      if (r->source != nullptr) {
+        auto& v = r->source->regions;
+        for (size_t i = 0; i < v.size(); ++i) {
+          if (v[i] == r) {
+            v.erase(v.begin() + i);
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case ObjType::kReference:
+    case ObjType::kSpace:
+      break;
+  }
+  obj->MarkDead();
+}
+
+// Cancels a thread's retained frame without touching wait queues (the caller
+// already dequeued it).
+void Kernel::CancelOpQueuesOnly(Thread* t, bool counts_as_restart) {
+  UncountBlockedBytes(t);
+  if (t->op.valid()) {
+    SetFrameAccounting(this, t);
+    t->op.Reset();
+  }
+  t->resume_point = {};
+  t->block_kind = BlockKind::kNone;
+  if (counts_as_restart) {
+    t->restart_pending = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-message delivery (exception IPC, oneway sends).
+// ---------------------------------------------------------------------------
+
+void Kernel::DeliverKernelMsg(Port* port, const KernelMsg& msg) {
+  port->kmsgs.push_back(msg);
+  WakeServer(port);
+  WakeAll(&port->pollers);
+  if (port->member_of != nullptr) {
+    WakeAll(&port->member_of->pollers);
+  }
+}
+
+Thread* Kernel::WakeServer(Port* port) {
+  Thread* t = port->servers.Dequeue();
+  if (t == nullptr && port->member_of != nullptr) {
+    t = port->member_of->servers.Dequeue();
+  }
+  if (t != nullptr) {
+    FinishWake(this, t);
+  }
+  return t;
+}
+
+void Kernel::CompleteFaultWait(Thread* victim) {
+  if (victim->run_state != ThreadRun::kBlocked || victim->block_kind != BlockKind::kFaultWait) {
+    return;  // victim was interrupted/destroyed meanwhile
+  }
+  // Hard-fault remedy accounting (Table 3): delivery -> reply duration.
+  const Time remedy = clock.now() - victim->fault_deliver_time;
+  stats.remedy_hard_ns += remedy;
+  if (victim->fault_count_ipc) {
+    auto& fc = stats.ipc_faults[victim->fault_side][kFaultKindHard];
+    ++fc.count;
+    fc.remedy_ns += remedy;
+  }
+  victim->fault_count_ipc = false;
+  if (victim->fault_from_exception_send) {
+    // A user-initiated exception IPC completes when the keeper replies;
+    // restarting it would re-send the exception.
+    victim->fault_from_exception_send = false;
+    CancelOpQueuesOnly(victim, /*counts_as_restart=*/false);
+    Finish(victim, kFlukeOk);
+    MakeRunnable(victim);
+    return;
+  }
+  FinishWake(this, victim);
+}
+
+// ---------------------------------------------------------------------------
+// Frame accounting.
+// ---------------------------------------------------------------------------
+
+void Kernel::AccountFrameAlloc(Thread* t, size_t bytes) {
+  ++stats.frames_allocated;
+  stats.frame_bytes_allocated += bytes;
+  stats.frame_bytes_live += bytes;
+  if (stats.frame_bytes_live > stats.frame_bytes_live_peak) {
+    stats.frame_bytes_live_peak = stats.frame_bytes_live;
+  }
+  if (t != nullptr) {
+    t->kstack_bytes += bytes;
+    if (t->kstack_bytes > t->kstack_bytes_peak) {
+      t->kstack_bytes_peak = t->kstack_bytes;
+    }
+  }
+}
+
+void Kernel::AccountFrameFree(Thread* t, size_t bytes) {
+  stats.frame_bytes_live -= bytes;
+  if (t != nullptr) {
+    t->kstack_bytes -= bytes;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run control.
+// ---------------------------------------------------------------------------
+
+size_t Kernel::AliveThreads() const {
+  size_t n = 0;
+  for (const auto& t : threads_) {
+    if (t->run_state != ThreadRun::kDead) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool Kernel::AnyRunnable() const {
+  for (int p = 0; p < kNumPrio; ++p) {
+    if (!runq_[p].empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Kernel::RunUntilThreadDone(Thread* t, Time max_time) {
+  const Time deadline = clock.now() + max_time;
+  while (clock.now() < deadline) {
+    if (t->run_state == ThreadRun::kDead || t->run_state == ThreadRun::kStopped) {
+      return true;
+    }
+    Run(std::min(deadline, clock.now() + 10 * kNsPerMs));
+  }
+  return t->run_state == ThreadRun::kDead || t->run_state == ThreadRun::kStopped;
+}
+
+bool Kernel::RunUntilQuiescent(Time max_time) {
+  const Time deadline = clock.now() + max_time;
+  while (clock.now() < deadline) {
+    bool busy = AnyRunnable();
+    if (!busy) {
+      for (const auto& t : threads_) {
+        if (t->run_state == ThreadRun::kBlocked) {
+          busy = true;
+          break;
+        }
+      }
+    }
+    if (!busy) {
+      return true;
+    }
+    Run(std::min(deadline, clock.now() + 10 * kNsPerMs));
+  }
+  // Quiesced exactly at the deadline?
+  if (AnyRunnable()) {
+    return false;
+  }
+  for (const auto& t : threads_) {
+    if (t->run_state == ThreadRun::kBlocked) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FP kernel locking.
+// ---------------------------------------------------------------------------
+
+KLockGuard::KLockGuard(SysCtx& ctx) : ctx_(ctx) {
+  Kernel* k = ctx_.kernel;
+  if (k->cfg.preempt == PreemptMode::kFull) {
+    k->Charge(k->costs.fp_lock);
+    charged_ = true;
+  }
+}
+
+KLockGuard::~KLockGuard() {
+  if (charged_) {
+    Kernel* k = ctx_.kernel;
+    k->Charge(k->costs.fp_unlock);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault resolution on behalf of a syscall (IPC copies, state buffers...).
+// ---------------------------------------------------------------------------
+
+KTask ResolveFault(SysCtx& ctx, Space* space, uint32_t addr, bool is_write, FaultSide side,
+                   bool count_ipc, Time rollback_ns) {
+  Kernel& k = *ctx.kernel;
+  Thread* t = ctx.thread;
+  ++k.stats.syscall_faults;
+  k.Charge(k.costs.fault_enter);
+  k.ChargeFpLocks(2);  // pmap + mapping-hierarchy locks
+  const Time t0 = k.clock.now();
+  k.stats.rollback_ns += rollback_ns;
+
+  SoftFaultResult r = space->TryResolveSoft(addr, is_write);
+  if (r.resolved) {
+    uint64_t cost = k.costs.soft_fault_walk_per_level * static_cast<uint64_t>(r.levels_walked + 1) +
+                    k.costs.pte_install;
+    if (r.zero_filled) {
+      cost += k.costs.zero_fill;
+    }
+    co_await Work(ctx, cost);
+    ++k.stats.soft_faults;
+    const Time remedy = k.clock.now() - t0;
+    k.stats.remedy_soft_ns += remedy;
+    if (count_ipc) {
+      auto& fc = k.stats.ipc_faults[side][kFaultKindSoft];
+      ++fc.count;
+      fc.remedy_ns += remedy;
+      fc.rollback_ns += rollback_ns;
+    }
+    co_return KStatus::kOk;
+  }
+
+  if (space->keeper == nullptr || !space->keeper->alive()) {
+    co_return KStatus::kNoPager;
+  }
+  if (count_ipc) {
+    // Hard-fault remedy time is metered at reply (CompleteFaultWait); the
+    // rollback is known now.
+    k.stats.ipc_faults[side][kFaultKindHard].rollback_ns += rollback_ns;
+  }
+
+  ++k.stats.hard_faults;
+  k.Charge(k.costs.fault_msg_build);
+  KernelMsg msg;
+  msg.words[kFaultMsgKind] = kFaultKindPage;
+  msg.words[kFaultMsgThread] = static_cast<uint32_t>(t->id());
+  msg.words[kFaultMsgAddr] = addr;
+  msg.words[kFaultMsgWrite] = is_write ? 1u : 0u;
+  msg.len = kFaultMsgWords;
+  msg.victim = t;
+  msg.badge = space->keeper->badge;
+
+  t->fault_addr = addr;
+  t->fault_write = is_write;
+  t->fault_side = side;
+  t->fault_count_ipc = count_ipc;
+  t->fault_deliver_time = k.clock.now();
+  t->block_kind = BlockKind::kFaultWait;
+  k.DeliverKernelMsg(space->keeper, msg);
+
+  co_await Block(ctx, nullptr);
+  // Process model resumes here once the keeper replies (the interrupt model
+  // destroyed this frame and will restart the whole operation instead).
+  co_return KStatus::kOk;
+}
+
+KTask WorkChunked(SysCtx& ctx, uint64_t cycles) {
+  Kernel& k = *ctx.kernel;
+  const uint64_t quantum = k.costs.fp_quantum;
+  while (cycles > 0) {
+    const uint64_t step = cycles < quantum ? cycles : quantum;
+    co_await Work(ctx, step);
+    cycles -= step;
+  }
+  co_return KStatus::kOk;
+}
+
+}  // namespace fluke

@@ -1,0 +1,304 @@
+// The Fluke kernel.
+//
+// One Kernel instance is one machine: virtual clock, devices, physical
+// memory, spaces, threads and the dispatcher. The host program ("boot
+// loader") creates spaces/threads/objects through the setup API, then calls
+// Run()/RunUntilQuiescent() to execute.
+//
+// Handlers (syscalls.cc, ipc.cc) call back into the kernel through the
+// public "handler interface" section below; the dispatcher (dispatch.cc)
+// implements the execution-model and preemption policies described in
+// DESIGN.md.
+
+#ifndef SRC_KERN_KERNEL_H_
+#define SRC_KERN_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/hal/clock.h"
+#include "src/hal/devices.h"
+#include "src/hal/irq.h"
+#include "src/kern/config.h"
+#include "src/kern/costs.h"
+#include "src/kern/objects.h"
+#include "src/kern/space.h"
+#include "src/kern/state.h"
+#include "src/kern/stats.h"
+#include "src/kern/trace.h"
+#include "src/mem/phys.h"
+
+namespace fluke {
+
+struct Cpu {
+  int id = 0;
+  Thread* current = nullptr;
+  Thread* last = nullptr;  // previous thread: context-switch cost accounting
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config, ProgramRegistry* programs = nullptr);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // -------------------------------------------------------------------------
+  // Host-side setup API (the "boot loader").
+  // -------------------------------------------------------------------------
+  std::shared_ptr<Space> CreateSpace(const std::string& name);
+  // Creates a thread in `space` running `program` (or the space's default
+  // program when null). The thread starts in the embryo state.
+  Thread* CreateThread(Space* space, ProgramRef program = nullptr, int priority = 4);
+  void StartThread(Thread* t);  // embryo/stopped -> runnable
+
+  std::shared_ptr<Mutex> NewMutex();
+  std::shared_ptr<Cond> NewCond();
+  std::shared_ptr<Port> NewPort(uint32_t badge);
+  std::shared_ptr<Portset> NewPortset();
+  std::shared_ptr<Region> NewRegion(Space* source, uint32_t base, uint32_t size, uint32_t prot);
+  std::shared_ptr<Mapping> NewMapping(Space* dest, uint32_t base, Region* src, uint32_t offset,
+                                      uint32_t size, uint32_t prot);
+  std::shared_ptr<Reference> NewReference(std::shared_ptr<KernelObject> target);
+
+  // Installs an object into a space's handle table.
+  Handle Install(Space* space, std::shared_ptr<KernelObject> obj) {
+    return space->Install(std::move(obj));
+  }
+
+  // -------------------------------------------------------------------------
+  // Execution.
+  // -------------------------------------------------------------------------
+  // Runs virtual time forward until `until`. Returns early if no thread can
+  // ever run again (no runnables, no blocked-on-device, no pending events).
+  void Run(Time until);
+  // Runs until every thread is dead or stopped, or until max_time. Returns
+  // true if the system quiesced.
+  bool RunUntilQuiescent(Time max_time);
+  // Runs until `t` is dead or stopped (useful when daemon threads -- e.g. a
+  // memory manager -- never exit). Returns true on success.
+  bool RunUntilThreadDone(Thread* t, Time max_time);
+
+  size_t AliveThreads() const;
+  bool AnyRunnable() const;
+
+  // -------------------------------------------------------------------------
+  // Thread state export / control (the atomic API; also reachable from user
+  // mode through the thread_* syscalls).
+  // -------------------------------------------------------------------------
+  // Prompt + correct state extraction: never blocks, never disturbs the
+  // target. Valid whenever the target is not currently executing on a CPU.
+  bool GetThreadState(Thread* t, ThreadState* out) const;
+  // Replaces the target's state. If the target is blocked, its current
+  // operation is cancelled (transparent rollback: the registers being
+  // replaced were already a committed restart point).
+  bool SetThreadState(Thread* t, const ThreadState& s);
+  // Breaks a thread out of a long/multi-stage wait: the pending operation
+  // completes with kFlukeErrInterrupted.
+  void InterruptThread(Thread* t);
+  void StopThread(Thread* t);    // rollback + suspend
+  void ResumeThread(Thread* t);  // stopped -> runnable
+  void DestroyThread(Thread* t);
+  void DestroyObject(KernelObject* obj);
+
+  // -------------------------------------------------------------------------
+  // Handler interface (used by syscalls.cc / ipc.cc / dispatch.cc).
+  // -------------------------------------------------------------------------
+  void Charge(uint64_t cycles) { clock.Advance(Cycles(cycles)); }
+  void ChargeNs(Time ns) { clock.Advance(ns); }
+
+  // Charges `pairs` blocking-lock acquire/release pairs in FP configurations
+  // (full preemptibility replaces spin-protected fast paths with blocking
+  // mutexes: run queues, wait queues, pmaps, objects -- paper section 5.2).
+  // Free in NP/PP, which need no kernel locking.
+  void ChargeFpLocks(int pairs = 1) {
+    if (cfg.preempt == PreemptMode::kFull) {
+      Charge(static_cast<uint64_t>(pairs) * (costs.fp_lock + costs.fp_unlock));
+    }
+  }
+
+  // Completes the current syscall: result into register A, PC advanced.
+  void Finish(Thread* t, uint32_t err) {
+    t->regs.gpr[kRegA] = err;
+    ++t->regs.pc;
+  }
+  void FinishWith(Thread* t, uint32_t err, uint32_t b_value) {
+    t->regs.gpr[kRegB] = b_value;
+    Finish(t, err);
+  }
+
+  // Scheduling.
+  void MakeRunnable(Thread* t);
+  void WakeOne(WaitQueue* q);
+  void WakeAll(WaitQueue* q);
+  // True when a higher-priority thread than `t` is runnable (or t's slice
+  // expired) -- consulted by preemption points and FP work quanta.
+  bool PreemptPending(const Thread* t) const;
+
+  // Polls hardware: fires due events and dispatches pending interrupts.
+  // NP kernels only do this between dispatches (interrupts stay pending
+  // through whole kernel operations); PP kernels do it at their explicit
+  // preemption points; FP kernels at every work quantum.
+  void PollInterrupts() {
+    events.RunDue(clock.now());
+    DispatchIrqs();
+  }
+
+  // Cancels a blocked/stopped thread's in-progress operation: removes it
+  // from its wait queue and destroys any retained kernel stack. The
+  // thread's registers -- committed before it blocked -- are the rollback
+  // state. No-op if there is no operation in progress.
+  void CancelOp(Thread* t);
+  // Like CancelOp but assumes the caller already dequeued the thread.
+  // `counts_as_restart` is false when the operation is being *completed* on
+  // the thread's behalf rather than rolled back for a later restart.
+  void CancelOpQueuesOnly(Thread* t, bool counts_as_restart = true);
+
+  // Completes a blocked (already-dequeued) thread's operation on its behalf
+  // by mutating its state -- "continuation recognition" -- and wakes it.
+  void CompleteBlockedOp(Thread* t, uint32_t err) {
+    CancelOpQueuesOnly(t, /*counts_as_restart=*/false);
+    Finish(t, err);
+    MakeRunnable(t);
+  }
+
+  // Delivers a kernel-synthesized message (page fault, alert, oneway send)
+  // to a port, waking a server if one is waiting.
+  void DeliverKernelMsg(Port* port, const KernelMsg& msg);
+
+  // Wakes any server blocked in receive on `port` (directly or through its
+  // portset). Returns the woken thread, or null.
+  Thread* WakeServer(Port* port);
+
+  // Exception-IPC completion: the keeper replied for `victim`.
+  void CompleteFaultWait(Thread* victim);
+
+  // The currently dispatching CPU (single dispatcher; MP interleaves).
+  Cpu& cur_cpu() { return cpus_[active_cpu_]; }
+  const Cpu& cur_cpu() const { return cpus_[active_cpu_]; }
+
+  // Kernel-stack byte accounting hooks (called from KTask's operator
+  // new/delete via the globals set around handler execution).
+  void AccountFrameAlloc(Thread* t, size_t bytes);
+  void AccountFrameFree(Thread* t, size_t bytes);
+
+  // -------------------------------------------------------------------------
+  // Components (public: this is a simulator; tests and benches inspect them).
+  // -------------------------------------------------------------------------
+  KernelConfig cfg;
+  CostModel costs;
+  VirtualClock clock;
+  EventQueue events;
+  InterruptController irqs;
+  TimerDevice timer{&clock, &events, &irqs};
+  DiskDevice disk{&clock, &events, &irqs};
+  ConsoleDevice console{&clock, &events, &irqs};
+  PhysMemory phys;
+  KernelStats stats;
+  TraceBuffer trace;
+  Rng rng;
+  ProgramRegistry* programs = nullptr;
+
+  // IRQ wait queues (irq_wait syscall) and sleepers.
+  WaitQueue irq_waiters[kNumIrqLines];
+  WaitQueue disk_waiters;
+  WaitQueue console_waiters;
+
+  const std::vector<std::shared_ptr<Thread>>& threads() const { return threads_; }
+  const std::vector<std::shared_ptr<Space>>& spaces() const { return spaces_; }
+
+  // Shared-ownership handle for a thread the kernel created.
+  std::shared_ptr<Thread> SharedThread(Thread* t) const {
+    for (const auto& p : threads_) {
+      if (p.get() == t) {
+        return p;
+      }
+    }
+    return nullptr;
+  }
+
+  // Dispatcher internals (dispatch.cc); public for white-box tests.
+  Thread* PickNext();
+  void RunThread(Thread* t, Time horizon);
+  void EnterSyscall(Thread* t);
+  void ResumeOp(Thread* t);
+  void HandleOpOutcome(Thread* t);
+  void HandleUserFault(Thread* t, uint32_t addr, bool is_write);
+  void HandlePseudoSyscall(Thread* t, uint32_t sys);
+  void ThreadExit(Thread* t, uint32_t code);
+  void DispatchIrqs();
+  void UncountBlockedBytes(Thread* t);
+
+  uint64_t NextObjId() { return next_obj_id_++; }
+
+ private:
+  void DetachFromIpc(Thread* t);
+
+  static constexpr int kNumPrio = 8;
+  IntrusiveList<Thread, &Thread::rq_node> runq_[kNumPrio];
+  std::vector<Cpu> cpus_;
+  int active_cpu_ = 0;
+
+  std::vector<std::shared_ptr<Space>> spaces_;
+  std::vector<std::shared_ptr<Thread>> threads_;
+  // Anchors objects created by the host until kernel teardown, so raw
+  // pointers held in kernel structures stay valid even if every handle to
+  // an object is dropped.
+  std::vector<std::shared_ptr<KernelObject>> anchors_;
+
+  uint64_t next_obj_id_ = 1;
+  uint32_t ticks_seen_ = 0;
+  uint64_t last_timer_raises_ = 0;
+  bool rotate_pending_ = false;
+  uint64_t blocked_frame_bytes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Awaitable factories used by handlers. (SysCtx is a plain struct shared
+// with ktask.h; these free functions keep handler code readable.)
+// ---------------------------------------------------------------------------
+
+// Wake bookkeeping shared by the kernel and the IPC engine: clears the block
+// state, flags an interrupt-model restart, and requeues the thread.
+void FinishWake(Kernel* k, Thread* t);
+
+inline BlockAwaiter Block(SysCtx& c, WaitQueue* q) { return BlockAwaiter{&c, q}; }
+inline WorkAwaiter Work(SysCtx& c, uint64_t cycles) { return WorkAwaiter{&c, cycles}; }
+inline PreemptPointAwaiter PreemptPoint(SysCtx& c) { return PreemptPointAwaiter{&c}; }
+
+inline UserRegisters& Regs(SysCtx& c) { return c.thread->regs; }
+
+// Resolves a fault at `addr` in `space` on behalf of the current thread:
+// soft faults are remedied inline (cost charged); hard faults are delivered
+// to the space's keeper and the thread blocks until the remedy. Returns
+// kOk when the caller should retry the access, or an error status when the
+// fault is unservable. `side` attributes the fault for Table 3 when it
+// occurs during an IPC transfer; `rollback_ns` is the virtual time of work
+// since the last commit point that the fault discards (it will be redone).
+KTask ResolveFault(SysCtx& ctx, Space* space, uint32_t addr, bool is_write, FaultSide side,
+                   bool count_ipc, Time rollback_ns);
+
+// Charges `cycles` of kernel work in preemptible quanta (FP).
+KTask WorkChunked(SysCtx& ctx, uint64_t cycles);
+
+// In FP configurations, models acquiring/releasing a blocking kernel lock
+// around an object operation; free in NP/PP (which need no kernel locking).
+class KLockGuard {
+ public:
+  explicit KLockGuard(SysCtx& ctx);
+  ~KLockGuard();
+  KLockGuard(const KLockGuard&) = delete;
+  KLockGuard& operator=(const KLockGuard&) = delete;
+
+ private:
+  SysCtx& ctx_;
+  bool charged_ = false;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_KERNEL_H_

@@ -1,0 +1,39 @@
+// Legacy (user-mode-in-kernel-space) thread support -- paper section 5.6.
+//
+// Fluke runs process-model legacy code (device drivers) as ordinary
+// user-mode threads whose address space aliases the kernel's. Privileged
+// operations are "exported from the core kernel as pseudo-system calls only
+// available to these special pseudo-kernel threads". These entrypoints are
+// deliberately NOT part of the public 107-call API of Table 1; a
+// non-legacy thread invoking them gets kFlukeErrProtection.
+
+#ifndef SRC_KERN_LEGACY_H_
+#define SRC_KERN_LEGACY_H_
+
+#include <cstdint>
+
+namespace fluke {
+
+inline constexpr uint32_t kPsysBase = 1000;
+
+enum PSys : uint32_t {
+  // disk_submit(B = sector, C = sectors, D = write flag) -> B = request id.
+  kPsysDiskSubmit = kPsysBase + 0,
+  // kstat(B = counter index) -> B = value. Counter indices below.
+  kPsysKstat = kPsysBase + 1,
+  // console_flush(): drops pending console input (driver reset path).
+  kPsysConsoleFlush = kPsysBase + 2,
+  kPsysMax,
+};
+
+enum KstatIndex : uint32_t {
+  kKstatContextSwitches = 0,
+  kKstatSyscalls = 1,
+  kKstatSoftFaults = 2,
+  kKstatHardFaults = 3,
+  kKstatAliveThreads = 4,
+};
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_LEGACY_H_

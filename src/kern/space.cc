@@ -1,0 +1,283 @@
+#include "src/kern/space.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fluke {
+
+Space::~Space() {
+  for (auto& [page, pte] : pages_) {
+    if (pte.frame != kInvalidFrame) {
+      phys_->Unref(pte.frame);
+    }
+  }
+}
+
+Handle Space::Install(std::shared_ptr<KernelObject> obj) {
+  // Reuse a dead slot if available; otherwise grow.
+  for (size_t i = 1; i < handles_.size(); ++i) {
+    if (handles_[i] == nullptr) {
+      handles_[i] = std::move(obj);
+      return static_cast<Handle>(i);
+    }
+  }
+  handles_.push_back(std::move(obj));
+  return static_cast<Handle>(handles_.size() - 1);
+}
+
+KernelObject* Space::Lookup(Handle h) const {
+  if (h == kInvalidHandle || h >= handles_.size() || handles_[h] == nullptr) {
+    return nullptr;
+  }
+  KernelObject* o = handles_[h].get();
+  return o->alive() ? o : nullptr;
+}
+
+KernelObject* Space::LookupAnyState(Handle h) const {
+  if (h == kInvalidHandle || h >= handles_.size()) {
+    return nullptr;
+  }
+  return handles_[h].get();
+}
+
+std::shared_ptr<KernelObject> Space::LookupShared(Handle h) const {
+  if (h == kInvalidHandle || h >= handles_.size() || handles_[h] == nullptr) {
+    return nullptr;
+  }
+  return handles_[h]->alive() ? handles_[h] : nullptr;
+}
+
+void Space::Uninstall(Handle h) {
+  if (h != kInvalidHandle && h < handles_.size()) {
+    handles_[h] = nullptr;
+  }
+}
+
+size_t Space::handle_count() const {
+  size_t n = 0;
+  for (const auto& p : handles_) {
+    if (p != nullptr) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool Space::PagePresent(uint32_t vaddr) const {
+  return pages_.count(vaddr >> kPageShift) != 0;
+}
+
+const Pte* Space::FindPte(uint32_t vaddr) const {
+  auto it = pages_.find(vaddr >> kPageShift);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+void Space::MapPage(uint32_t vaddr, FrameId frame, uint32_t prot) {
+  phys_->Ref(frame);  // ref first: replacing a page with itself must not free it
+  auto it = pages_.find(vaddr >> kPageShift);
+  if (it != pages_.end()) {
+    if (it->second.frame != kInvalidFrame) {
+      phys_->Unref(it->second.frame);
+    }
+    it->second = Pte{frame, prot};
+  } else {
+    pages_.emplace(vaddr >> kPageShift, Pte{frame, prot});
+  }
+}
+
+void Space::UnmapPage(uint32_t vaddr) {
+  auto it = pages_.find(vaddr >> kPageShift);
+  if (it != pages_.end()) {
+    if (it->second.frame != kInvalidFrame) {
+      phys_->Unref(it->second.frame);
+    }
+    pages_.erase(it);
+  }
+}
+
+FrameId Space::ProvidePage(uint32_t vaddr, uint32_t prot) {
+  FrameId f = phys_->Alloc();
+  if (f == kInvalidFrame) {
+    return kInvalidFrame;
+  }
+  MapPage(vaddr, f, prot);
+  phys_->Unref(f);  // MapPage took its own reference; drop Alloc's
+  return f;
+}
+
+void Space::RemoveMapping(Mapping* m) {
+  mappings_.erase(std::remove(mappings_.begin(), mappings_.end(), m), mappings_.end());
+}
+
+SoftFaultResult Space::TryResolveSoft(uint32_t vaddr, bool want_write) {
+  SoftFaultResult r;
+  const uint32_t want = want_write ? kProtWrite : kProtRead;
+
+  // Walk the mapping hierarchy: mapping -> region -> source space, possibly
+  // recursing through the source space's own mappings.
+  struct Level {
+    Space* space;
+    uint32_t addr;
+    uint32_t prot;  // effective protection accumulated along the chain
+  };
+  Level cur{this, vaddr, kProtReadWrite};
+  for (int depth = 0; depth < 8; ++depth) {
+    if (depth > 0) {
+      // Does the current level's page table have the page?
+      const Pte* pte = cur.space->FindPte(cur.addr);
+      if (pte != nullptr) {
+        const uint32_t eff = pte->prot & cur.prot;
+        if ((eff & want) != want) {
+          return r;  // reachable but protection forbids the access
+        }
+        // Install into the faulting space.
+        UnmapPage(vaddr);
+        MapPage(vaddr, pte->frame, eff);
+        r.resolved = true;
+        r.levels_walked = depth;
+        return r;
+      }
+      // Note: an ancestor's anonymous range does NOT let the kernel invent
+      // a page on the faulting space's behalf -- providing backing pages for
+      // an exported region is the owning space's (manager's) job, so the
+      // fault stays hard and goes to the keeper. Only the faulting space's
+      // own anon range (depth 0, below) is kernel-filled, and explicit
+      // mappings take priority over it.
+    }
+
+    // Find a mapping at this level covering the address.
+    Mapping* found = nullptr;
+    for (Mapping* m : cur.space->mappings()) {
+      if (m->alive() && cur.addr - m->base < m->size) {
+        found = m;
+        break;
+      }
+    }
+    if (found == nullptr || found->src == nullptr || !found->src->alive()) {
+      if (depth == 0 && cur.space->InAnonRange(cur.addr)) {
+        // Unmapped fault inside the faulting space's own anonymous range:
+        // kernel zero-fill.
+        FrameId f = ProvidePage(vaddr, kProtReadWrite);
+        if (f == kInvalidFrame) {
+          return r;
+        }
+        if ((kProtReadWrite & want) != want) {
+          return r;
+        }
+        r.resolved = true;
+        r.zero_filled = true;
+        return r;
+      }
+      return r;  // hard fault
+    }
+    Region* reg = found->src;
+    const uint32_t region_off = (cur.addr - found->base) + found->offset;
+    if (region_off >= reg->size || reg->source == nullptr) {
+      return r;
+    }
+    cur = Level{reg->source, reg->base + region_off, cur.prot & found->prot & reg->prot};
+  }
+  return r;  // hierarchy too deep: treat as hard
+}
+
+uint8_t* Space::PageData(uint32_t vaddr, uint32_t want_prot, uint32_t* fault_addr) {
+  const Pte* pte = FindPte(vaddr);
+  if (pte == nullptr || (pte->prot & want_prot) != want_prot) {
+    *fault_addr = vaddr;
+    return nullptr;
+  }
+  return phys_->Data(pte->frame) + (vaddr & kPageMask);
+}
+
+bool Space::ReadByte(uint32_t vaddr, uint8_t* out, uint32_t* fault_addr) {
+  const uint8_t* p = PageData(vaddr, kProtRead, fault_addr);
+  if (p == nullptr) {
+    return false;
+  }
+  *out = *p;
+  return true;
+}
+
+bool Space::WriteByte(uint32_t vaddr, uint8_t value, uint32_t* fault_addr) {
+  uint8_t* p = PageData(vaddr, kProtWrite, fault_addr);
+  if (p == nullptr) {
+    return false;
+  }
+  *p = value;
+  return true;
+}
+
+bool Space::ReadWord(uint32_t vaddr, uint32_t* out, uint32_t* fault_addr) {
+  if ((vaddr & kPageMask) + 4 <= kPageSize) {
+    const uint8_t* p = PageData(vaddr, kProtRead, fault_addr);
+    if (p == nullptr) {
+      return false;
+    }
+    std::memcpy(out, p, 4);
+    return true;
+  }
+  // Page-straddling word: byte at a time.
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint8_t b = 0;
+    if (!ReadByte(vaddr + i, &b, fault_addr)) {
+      return false;
+    }
+    v |= static_cast<uint32_t>(b) << (8 * i);
+  }
+  *out = v;
+  return true;
+}
+
+bool Space::WriteWord(uint32_t vaddr, uint32_t value, uint32_t* fault_addr) {
+  if ((vaddr & kPageMask) + 4 <= kPageSize) {
+    uint8_t* p = PageData(vaddr, kProtWrite, fault_addr);
+    if (p == nullptr) {
+      return false;
+    }
+    std::memcpy(p, &value, 4);
+    return true;
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (!WriteByte(vaddr + i, static_cast<uint8_t>(value >> (8 * i)), fault_addr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Space::HostRead(uint32_t vaddr, void* out, uint32_t len) const {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  for (uint32_t i = 0; i < len;) {
+    const Pte* pte = FindPte(vaddr + i);
+    if (pte == nullptr) {
+      return false;
+    }
+    const uint32_t off = (vaddr + i) & kPageMask;
+    const uint32_t n = std::min(len - i, kPageSize - off);
+    std::memcpy(dst + i, phys_->Data(pte->frame) + off, n);
+    i += n;
+  }
+  return true;
+}
+
+bool Space::HostWrite(uint32_t vaddr, const void* data, uint32_t len) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  for (uint32_t i = 0; i < len;) {
+    const uint32_t addr = vaddr + i;
+    const Pte* pte = FindPte(addr);
+    if (pte == nullptr) {
+      if (ProvidePage(addr, kProtReadWrite) == kInvalidFrame) {
+        return false;
+      }
+      pte = FindPte(addr);
+    }
+    const uint32_t off = addr & kPageMask;
+    const uint32_t n = std::min(len - i, kPageSize - off);
+    std::memcpy(phys_->Data(pte->frame) + off, src + i, n);
+    i += n;
+  }
+  return true;
+}
+
+}  // namespace fluke

@@ -1,0 +1,139 @@
+// Space: an address space plus the objects it holds.
+//
+// Per the paper, a Space "associates memory and threads". Each space owns a
+// handle table (handles are small integers standing in for Fluke's
+// virtual-address object handles -- see DESIGN.md), a page table mapping
+// virtual pages to physical frames, and a list of Mappings that import
+// memory exported by Regions of other spaces. Fault resolution walks the
+// mapping hierarchy: a fault whose page can be derived from an ancestor
+// space's page table is a SOFT fault; one that bottoms out unresolved is a
+// HARD fault delivered as an exception IPC to the space's keeper port
+// (a user-mode memory manager), or zero-filled by the kernel inside the
+// space's anonymous range when it has no keeper.
+
+#ifndef SRC_KERN_SPACE_H_
+#define SRC_KERN_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kern/objects.h"
+#include "src/mem/phys.h"
+#include "src/uvm/interp.h"
+
+namespace fluke {
+
+using Handle = uint32_t;
+inline constexpr Handle kInvalidHandle = 0;
+
+struct Pte {
+  FrameId frame = kInvalidFrame;
+  uint32_t prot = kProtNone;
+};
+
+// Outcome of a soft-fault resolution attempt.
+struct SoftFaultResult {
+  bool resolved = false;
+  int levels_walked = 0;   // mapping-hierarchy depth traversed
+  bool zero_filled = false;  // satisfied from the kernel anon range
+};
+
+class Space final : public KernelObject, public MemoryBus {
+ public:
+  Space(uint64_t id, PhysMemory* phys) : KernelObject(ObjType::kSpace, id), phys_(phys) {}
+  ~Space() override;
+
+  // --- Handle table ---
+  Handle Install(std::shared_ptr<KernelObject> obj);
+  // Returns the object for a handle, or null if invalid/dead.
+  KernelObject* Lookup(Handle h) const;
+  // Like Lookup but also returns dead (zombie) objects, e.g. for join.
+  KernelObject* LookupAnyState(Handle h) const;
+  std::shared_ptr<KernelObject> LookupShared(Handle h) const;
+  // Typed lookup; null when the handle is invalid or names a different type.
+  template <typename T>
+  T* LookupAs(Handle h, ObjType want) const {
+    KernelObject* o = Lookup(h);
+    return (o != nullptr && o->type() == want) ? static_cast<T*>(o) : nullptr;
+  }
+  void Uninstall(Handle h);
+  size_t handle_count() const;
+
+  // --- Page table ---
+  bool PagePresent(uint32_t vaddr) const;
+  const Pte* FindPte(uint32_t vaddr) const;
+  void MapPage(uint32_t vaddr, FrameId frame, uint32_t prot);
+  void UnmapPage(uint32_t vaddr);
+  // Host-side convenience: allocate + map + optionally fill a page.
+  FrameId ProvidePage(uint32_t vaddr, uint32_t prot = kProtReadWrite);
+
+  // --- Mapping hierarchy ---
+  void AddMapping(Mapping* m) { mappings_.push_back(m); }
+  void RemoveMapping(Mapping* m);
+  const std::vector<Mapping*>& mappings() const { return mappings_; }
+  // Tries to resolve a fault at `vaddr` by walking the mapping hierarchy or
+  // the anonymous range. On success the PTE is installed.
+  SoftFaultResult TryResolveSoft(uint32_t vaddr, bool want_write);
+
+  // Kernel-backed anonymous memory range (zero-fill on demand). A space with
+  // a keeper port typically has no anon range, so its faults go to the
+  // keeper; the root/manager spaces use anon memory directly.
+  void SetAnonRange(uint32_t base, uint32_t size) {
+    anon_base_ = base;
+    anon_size_ = size;
+  }
+  bool InAnonRange(uint32_t vaddr) const {
+    return vaddr - anon_base_ < anon_size_;
+  }
+
+  // --- Keeper (memory manager / exception handler port) ---
+  Port* keeper = nullptr;
+
+  // --- Program run by threads of this space (by default) ---
+  ProgramRef program;
+
+  // --- Regions exported over this space (maintained by the kernel;
+  //     searched by region_search) ---
+  std::vector<Region*> regions;
+
+  // This space's handle in its own handle table (space_self).
+  uint32_t self_handle = 0;
+
+  // --- MemoryBus (user-instruction and kernel-copy access path) ---
+  bool ReadByte(uint32_t vaddr, uint8_t* out, uint32_t* fault_addr) override;
+  bool WriteByte(uint32_t vaddr, uint8_t value, uint32_t* fault_addr) override;
+  bool ReadWord(uint32_t vaddr, uint32_t* out, uint32_t* fault_addr) override;
+  bool WriteWord(uint32_t vaddr, uint32_t value, uint32_t* fault_addr) override;
+
+  // Host-side helpers for tests and workload setup (bypass faulting).
+  bool HostRead(uint32_t vaddr, void* out, uint32_t len) const;
+  bool HostWrite(uint32_t vaddr, const void* data, uint32_t len);
+
+  PhysMemory* phys() const { return phys_; }
+  size_t mapped_pages() const { return pages_.size(); }
+
+  // Introspection for checkpointing and tests.
+  const std::unordered_map<uint32_t, Pte>& page_table() const { return pages_; }
+  const std::vector<std::shared_ptr<KernelObject>>& handle_table() const { return handles_; }
+  uint32_t anon_base() const { return anon_base_; }
+  uint32_t anon_size() const { return anon_size_; }
+
+  // Threads currently bound to this space (maintained by the kernel).
+  std::vector<Thread*> threads;
+
+ private:
+  uint8_t* PageData(uint32_t vaddr, uint32_t want_prot, uint32_t* fault_addr);
+
+  PhysMemory* phys_;
+  std::vector<std::shared_ptr<KernelObject>> handles_{nullptr};  // slot 0 invalid
+  std::unordered_map<uint32_t, Pte> pages_;  // keyed by vaddr >> kPageShift
+  std::vector<Mapping*> mappings_;
+  uint32_t anon_base_ = 0;
+  uint32_t anon_size_ = 0;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_SPACE_H_

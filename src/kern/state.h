@@ -1,0 +1,52 @@
+// Exportable thread state (the atomic API's central artifact).
+//
+// ThreadState is the *complete* user-visible state of a thread: its general
+// registers, PC, the two kernel pseudo-registers, and its scheduling
+// priority. Per the paper's correctness requirement, a thread destroyed and
+// re-created from this state behaves indistinguishably from the original --
+// including threads that were blocked mid-way through multi-stage IPC, whose
+// pseudo-registers and rewritten entrypoint register encode the restart
+// point.
+
+#ifndef SRC_KERN_STATE_H_
+#define SRC_KERN_STATE_H_
+
+#include <cstdint>
+
+#include "src/api/abi.h"
+
+namespace fluke {
+
+struct ThreadState {
+  UserRegisters regs;
+  uint32_t priority = 4;
+
+  friend bool operator==(const ThreadState&, const ThreadState&) = default;
+};
+
+// Serialized layout: 8 GPRs, pc, pr0, pr1, priority.
+inline constexpr uint32_t kThreadStateWords = 12;
+
+inline void ThreadStateToWords(const ThreadState& s, uint32_t out[kThreadStateWords]) {
+  for (int i = 0; i < kNumGprs; ++i) {
+    out[i] = s.regs.gpr[i];
+  }
+  out[8] = s.regs.pc;
+  out[9] = s.regs.pr0;
+  out[10] = s.regs.pr1;
+  out[11] = s.priority;
+}
+
+inline void ThreadStateFromWords(const uint32_t in[kThreadStateWords], ThreadState* s) {
+  for (int i = 0; i < kNumGprs; ++i) {
+    s->regs.gpr[i] = in[i];
+  }
+  s->regs.pc = in[8];
+  s->regs.pr0 = in[9];
+  s->regs.pr1 = in[10];
+  s->priority = in[11];
+}
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_STATE_H_

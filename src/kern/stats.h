@@ -1,0 +1,101 @@
+// Kernel statistics counters.
+//
+// These counters feed every reproduced table: context switches and syscall
+// counts sanity-check Table 5 runs; rollback/remedy accounting produces
+// Table 3; latency samples produce Table 6; kernel-stack byte tracking
+// produces Table 7.
+
+#ifndef SRC_KERN_STATS_H_
+#define SRC_KERN_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/hal/clock.h"
+
+namespace fluke {
+
+struct LatencySample {
+  Time when;
+  Time latency;
+};
+
+// Table 3 accounting: IPC faults classified by which side of the transfer
+// faulted (client vs server space) and by kind (soft vs hard), with the
+// virtual time spent remedying the fault and the virtual time of work
+// rolled back (thrown away and redone).
+struct FaultClassStats {
+  uint64_t count = 0;
+  Time remedy_ns = 0;
+  Time rollback_ns = 0;
+};
+
+enum FaultSide : int { kFaultSideClient = 0, kFaultSideServer = 1 };
+enum FaultKind : int { kFaultKindSoft = 0, kFaultKindHard = 1 };
+
+struct KernelStats {
+  // Dispatch.
+  uint64_t context_switches = 0;
+  uint64_t syscalls = 0;
+  uint64_t syscall_restarts = 0;  // re-entries of an interrupted/blocked op
+  uint64_t kernel_preemptions = 0;
+
+  // Faults.
+  uint64_t soft_faults = 0;
+  uint64_t hard_faults = 0;
+  uint64_t user_faults = 0;     // faults on user instructions
+  uint64_t region_pages_scanned = 0;  // region_search loop iterations
+  uint64_t syscall_faults = 0;  // faults inside kernel copies (IPC etc.)
+
+  // Rollback accounting (Table 3): virtual time of work discarded and
+  // redone because an operation rolled back to its last commit point, and
+  // virtual time spent remedying faults.
+  Time rollback_ns = 0;
+  Time remedy_soft_ns = 0;
+  Time remedy_hard_ns = 0;
+  // Per-(side, kind) IPC fault classes, indexed [FaultSide][FaultKind].
+  FaultClassStats ipc_faults[2][2];
+
+  // Kernel stack (coroutine frame) accounting (Table 7).
+  uint64_t frames_allocated = 0;
+  uint64_t frame_bytes_allocated = 0;
+  uint64_t frame_bytes_live = 0;
+  uint64_t frame_bytes_live_peak = 0;
+  // Peak bytes retained by threads *while blocked* -- the process model's
+  // per-thread kernel-stack cost. Always zero in the interrupt model.
+  uint64_t blocked_frame_bytes_peak = 0;
+
+  // Preemption-latency probe (Table 6).
+  std::vector<LatencySample> probe_latencies;
+  uint64_t probe_runs = 0;
+  uint64_t probe_misses = 0;
+
+  void RecordProbe(Time when, Time latency) {
+    probe_latencies.push_back({when, latency});
+    ++probe_runs;
+  }
+
+  Time ProbeAvg() const {
+    if (probe_latencies.empty()) {
+      return 0;
+    }
+    Time sum = 0;
+    for (const auto& s : probe_latencies) {
+      sum += s.latency;
+    }
+    return sum / probe_latencies.size();
+  }
+
+  Time ProbeMax() const {
+    Time mx = 0;
+    for (const auto& s : probe_latencies) {
+      mx = std::max(mx, s.latency);
+    }
+    return mx;
+  }
+};
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_STATS_H_

@@ -1,0 +1,40 @@
+// The syscall registry (drives dispatch and reproduces Table 1).
+//
+// Every entrypoint carries its Table 1 category; bench/table1_api prints the
+// breakdown from this registry, so the 8/68/8/23 split is a measured
+// property of the implementation, not a claim.
+
+#ifndef SRC_KERN_SYSCALL_TABLE_H_
+#define SRC_KERN_SYSCALL_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/api/abi.h"
+#include "src/kern/fwd.h"
+#include "src/kern/ktask.h"
+
+namespace fluke {
+
+struct SyscallDef {
+  uint32_t num = 0;
+  const char* name = "";
+  SysCat cat = SysCat::kShort;
+  // True for the five entrypoints that exist primarily as restart points for
+  // interrupted multi-stage operations (paper section 4.4).
+  bool restart_point = false;
+  // Auxiliary argument passed to shared handlers (the object type for the
+  // 54 common object operations).
+  uint32_t aux = 0;
+  KTask (*handler)(SysCtx&) = nullptr;
+};
+
+// Returns the definition for `num`, or null for an invalid entrypoint.
+const SyscallDef* GetSyscall(uint32_t num);
+
+// The complete registry, ordered by entrypoint number.
+const std::vector<SyscallDef>& AllSyscalls();
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_SYSCALL_TABLE_H_

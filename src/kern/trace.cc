@@ -1,0 +1,71 @@
+#include "src/kern/trace.h"
+
+#include <cstdio>
+
+#include "src/api/abi.h"
+
+namespace fluke {
+
+const char* TraceKindName(TraceKind k) {
+  switch (k) {
+    case TraceKind::kSyscallEnter:
+      return "sys-enter";
+    case TraceKind::kSyscallExit:
+      return "sys-exit";
+    case TraceKind::kSyscallRestart:
+      return "sys-restart";
+    case TraceKind::kContextSwitch:
+      return "switch";
+    case TraceKind::kBlock:
+      return "block";
+    case TraceKind::kWake:
+      return "wake";
+    case TraceKind::kSoftFault:
+      return "soft-fault";
+    case TraceKind::kHardFault:
+      return "hard-fault";
+    case TraceKind::kPreempt:
+      return "preempt";
+    case TraceKind::kThreadExit:
+      return "thread-exit";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  if (next_ <= events_.size()) {
+    out = events_;
+  } else {
+    const size_t head = next_ % capacity_;
+    out.insert(out.end(), events_.begin() + static_cast<long>(head), events_.end());
+    out.insert(out.end(), events_.begin(), events_.begin() + static_cast<long>(head));
+  }
+  return out;
+}
+
+std::string TraceBuffer::Dump() const {
+  std::string out;
+  char line[160];
+  for (const TraceEvent& e : Snapshot()) {
+    const char* detail = "";
+    switch (e.kind) {
+      case TraceKind::kSyscallEnter:
+      case TraceKind::kSyscallExit:
+      case TraceKind::kSyscallRestart:
+        detail = SysName(e.a);
+        break;
+      default:
+        break;
+    }
+    std::snprintf(line, sizeof(line), "%12.3fus t%-4llu %-12s a=0x%x b=0x%x %s\n",
+                  static_cast<double>(e.when) / kNsPerUs,
+                  static_cast<unsigned long long>(e.thread_id), TraceKindName(e.kind), e.a, e.b,
+                  detail);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace fluke

@@ -1,0 +1,87 @@
+// Kernel event tracing.
+//
+// A fixed-capacity ring buffer of timestamped kernel events (syscall
+// entry/exit, context switches, blocks/wakes, faults, preemptions). Off by
+// default and costless when off; the fluke_run CLI exposes it as --trace
+// and tests use it to assert on event sequences. Dump() renders a
+// human-readable log.
+
+#ifndef SRC_KERN_TRACE_H_
+#define SRC_KERN_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hal/clock.h"
+
+namespace fluke {
+
+enum class TraceKind : uint8_t {
+  kSyscallEnter = 0,
+  kSyscallExit,
+  kSyscallRestart,  // interrupt-model re-entry of a blocked op
+  kContextSwitch,
+  kBlock,
+  kWake,
+  kSoftFault,
+  kHardFault,
+  kPreempt,  // kernel preemption (PP point or FP quantum)
+  kThreadExit,
+};
+
+const char* TraceKindName(TraceKind k);
+
+struct TraceEvent {
+  Time when = 0;
+  TraceKind kind = TraceKind::kSyscallEnter;
+  uint64_t thread_id = 0;
+  uint32_t a = 0;  // kind-specific: syscall number, fault address, ...
+  uint32_t b = 0;  // kind-specific: result, block kind, ...
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void Record(Time when, TraceKind kind, uint64_t tid, uint32_t a = 0, uint32_t b = 0) {
+    if (!enabled_) {
+      return;
+    }
+    if (events_.size() < capacity_) {
+      events_.push_back(TraceEvent{when, kind, tid, a, b});
+    } else {
+      events_[next_ % capacity_] = TraceEvent{when, kind, tid, a, b};
+    }
+    ++next_;
+  }
+
+  // Events in chronological order (oldest first; the ring may have dropped
+  // earlier ones).
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Number of events ever recorded (including overwritten ones).
+  uint64_t total_recorded() const { return next_; }
+  size_t size() const { return events_.size(); }
+  void Clear() {
+    events_.clear();
+    next_ = 0;
+  }
+
+  // Renders the snapshot as one line per event.
+  std::string Dump() const;
+
+ private:
+  size_t capacity_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_TRACE_H_

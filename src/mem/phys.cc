@@ -1,0 +1,40 @@
+#include "src/mem/phys.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace fluke {
+
+FrameId PhysMemory::Alloc() {
+  FrameId f;
+  if (!free_list_.empty()) {
+    f = free_list_.back();
+    free_list_.pop_back();
+    std::memset(frames_[f].get(), 0, kPageSize);
+  } else {
+    if (frames_.size() > max_frames_) {
+      return kInvalidFrame;
+    }
+    f = static_cast<FrameId>(frames_.size());
+    frames_.push_back(std::make_unique<uint8_t[]>(kPageSize));
+    refcounts_.push_back(0);
+  }
+  refcounts_[f] = 1;
+  ++allocated_;
+  return f;
+}
+
+void PhysMemory::Ref(FrameId f) {
+  assert(f != kInvalidFrame && refcounts_[f] > 0);
+  ++refcounts_[f];
+}
+
+void PhysMemory::Unref(FrameId f) {
+  assert(f != kInvalidFrame && refcounts_[f] > 0);
+  if (--refcounts_[f] == 0) {
+    free_list_.push_back(f);
+    --allocated_;
+  }
+}
+
+}  // namespace fluke

@@ -1,0 +1,56 @@
+// Simulated physical memory: a frame allocator plus frame contents.
+//
+// Frames are 4 KiB and lazily backed by host memory. Frame 0 is reserved as
+// an invalid sentinel so page-table entries can use frame==0 for "not
+// present". The allocator tracks per-frame reference counts because the
+// mapping hierarchy (Region/Mapping) lets several spaces share one frame.
+
+#ifndef SRC_MEM_PHYS_H_
+#define SRC_MEM_PHYS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/api/abi.h"
+
+namespace fluke {
+
+using FrameId = uint32_t;
+inline constexpr FrameId kInvalidFrame = 0;
+
+class PhysMemory {
+ public:
+  explicit PhysMemory(uint32_t max_frames = 64 * 1024)  // default 256 MiB
+      : max_frames_(max_frames) {
+    frames_.push_back(nullptr);  // frame 0 = sentinel
+    refcounts_.push_back(0);
+  }
+
+  // Allocates a zeroed frame; returns kInvalidFrame when exhausted.
+  FrameId Alloc();
+
+  void Ref(FrameId f);
+  // Drops one reference; frees the frame when the count reaches zero.
+  void Unref(FrameId f);
+
+  uint8_t* Data(FrameId f) {
+    return frames_[f].get();
+  }
+  const uint8_t* Data(FrameId f) const { return frames_[f].get(); }
+
+  uint32_t refcount(FrameId f) const { return refcounts_[f]; }
+  uint32_t allocated_frames() const { return allocated_; }
+  uint64_t allocated_bytes() const { return static_cast<uint64_t>(allocated_) * kPageSize; }
+
+ private:
+  uint32_t max_frames_;
+  uint32_t allocated_ = 0;
+  std::vector<std::unique_ptr<uint8_t[]>> frames_;
+  std::vector<uint32_t> refcounts_;
+  std::vector<FrameId> free_list_;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_MEM_PHYS_H_

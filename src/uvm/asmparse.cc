@@ -1,0 +1,375 @@
+#include "src/uvm/asmparse.h"
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/api/abi.h"
+
+namespace fluke {
+
+namespace {
+
+std::string Normalize(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '_') {
+      continue;
+    }
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+// Entrypoint name -> number, normalized ("sysmutexlock" and "mutexlock").
+const std::map<std::string, uint32_t>& SysNameMap() {
+  static const std::map<std::string, uint32_t> kMap = [] {
+    std::map<std::string, uint32_t> m;
+    for (uint32_t n = 0; n < kSysCount; ++n) {
+      const std::string full = Normalize(SysName(n));  // "sysmutexlock"
+      m[full] = n;
+      if (full.rfind("sys", 0) == 0) {
+        m[full.substr(3)] = n;
+      }
+    }
+    return m;
+  }();
+  return kMap;
+}
+
+struct Tokenizer {
+  std::string line;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= line.size();
+  }
+  // Reads an identifier/number token; commas and brackets are delimiters.
+  std::string Next() {
+    SkipSpace();
+    std::string t;
+    while (pos < line.size()) {
+      const char c = line[pos];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == ',' || c == '[' || c == ']' ||
+          c == '+' || c == ':') {
+        break;
+      }
+      t.push_back(c);
+      ++pos;
+    }
+    return t;
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < line.size() && line[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+};
+
+bool ParseReg(const std::string& t, int* out) {
+  const std::string n = Normalize(t);
+  static const std::map<std::string, int> kRegs = {
+      {"a", kRegA},   {"b", kRegB},   {"c", kRegC},   {"d", kRegD},
+      {"si", kRegSI}, {"di", kRegDI}, {"bp", kRegBP}, {"sp", kRegSP},
+      {"r0", 0},      {"r1", 1},      {"r2", 2},      {"r3", 3},
+      {"r4", 4},      {"r5", 5},      {"r6", 6},      {"r7", 7},
+  };
+  auto it = kRegs.find(n);
+  if (it == kRegs.end()) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+bool ParseNum(const std::string& t, uint32_t* out) {
+  if (t.empty()) {
+    return false;
+  }
+  try {
+    size_t used = 0;
+    const unsigned long v = std::stoul(t, &used, 0);  // handles 0x
+    if (used != t.size()) {
+      return false;
+    }
+    *out = static_cast<uint32_t>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+// Decodes a double-quoted string literal with \n \t \\ \" \0 escapes.
+bool ParseString(Tokenizer& tk, std::string* out) {
+  tk.SkipSpace();
+  if (tk.pos >= tk.line.size() || tk.line[tk.pos] != '"') {
+    return false;
+  }
+  ++tk.pos;
+  out->clear();
+  while (tk.pos < tk.line.size() && tk.line[tk.pos] != '"') {
+    char c = tk.line[tk.pos++];
+    if (c == '\\' && tk.pos < tk.line.size()) {
+      const char e = tk.line[tk.pos++];
+      switch (e) {
+        case 'n':
+          c = '\n';
+          break;
+        case 't':
+          c = '\t';
+          break;
+        case '0':
+          c = '\0';
+          break;
+        default:
+          c = e;
+          break;
+      }
+    }
+    out->push_back(c);
+  }
+  if (tk.pos >= tk.line.size()) {
+    return false;  // unterminated
+  }
+  ++tk.pos;
+  return true;
+}
+
+}  // namespace
+
+AsmParseResult ParseAsm(const std::string& name, const std::string& source) {
+  AsmParseResult result;
+  Assembler a(name);
+  std::map<std::string, Assembler::Label> labels;
+  auto label_of = [&](const std::string& n) {
+    auto it = labels.find(n);
+    if (it == labels.end()) {
+      it = labels.emplace(n, a.NewLabel()).first;
+    }
+    return it->second;
+  };
+  std::map<std::string, int> bound;  // name -> line where bound
+
+  std::istringstream in(source);
+  std::string raw;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    result.error = "line " + std::to_string(lineno) + ": " + msg;
+    return result;
+  };
+
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip comments (';' or '#'), except inside string literals.
+    std::string line;
+    bool in_str = false;
+    for (char c : raw) {
+      if (c == '"') {
+        in_str = !in_str;
+      }
+      if (!in_str && (c == ';' || c == '#')) {
+        break;
+      }
+      line.push_back(c);
+    }
+    Tokenizer tk{line};
+    if (tk.AtEnd()) {
+      continue;
+    }
+    std::string op = tk.Next();
+    // Label definition?
+    if (tk.Consume(':')) {
+      if (bound.count(op) != 0) {
+        return fail("label '" + op + "' defined twice (first at line " +
+                    std::to_string(bound[op]) + ")");
+      }
+      bound[op] = lineno;
+      a.Bind(label_of(op));
+      if (tk.AtEnd()) {
+        continue;
+      }
+      op = tk.Next();  // instruction on the same line as the label
+    }
+    const std::string o = Normalize(op);
+
+    auto want_reg = [&](int* r) {
+      const std::string t = tk.Next();
+      if (!ParseReg(t, r)) {
+        result.error = "line " + std::to_string(lineno) + ": expected register, got '" + t + "'";
+        return false;
+      }
+      tk.Consume(',');
+      return true;
+    };
+    auto want_num = [&](uint32_t* n) {
+      const std::string t = tk.Next();
+      if (!ParseNum(t, n)) {
+        result.error = "line " + std::to_string(lineno) + ": expected number, got '" + t + "'";
+        return false;
+      }
+      tk.Consume(',');
+      return true;
+    };
+    // [reg] or [reg+imm]
+    auto want_mem = [&](int* r, uint32_t* off) {
+      *off = 0;
+      if (!tk.Consume('[')) {
+        result.error = "line " + std::to_string(lineno) + ": expected '['";
+        return false;
+      }
+      if (!ParseReg(tk.Next(), r)) {
+        result.error = "line " + std::to_string(lineno) + ": expected base register";
+        return false;
+      }
+      if (tk.Consume('+')) {
+        if (!ParseNum(tk.Next(), off)) {
+          result.error = "line " + std::to_string(lineno) + ": expected offset";
+          return false;
+        }
+      }
+      if (!tk.Consume(']')) {
+        result.error = "line " + std::to_string(lineno) + ": expected ']'";
+        return false;
+      }
+      return true;
+    };
+
+    int r1 = 0, r2 = 0, r3 = 0;
+    uint32_t imm = 0;
+    if (o == "halt") {
+      a.Halt();
+    } else if (o == "nop") {
+      a.Nop();
+    } else if (o == "syscall") {
+      a.Syscall();
+    } else if (o == "break") {
+      a.Break();
+    } else if (o == "movi") {
+      if (!want_reg(&r1) || !want_num(&imm)) {
+        return result;
+      }
+      a.MovImm(r1, imm);
+    } else if (o == "mov") {
+      if (!want_reg(&r1) || !want_reg(&r2)) {
+        return result;
+      }
+      a.Mov(r1, r2);
+    } else if (o == "addi") {
+      if (!want_reg(&r1) || !want_reg(&r2) || !want_num(&imm)) {
+        return result;
+      }
+      a.AddImm(r1, r2, imm);
+    } else if (o == "add" || o == "sub" || o == "mul" || o == "and" || o == "or" ||
+               o == "xor" || o == "shl" || o == "shr") {
+      if (!want_reg(&r1) || !want_reg(&r2) || !want_reg(&r3)) {
+        return result;
+      }
+      if (o == "add") {
+        a.Add(r1, r2, r3);
+      } else if (o == "sub") {
+        a.Sub(r1, r2, r3);
+      } else if (o == "mul") {
+        a.Mul(r1, r2, r3);
+      } else if (o == "and") {
+        a.And(r1, r2, r3);
+      } else if (o == "or") {
+        a.Or(r1, r2, r3);
+      } else if (o == "xor") {
+        a.Xor(r1, r2, r3);
+      } else if (o == "shl") {
+        a.Shl(r1, r2, r3);
+      } else {
+        a.Shr(r1, r2, r3);
+      }
+    } else if (o == "ldb" || o == "ldw" || o == "stb" || o == "stw") {
+      if (!want_reg(&r1) || !want_mem(&r2, &imm)) {
+        return result;
+      }
+      if (o == "ldb") {
+        a.LoadB(r1, r2, imm);
+      } else if (o == "ldw") {
+        a.LoadW(r1, r2, imm);
+      } else if (o == "stb") {
+        a.StoreB(r1, r2, imm);
+      } else {
+        a.StoreW(r1, r2, imm);
+      }
+    } else if (o == "jmp") {
+      const std::string t = tk.Next();
+      if (t.empty()) {
+        return fail("expected label");
+      }
+      a.Jmp(label_of(t));
+    } else if (o == "beq" || o == "bne" || o == "blt" || o == "bge") {
+      if (!want_reg(&r1) || !want_reg(&r2)) {
+        return result;
+      }
+      const std::string t = tk.Next();
+      if (t.empty()) {
+        return fail("expected label");
+      }
+      if (o == "beq") {
+        a.Beq(r1, r2, label_of(t));
+      } else if (o == "bne") {
+        a.Bne(r1, r2, label_of(t));
+      } else if (o == "blt") {
+        a.Blt(r1, r2, label_of(t));
+      } else {
+        a.Bge(r1, r2, label_of(t));
+      }
+    } else if (o == "compute") {
+      if (!want_num(&imm)) {
+        return result;
+      }
+      a.Compute(imm);
+    } else if (o == "sys") {
+      const std::string t = tk.Next();
+      auto it = SysNameMap().find(Normalize(t));
+      if (it == SysNameMap().end()) {
+        return fail("unknown entrypoint '" + t + "'");
+      }
+      a.MovImm(kRegA, it->second);
+      a.Syscall();
+    } else if (o == "puts") {
+      std::string text;
+      if (!ParseString(tk, &text)) {
+        return fail("expected string literal");
+      }
+      for (char c : text) {
+        a.MovImm(kRegB, static_cast<uint32_t>(static_cast<unsigned char>(c)));
+        a.MovImm(kRegA, kSysConsolePutc);
+        a.Syscall();
+      }
+    } else {
+      return fail("unknown instruction '" + op + "'");
+    }
+    if (!tk.AtEnd()) {
+      return fail("trailing tokens after instruction");
+    }
+  }
+
+  // Every referenced label must be bound.
+  for (const auto& [n, l] : labels) {
+    (void)l;
+    if (bound.count(n) == 0) {
+      lineno = 0;
+      return fail("label '" + n + "' referenced but never defined");
+    }
+  }
+  result.program = a.Build();
+  return result;
+}
+
+}  // namespace fluke

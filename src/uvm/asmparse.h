@@ -1,0 +1,43 @@
+// Text assembler for UVM programs (.fasm).
+//
+// Lets user programs be written as plain text files and run with the
+// tools/fluke_run CLI instead of the C++ Assembler builder. Syntax:
+//
+//   ; comment                        # comment
+//   start:                          labels end with ':'
+//     movi  B, 0x10                 registers: A B C D SI DI BP SP
+//     mov   C, B
+//     add   A, B, C                 alu: add sub mul and or xor shl shr
+//     addi  B, B, 1
+//     ldb   D, [C+4]                loads/stores: ldb stb ldw stw
+//     stw   B, [C]
+//     beq   A, B, start             branches: jmp beq bne blt bge
+//     syscall                       trap; entrypoint number in A
+//     sys   mutex_lock              macro: movi A, <entrypoint>; syscall
+//     compute 400                   burn cycles
+//     puts  "hi\n"                  macro: console_putc per byte
+//     halt
+//
+// Numbers are decimal or 0x-hex; `sys` accepts entrypoint names with or
+// without the sys_ prefix, case- and underscore-insensitively
+// ("mutex_lock" == "sys_MutexLock").
+
+#ifndef SRC_UVM_ASMPARSE_H_
+#define SRC_UVM_ASMPARSE_H_
+
+#include <string>
+
+#include "src/uvm/program.h"
+
+namespace fluke {
+
+struct AsmParseResult {
+  ProgramRef program;  // null on error
+  std::string error;   // "line N: message" on failure
+};
+
+AsmParseResult ParseAsm(const std::string& name, const std::string& source);
+
+}  // namespace fluke
+
+#endif  // SRC_UVM_ASMPARSE_H_

@@ -1,0 +1,150 @@
+#include "src/uvm/disasm.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace fluke {
+
+namespace {
+
+const char* RegName(uint8_t r) {
+  switch (r) {
+    case 0:
+      return "a";
+    case 1:
+      return "b";
+    case 2:
+      return "c";
+    case 3:
+      return "d";
+    case 4:
+      return "si";
+    case 5:
+      return "di";
+    case 6:
+      return "bp";
+    case 7:
+      return "sp";
+    default:
+      return "r?";
+  }
+}
+
+std::string Hex(uint32_t v) {
+  char buf[16];
+  if (v < 10) {
+    std::snprintf(buf, sizeof(buf), "%u", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "0x%x", v);
+  }
+  return buf;
+}
+
+bool IsBranch(Op op) {
+  return op == Op::kJmp || op == Op::kBeq || op == Op::kBne || op == Op::kBlt || op == Op::kBge;
+}
+
+std::string Render(const Instr& in, const std::map<uint32_t, std::string>* labels) {
+  auto target = [&](uint32_t pc) -> std::string {
+    if (labels != nullptr) {
+      auto it = labels->find(pc);
+      if (it != labels->end()) {
+        return it->second;
+      }
+    }
+    return "L" + std::to_string(pc);
+  };
+  const std::string a = RegName(in.a), b = RegName(in.b), c = RegName(in.c);
+  switch (in.op) {
+    case Op::kHalt:
+      return "halt";
+    case Op::kNop:
+      return "nop";
+    case Op::kMovImm:
+      return "movi " + a + ", " + Hex(in.imm);
+    case Op::kMov:
+      return "mov " + a + ", " + b;
+    case Op::kAdd:
+      return "add " + a + ", " + b + ", " + c;
+    case Op::kSub:
+      return "sub " + a + ", " + b + ", " + c;
+    case Op::kMul:
+      return "mul " + a + ", " + b + ", " + c;
+    case Op::kAnd:
+      return "and " + a + ", " + b + ", " + c;
+    case Op::kOr:
+      return "or " + a + ", " + b + ", " + c;
+    case Op::kXor:
+      return "xor " + a + ", " + b + ", " + c;
+    case Op::kShl:
+      return "shl " + a + ", " + b + ", " + c;
+    case Op::kShr:
+      return "shr " + a + ", " + b + ", " + c;
+    case Op::kAddImm:
+      return "addi " + a + ", " + b + ", " + Hex(in.imm);
+    case Op::kLoadB:
+      return "ldb " + a + ", [" + b + (in.imm != 0 ? "+" + Hex(in.imm) : "") + "]";
+    case Op::kStoreB:
+      return "stb " + a + ", [" + b + (in.imm != 0 ? "+" + Hex(in.imm) : "") + "]";
+    case Op::kLoadW:
+      return "ldw " + a + ", [" + b + (in.imm != 0 ? "+" + Hex(in.imm) : "") + "]";
+    case Op::kStoreW:
+      return "stw " + a + ", [" + b + (in.imm != 0 ? "+" + Hex(in.imm) : "") + "]";
+    case Op::kJmp:
+      return "jmp " + target(in.imm);
+    case Op::kBeq:
+      return "beq " + a + ", " + b + ", " + target(in.imm);
+    case Op::kBne:
+      return "bne " + a + ", " + b + ", " + target(in.imm);
+    case Op::kBlt:
+      return "blt " + a + ", " + b + ", " + target(in.imm);
+    case Op::kBge:
+      return "bge " + a + ", " + b + ", " + target(in.imm);
+    case Op::kSyscall:
+      return "syscall";
+    case Op::kCompute:
+      return "compute " + Hex(in.imm);
+    case Op::kBreak:
+      return "break";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DisassembleOne(const Instr& in) { return Render(in, nullptr); }
+
+std::string Disassemble(const Program& program) {
+  // Collect branch targets.
+  std::map<uint32_t, std::string> labels;
+  for (uint32_t pc = 0; pc < program.size(); ++pc) {
+    const Instr* in = program.At(pc);
+    if (IsBranch(in->op)) {
+      labels.emplace(in->imm, "");
+    }
+  }
+  int n = 0;
+  for (auto& [pc, name] : labels) {
+    name = "L" + std::to_string(n++);
+  }
+
+  std::string out = "; " + program.name() + " (" + std::to_string(program.size()) +
+                    " instructions)\n";
+  for (uint32_t pc = 0; pc < program.size(); ++pc) {
+    auto it = labels.find(pc);
+    if (it != labels.end()) {
+      out += it->second + ":\n";
+    }
+    out += "    " + Render(*program.At(pc), &labels) + "\n";
+  }
+  // A branch may target one past the last instruction (a loop exit that
+  // falls off the end); bind such labels at the tail.
+  auto it = labels.find(program.size());
+  if (it != labels.end()) {
+    out += it->second + ":\n    nop\n";
+  }
+  return out;
+}
+
+}  // namespace fluke

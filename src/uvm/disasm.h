@@ -1,0 +1,25 @@
+// UVM disassembler: Program -> .fasm text, the inverse of asmparse.
+//
+// Emits one instruction per line in the exact syntax ParseAsm accepts, with
+// `L<n>:` labels synthesized at branch targets, so Disassemble ∘ ParseAsm
+// round-trips (verified by property tests). Used by debugging tools to
+// show where a thread's PC points.
+
+#ifndef SRC_UVM_DISASM_H_
+#define SRC_UVM_DISASM_H_
+
+#include <string>
+
+#include "src/uvm/program.h"
+
+namespace fluke {
+
+// The whole program as text.
+std::string Disassemble(const Program& program);
+
+// A single instruction (no label), e.g. "movi b, 0x10".
+std::string DisassembleOne(const Instr& in);
+
+}  // namespace fluke
+
+#endif  // SRC_UVM_DISASM_H_

@@ -1,0 +1,66 @@
+// The user virtual machine instruction set.
+//
+// User-mode code in this reproduction runs on a small register machine (8
+// GPRs + PC + 2 kernel pseudo-registers, mirroring the paper's x86-with-
+// pseudo-registers model). The machine is deliberately simple but complete:
+// ALU ops, byte/word loads and stores (which can page-fault), branches, a
+// syscall trap, and a calibrated `compute` instruction for modeling
+// application CPU time.
+//
+// Because a thread's complete execution state is its UserRegisters plus its
+// address-space contents, checkpoint/restore and migration are exact -- the
+// property the paper's atomic API exists to provide.
+
+#ifndef SRC_UVM_INSTR_H_
+#define SRC_UVM_INSTR_H_
+
+#include <cstdint>
+
+namespace fluke {
+
+enum class Op : uint8_t {
+  kHalt = 0,  // thread exits
+  kNop,
+  kMovImm,  // r[a] = imm
+  kMov,     // r[a] = r[b]
+  kAdd,     // r[a] = r[b] + r[c]
+  kSub,
+  kMul,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,     // logical
+  kAddImm,  // r[a] = r[b] + imm
+  kLoadB,   // r[a] = zx(byte[r[b] + imm])
+  kStoreB,  // byte[r[b] + imm] = r[a] & 0xff
+  kLoadW,   // r[a] = word[r[b] + imm]   (imm must be 4-byte aligned w.r.t. base)
+  kStoreW,
+  kJmp,   // pc = imm
+  kBeq,   // if (r[a] == r[b]) pc = imm
+  kBne,
+  kBlt,  // unsigned <
+  kBge,  // unsigned >=
+  kSyscall,  // trap to kernel; entrypoint number in register A
+  kCompute,  // consume imm CPU cycles (models application work)
+  kBreak,    // surfaces a kBreak event (used by tests/debuggers)
+};
+
+struct Instr {
+  Op op = Op::kNop;
+  uint8_t a = 0;  // destination / first comparand register
+  uint8_t b = 0;
+  uint8_t c = 0;
+  uint32_t imm = 0;
+};
+
+const char* OpName(Op op);
+
+// Cycle costs per instruction class (1 cycle = 5 ns at 200 MHz).
+inline constexpr uint32_t kCostAlu = 1;
+inline constexpr uint32_t kCostMem = 3;
+inline constexpr uint32_t kCostBranch = 2;
+
+}  // namespace fluke
+
+#endif  // SRC_UVM_INSTR_H_

@@ -1,0 +1,162 @@
+#include "src/uvm/interp.h"
+
+namespace fluke {
+
+RunResult RunUser(const Program& program, UserRegisters* regs, MemoryBus* bus,
+                  uint64_t budget_cycles) {
+  RunResult result;
+  uint32_t* r = regs->gpr;
+
+  while (result.cycles < budget_cycles) {
+    const Instr* in = program.At(regs->pc);
+    if (in == nullptr) {
+      result.event = UserEvent::kBadPc;
+      return result;
+    }
+    switch (in->op) {
+      case Op::kHalt:
+        result.cycles += kCostAlu;
+        result.event = UserEvent::kHalt;
+        return result;
+      case Op::kNop:
+        result.cycles += kCostAlu;
+        break;
+      case Op::kMovImm:
+        r[in->a] = in->imm;
+        result.cycles += kCostAlu;
+        break;
+      case Op::kMov:
+        r[in->a] = r[in->b];
+        result.cycles += kCostAlu;
+        break;
+      case Op::kAdd:
+        r[in->a] = r[in->b] + r[in->c];
+        result.cycles += kCostAlu;
+        break;
+      case Op::kSub:
+        r[in->a] = r[in->b] - r[in->c];
+        result.cycles += kCostAlu;
+        break;
+      case Op::kMul:
+        r[in->a] = r[in->b] * r[in->c];
+        result.cycles += kCostAlu * 3;
+        break;
+      case Op::kAnd:
+        r[in->a] = r[in->b] & r[in->c];
+        result.cycles += kCostAlu;
+        break;
+      case Op::kOr:
+        r[in->a] = r[in->b] | r[in->c];
+        result.cycles += kCostAlu;
+        break;
+      case Op::kXor:
+        r[in->a] = r[in->b] ^ r[in->c];
+        result.cycles += kCostAlu;
+        break;
+      case Op::kShl:
+        r[in->a] = r[in->b] << (r[in->c] & 31);
+        result.cycles += kCostAlu;
+        break;
+      case Op::kShr:
+        r[in->a] = r[in->b] >> (r[in->c] & 31);
+        result.cycles += kCostAlu;
+        break;
+      case Op::kAddImm:
+        r[in->a] = r[in->b] + in->imm;
+        result.cycles += kCostAlu;
+        break;
+      case Op::kLoadB: {
+        uint8_t v = 0;
+        const uint32_t addr = r[in->b] + in->imm;
+        if (!bus->ReadByte(addr, &v, &result.fault_addr)) {
+          result.event = UserEvent::kFault;
+          result.fault_is_write = false;
+          return result;  // PC stays on the faulting instruction
+        }
+        r[in->a] = v;
+        result.cycles += kCostMem;
+        break;
+      }
+      case Op::kStoreB: {
+        const uint32_t addr = r[in->b] + in->imm;
+        if (!bus->WriteByte(addr, static_cast<uint8_t>(r[in->a]), &result.fault_addr)) {
+          result.event = UserEvent::kFault;
+          result.fault_is_write = true;
+          return result;
+        }
+        result.cycles += kCostMem;
+        break;
+      }
+      case Op::kLoadW: {
+        uint32_t v = 0;
+        const uint32_t addr = r[in->b] + in->imm;
+        if (!bus->ReadWord(addr, &v, &result.fault_addr)) {
+          result.event = UserEvent::kFault;
+          result.fault_is_write = false;
+          return result;
+        }
+        r[in->a] = v;
+        result.cycles += kCostMem;
+        break;
+      }
+      case Op::kStoreW: {
+        const uint32_t addr = r[in->b] + in->imm;
+        if (!bus->WriteWord(addr, r[in->a], &result.fault_addr)) {
+          result.event = UserEvent::kFault;
+          result.fault_is_write = true;
+          return result;
+        }
+        result.cycles += kCostMem;
+        break;
+      }
+      case Op::kJmp:
+        regs->pc = in->imm;
+        result.cycles += kCostBranch;
+        continue;  // pc already set
+      case Op::kBeq:
+        result.cycles += kCostBranch;
+        if (r[in->a] == r[in->b]) {
+          regs->pc = in->imm;
+          continue;
+        }
+        break;
+      case Op::kBne:
+        result.cycles += kCostBranch;
+        if (r[in->a] != r[in->b]) {
+          regs->pc = in->imm;
+          continue;
+        }
+        break;
+      case Op::kBlt:
+        result.cycles += kCostBranch;
+        if (r[in->a] < r[in->b]) {
+          regs->pc = in->imm;
+          continue;
+        }
+        break;
+      case Op::kBge:
+        result.cycles += kCostBranch;
+        if (r[in->a] >= r[in->b]) {
+          regs->pc = in->imm;
+          continue;
+        }
+        break;
+      case Op::kSyscall:
+        // PC stays on the syscall instruction; the kernel advances it on
+        // completion or rewrites register A to name a restart entrypoint.
+        result.event = UserEvent::kSyscall;
+        return result;
+      case Op::kCompute:
+        result.cycles += in->imm;
+        break;
+      case Op::kBreak:
+        result.event = UserEvent::kBreak;
+        return result;
+    }
+    ++regs->pc;
+  }
+  result.event = UserEvent::kBudget;
+  return result;
+}
+
+}  // namespace fluke

@@ -1,0 +1,55 @@
+// The user-mode interpreter.
+//
+// Run() executes instructions against a MemoryBus (implemented by the
+// kernel's Space) until one of: the cycle budget is exhausted, the thread
+// traps (syscall), faults (unmapped/protected page), halts, or hits a
+// breakpoint. The PC is NOT advanced past a faulting load/store or past a
+// syscall instruction -- the kernel decides how to resume, which is how the
+// atomic API's register-continuations work (restart = just run again).
+
+#ifndef SRC_UVM_INTERP_H_
+#define SRC_UVM_INTERP_H_
+
+#include <cstdint>
+
+#include "src/api/abi.h"
+#include "src/uvm/program.h"
+
+namespace fluke {
+
+// Abstract user-memory access. Implemented by kern::Space.
+class MemoryBus {
+ public:
+  virtual ~MemoryBus() = default;
+  // Each accessor returns true on success; on failure *fault_addr is set and
+  // no memory is modified.
+  virtual bool ReadByte(uint32_t vaddr, uint8_t* out, uint32_t* fault_addr) = 0;
+  virtual bool WriteByte(uint32_t vaddr, uint8_t value, uint32_t* fault_addr) = 0;
+  virtual bool ReadWord(uint32_t vaddr, uint32_t* out, uint32_t* fault_addr) = 0;
+  virtual bool WriteWord(uint32_t vaddr, uint32_t value, uint32_t* fault_addr) = 0;
+};
+
+enum class UserEvent : int {
+  kBudget = 0,  // cycle budget exhausted; thread is still running user code
+  kSyscall,     // PC rests on a syscall instruction; entrypoint in register A
+  kFault,       // PC rests on the faulting load/store
+  kHalt,
+  kBreak,
+  kBadPc,  // PC outside the program (treated as a fatal thread error)
+};
+
+struct RunResult {
+  UserEvent event = UserEvent::kBudget;
+  uint64_t cycles = 0;        // cycles consumed this run
+  uint32_t fault_addr = 0;    // valid when event == kFault
+  bool fault_is_write = false;
+};
+
+// Executes at most `budget_cycles` worth of instructions of `program`
+// starting from regs->pc. Mutates `regs` in place.
+RunResult RunUser(const Program& program, UserRegisters* regs, MemoryBus* bus,
+                  uint64_t budget_cycles);
+
+}  // namespace fluke
+
+#endif  // SRC_UVM_INTERP_H_

@@ -1,0 +1,71 @@
+// The paper's three evaluation applications (section 5.3):
+//
+//  * memtest   -- touches 16 MiB one byte at a time under a demand-allocation
+//                 memory manager (kernel fault handling + exception IPC);
+//  * flukeperf -- a battery of synchronization and IPC microbenchmarks with
+//                 many kernel calls and context switches, including the
+//                 large long-running IPC operations that induce the Table 6
+//                 preemption latencies;
+//  * gcc       -- a compile-pipeline profile: dominated by user-mode compute
+//                 with file-server IPC and thread create/join per unit.
+//
+// Each Run* builds a fresh kernel in the given configuration, runs the
+// application to completion, and returns the elapsed virtual time plus the
+// kernel's statistics. Used by bench/table5_apps, bench/table6_latency and
+// the integration tests.
+
+#ifndef SRC_WORKLOADS_APPS_H_
+#define SRC_WORKLOADS_APPS_H_
+
+#include <cstdint>
+
+#include "src/kern/config.h"
+#include "src/kern/stats.h"
+
+namespace fluke {
+
+struct AppResult {
+  Time elapsed_ns = 0;
+  KernelStats stats;
+  bool completed = false;
+};
+
+struct MemtestParams {
+  uint32_t bytes = 16 * 1024 * 1024;
+};
+
+struct FlukeperfParams {
+  uint32_t null_syscalls = 400000;
+  uint32_t mutex_pairs = 300000;
+  uint32_t rpc_rounds = 400000;
+  // Large long-running IPC operations (rare, as in the paper: they set the
+  // NP configurations' maximum preemption latency).
+  uint32_t bulk_1mb_sends = 40;
+  uint32_t bulk_big_sends = 8;
+  uint32_t big_send_bytes = 2560 * 1024;  // ~6.9 ms nonpreemptible in NP
+  // region_search: many small ones plus a few over a large range (the PP
+  // configurations' residual latency source, since the paper's only
+  // explicit preemption point is on the IPC copy path).
+  uint32_t small_searches = 600;
+  uint32_t big_searches = 8;
+  // When true, a high-priority probe thread wakes on every 1 ms timer tick
+  // and its wake-to-run latencies are recorded (Table 6).
+  bool latency_probe = false;
+};
+
+struct GccParams {
+  uint32_t units = 20;                     // "files" compiled
+  uint64_t compute_per_unit = 64000000;    // cycles of front+back end work
+  uint32_t io_words_per_unit = 24 * 1024;  // file-server transfer (words)
+  // The driver runs in a demand-paged space under a user-mode manager (a
+  // real compile faults constantly: fork/exec, COW, heap growth).
+  bool demand_paged = true;
+};
+
+AppResult RunMemtest(const KernelConfig& cfg, const MemtestParams& p = {});
+AppResult RunFlukeperf(const KernelConfig& cfg, const FlukeperfParams& p = {});
+AppResult RunGcc(const KernelConfig& cfg, const GccParams& p = {});
+
+}  // namespace fluke
+
+#endif  // SRC_WORKLOADS_APPS_H_

@@ -1,0 +1,188 @@
+#include "src/workloads/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+#include <cassert>
+
+namespace fluke {
+
+CheckpointImage CaptureSpace(Kernel& k, Space& space) {
+  CheckpointImage img;
+  img.space_name = space.name();
+  img.program_name = space.program != nullptr ? space.program->name() : "";
+  img.anon_base = space.anon_base();
+  img.anon_size = space.anon_size();
+
+  // Stop every thread. A blocked thread rolls back transparently to its
+  // committed restart point; a runnable/running thread is parked. After
+  // this, every thread's registers are its complete state.
+  for (Thread* t : space.threads) {
+    if (t->run_state == ThreadRun::kDead) {
+      continue;
+    }
+    const bool was_active = t->run_state == ThreadRun::kRunnable ||
+                            t->run_state == ThreadRun::kBlocked ||
+                            t->run_state == ThreadRun::kRunning;
+    k.StopThread(t);
+    CheckpointImage::ThreadImage ti;
+    ThreadState st;
+    const bool ok = k.GetThreadState(t, &st);
+    assert(ok && "state extraction must be prompt");
+    (void)ok;
+    ti.state = st;
+    ti.program_name = t->program != nullptr ? t->program->name() : "";
+    ti.was_runnable = was_active;
+    img.threads.push_back(ti);
+  }
+
+  // Memory: every mapped page, sorted for determinism.
+  for (const auto& [page, pte] : space.page_table()) {
+    CheckpointImage::PageImage pi;
+    pi.vaddr = page << kPageShift;
+    pi.prot = pte.prot;
+    pi.data.resize(kPageSize);
+    std::memcpy(pi.data.data(), space.phys()->Data(pte.frame), kPageSize);
+    img.pages.push_back(std::move(pi));
+  }
+  std::sort(img.pages.begin(), img.pages.end(),
+            [](const auto& a, const auto& b) { return a.vaddr < b.vaddr; });
+
+  // Handle table, slot order (slot 0 is the invalid sentinel).
+  const auto& handles = space.handle_table();
+  // Thread -> index map for mutex-owner translation.
+  auto thread_index = [&](uint64_t tid) -> int {
+    int i = 0;
+    for (Thread* t : space.threads) {
+      if (t->run_state == ThreadRun::kDead) {
+        continue;
+      }
+      if (t->id() == tid) {
+        return i;
+      }
+      ++i;
+    }
+    return -1;
+  };
+  for (size_t slot = 1; slot < handles.size(); ++slot) {
+    CheckpointImage::ObjImage oi;
+    const KernelObject* o = handles[slot].get();
+    if (o != nullptr && o->alive()) {
+      switch (o->type()) {
+        case ObjType::kMutex: {
+          const auto* m = static_cast<const Mutex*>(o);
+          oi.kind = CheckpointImage::ObjKind::kMutex;
+          oi.mutex_locked = m->locked;
+          oi.mutex_owner_thread = m->locked ? thread_index(m->owner_tid) : -1;
+          break;
+        }
+        case ObjType::kCond:
+          oi.kind = CheckpointImage::ObjKind::kCond;
+          break;
+        case ObjType::kSpace:
+          if (o == &space && space.self_handle == slot) {
+            oi.kind = CheckpointImage::ObjKind::kSpaceSelf;
+          }
+          break;
+        case ObjType::kThread: {
+          const auto* t = static_cast<const Thread*>(o);
+          if (t->space == &space && t->self_handle == slot &&
+              t->run_state != ThreadRun::kDead) {
+            oi.kind = CheckpointImage::ObjKind::kThreadSelf;
+            oi.thread_index = thread_index(t->id());
+          }
+          break;
+        }
+        default:
+          break;  // recorded as kEmpty
+      }
+    }
+    img.objects.push_back(oi);
+  }
+  return img;
+}
+
+RestoreResult RestoreSpace(Kernel& k, const CheckpointImage& img,
+                           const ProgramRegistry& programs, bool start) {
+  RestoreResult r;
+  r.space = k.CreateSpace(img.space_name);
+  r.space->SetAnonRange(img.anon_base, img.anon_size);
+  r.space->program = img.program_name.empty() ? nullptr : programs.Find(img.program_name);
+
+  // Memory first (threads may be blocked mid-operation on it).
+  for (const auto& pi : img.pages) {
+    FrameId f = r.space->ProvidePage(pi.vaddr, pi.prot);
+    assert(f != kInvalidFrame);
+    std::memcpy(k.phys.Data(f), pi.data.data(), kPageSize);
+  }
+
+  // Recreate the handle table strictly in slot order, so every handle
+  // immediate baked into the program remains valid. CreateSpace already
+  // filled the space-self slot; the image's slot 1 must agree.
+  assert(!img.objects.empty() &&
+         img.objects[0].kind == CheckpointImage::ObjKind::kSpaceSelf);
+  r.threads.resize(img.threads.size(), nullptr);
+  // Deferred mutex-owner fixups (the owner thread's slot may come later).
+  std::vector<std::pair<Mutex*, int>> owner_fixups;
+  for (size_t i = 1; i < img.objects.size(); ++i) {
+    const auto& oi = img.objects[i];
+    switch (oi.kind) {
+      case CheckpointImage::ObjKind::kSpaceSelf:
+        assert(false && "duplicate space-self slot");
+        break;
+      case CheckpointImage::ObjKind::kThreadSelf: {
+        assert(oi.thread_index >= 0 &&
+               static_cast<size_t>(oi.thread_index) < img.threads.size());
+        const auto& ti = img.threads[oi.thread_index];
+        ProgramRef prog =
+            ti.program_name.empty() ? nullptr : programs.Find(ti.program_name);
+        Thread* t = k.CreateThread(r.space.get(), prog);  // installs the self slot
+        assert(t->self_handle == i + 1);
+        const bool ok = k.SetThreadState(t, ti.state);
+        assert(ok);
+        (void)ok;
+        r.threads[oi.thread_index] = t;
+        break;
+      }
+      case CheckpointImage::ObjKind::kMutex: {
+        auto m = k.NewMutex();
+        m->locked = oi.mutex_locked;
+        Mutex* raw = m.get();
+        k.Install(r.space.get(), std::move(m));
+        if (oi.mutex_locked && oi.mutex_owner_thread >= 0) {
+          owner_fixups.emplace_back(raw, oi.mutex_owner_thread);
+        }
+        break;
+      }
+      case CheckpointImage::ObjKind::kCond:
+        k.Install(r.space.get(), k.NewCond());
+        break;
+      case CheckpointImage::ObjKind::kEmpty:
+        k.Install(r.space.get(), k.NewReference(nullptr));
+        break;
+    }
+  }
+  for (auto& [m, idx] : owner_fixups) {
+    if (static_cast<size_t>(idx) < r.threads.size() && r.threads[idx] != nullptr) {
+      m->owner_tid = r.threads[idx]->id();
+    }
+  }
+
+  if (start) {
+    for (size_t i = 0; i < r.threads.size(); ++i) {
+      if (r.threads[i] != nullptr && img.threads[i].was_runnable) {
+        k.ResumeThread(r.threads[i]);
+      }
+    }
+  }
+  return r;
+}
+
+void DestroySpaceThreads(Kernel& k, Space& space) {
+  for (Thread* t : space.threads) {
+    k.DestroyThread(t);
+  }
+}
+
+}  // namespace fluke

@@ -1,0 +1,84 @@
+// User-level checkpointing through exportable kernel state.
+//
+// The paper's motivating application (section 4.1, and Tullmann et al.'s
+// "User-level Checkpointing Through Exportable Kernel State"): because every
+// thread's complete state is promptly and correctly exportable -- even while
+// it is blocked mid-way through a multi-stage system call -- an ordinary
+// user-mode process can checkpoint a task, destroy it, re-create it
+// (possibly on another kernel: migration), and the result is
+// indistinguishable from the original.
+//
+// Scope: a checkpoint captures one Space -- its threads (full register
+// state + priority), its memory pages, its anonymous range, and the
+// synchronization objects (mutexes, conds) in its handle table, preserving
+// handle numbering so baked-in program immediates stay valid. Live IPC
+// connections are not captured (the real Fluke checkpointer quiesces or
+// reconstructs connections through user-level protocols; see DESIGN.md).
+
+#ifndef SRC_WORKLOADS_CHECKPOINT_H_
+#define SRC_WORKLOADS_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kern/kernel.h"
+#include "src/kern/state.h"
+
+namespace fluke {
+
+struct CheckpointImage {
+  std::string space_name;
+  std::string program_name;
+  uint32_t anon_base = 0;
+  uint32_t anon_size = 0;
+
+  struct PageImage {
+    uint32_t vaddr = 0;
+    uint32_t prot = 0;
+    std::vector<uint8_t> data;  // kPageSize bytes
+  };
+  std::vector<PageImage> pages;
+
+  struct ThreadImage {
+    ThreadState state;
+    std::string program_name;   // resolved through the registry at restore
+    bool was_runnable = false;  // runnable or blocked (vs stopped/embryo)
+  };
+  std::vector<ThreadImage> threads;
+
+  // Handle-table entries, in slot order (slot = index + 1). Restore
+  // recreates slots strictly in order so every baked-in handle immediate in
+  // the program stays valid. Slots the checkpointer does not understand are
+  // recorded as kEmpty and padded with empty References.
+  enum class ObjKind : int { kEmpty = 0, kSpaceSelf, kThreadSelf, kMutex, kCond };
+  struct ObjImage {
+    ObjKind kind = ObjKind::kEmpty;
+    int thread_index = -1;  // kThreadSelf: index into `threads`
+    bool mutex_locked = false;
+    int mutex_owner_thread = -1;  // index into `threads`, or -1
+  };
+  std::vector<ObjImage> objects;
+};
+
+// Captures `space` from `k`. Threads are stopped first (transparent
+// rollback: their registers are committed restart points) and left stopped;
+// call only when no thread of the space holds a live IPC connection.
+CheckpointImage CaptureSpace(Kernel& k, Space& space);
+
+// Recreates the image in `k` (which may be a different kernel -- migration).
+// Programs are resolved by name through `programs`. Threads are created
+// stopped; `start` resumes those that were runnable.
+struct RestoreResult {
+  std::shared_ptr<Space> space;
+  std::vector<Thread*> threads;
+};
+RestoreResult RestoreSpace(Kernel& k, const CheckpointImage& img,
+                           const ProgramRegistry& programs, bool start = true);
+
+// Convenience: destroys every thread of `space` (after capture).
+void DestroySpaceThreads(Kernel& k, Space& space);
+
+}  // namespace fluke
+
+#endif  // SRC_WORKLOADS_CHECKPOINT_H_

@@ -1,0 +1,194 @@
+#include "src/workloads/ckpt_image.h"
+
+#include <cstring>
+
+namespace fluke {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutStr(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  Reader(const std::vector<uint8_t>& b, std::string* error) : b_(b), error_(error) {}
+
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > b_.size()) {
+      return Fail("truncated u32");
+    }
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(b_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool Str(std::string* s, uint32_t max_len = 4096) {
+    uint32_t n = 0;
+    if (!U32(&n)) {
+      return false;
+    }
+    if (n > max_len || pos_ + n > b_.size()) {
+      return Fail("bad string length");
+    }
+    s->assign(reinterpret_cast<const char*>(b_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool Bytes(std::vector<uint8_t>* v, uint32_t n) {
+    if (pos_ + n > b_.size()) {
+      return Fail("truncated bytes");
+    }
+    v->assign(b_.begin() + static_cast<long>(pos_), b_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+  bool Fail(const char* why) {
+    *error_ = std::string(why) + " at offset " + std::to_string(pos_);
+    return false;
+  }
+  bool AtEnd() const { return pos_ == b_.size(); }
+
+ private:
+  const std::vector<uint8_t>& b_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+void PutThreadState(std::vector<uint8_t>* out, const ThreadState& s) {
+  uint32_t words[kThreadStateWords];
+  ThreadStateToWords(s, words);
+  for (uint32_t w : words) {
+    PutU32(out, w);
+  }
+}
+
+bool GetThreadState(Reader& r, ThreadState* s) {
+  uint32_t words[kThreadStateWords];
+  for (uint32_t& w : words) {
+    if (!r.U32(&w)) {
+      return false;
+    }
+  }
+  ThreadStateFromWords(words, s);
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeCheckpoint(const CheckpointImage& img) {
+  std::vector<uint8_t> out;
+  PutU32(&out, kCkptMagic);
+  PutU32(&out, kCkptVersion);
+  PutStr(&out, img.space_name);
+  PutStr(&out, img.program_name);
+  PutU32(&out, img.anon_base);
+  PutU32(&out, img.anon_size);
+
+  PutU32(&out, static_cast<uint32_t>(img.threads.size()));
+  for (const auto& t : img.threads) {
+    PutThreadState(&out, t.state);
+    PutStr(&out, t.program_name);
+    PutU32(&out, t.was_runnable ? 1 : 0);
+  }
+
+  PutU32(&out, static_cast<uint32_t>(img.pages.size()));
+  for (const auto& p : img.pages) {
+    PutU32(&out, p.vaddr);
+    PutU32(&out, p.prot);
+    out.insert(out.end(), p.data.begin(), p.data.end());
+  }
+
+  PutU32(&out, static_cast<uint32_t>(img.objects.size()));
+  for (const auto& o : img.objects) {
+    PutU32(&out, static_cast<uint32_t>(o.kind));
+    PutU32(&out, static_cast<uint32_t>(o.thread_index));
+    PutU32(&out, o.mutex_locked ? 1 : 0);
+    PutU32(&out, static_cast<uint32_t>(o.mutex_owner_thread));
+  }
+  return out;
+}
+
+bool DeserializeCheckpoint(const std::vector<uint8_t>& bytes, CheckpointImage* out,
+                           std::string* error) {
+  *out = CheckpointImage{};
+  Reader r(bytes, error);
+  uint32_t magic = 0, version = 0;
+  if (!r.U32(&magic) || !r.U32(&version)) {
+    return false;
+  }
+  if (magic != kCkptMagic) {
+    return r.Fail("bad magic");
+  }
+  if (version != kCkptVersion) {
+    return r.Fail("unsupported version");
+  }
+  if (!r.Str(&out->space_name) || !r.Str(&out->program_name) || !r.U32(&out->anon_base) ||
+      !r.U32(&out->anon_size)) {
+    return false;
+  }
+
+  uint32_t n = 0;
+  if (!r.U32(&n) || n > 100000) {
+    return r.Fail("bad thread count");
+  }
+  out->threads.resize(n);
+  for (auto& t : out->threads) {
+    uint32_t runnable = 0;
+    if (!GetThreadState(r, &t.state) || !r.Str(&t.program_name) || !r.U32(&runnable)) {
+      return false;
+    }
+    t.was_runnable = runnable != 0;
+  }
+
+  if (!r.U32(&n) || n > (1u << 20)) {
+    return r.Fail("bad page count");
+  }
+  out->pages.resize(n);
+  for (auto& p : out->pages) {
+    if (!r.U32(&p.vaddr) || !r.U32(&p.prot) || !r.Bytes(&p.data, kPageSize)) {
+      return false;
+    }
+    if ((p.vaddr & kPageMask) != 0) {
+      return r.Fail("unaligned page address");
+    }
+  }
+
+  if (!r.U32(&n) || n > 100000) {
+    return r.Fail("bad object count");
+  }
+  out->objects.resize(n);
+  for (auto& o : out->objects) {
+    uint32_t kind = 0, tidx = 0, locked = 0, owner = 0;
+    if (!r.U32(&kind) || !r.U32(&tidx) || !r.U32(&locked) || !r.U32(&owner)) {
+      return false;
+    }
+    if (kind > static_cast<uint32_t>(CheckpointImage::ObjKind::kCond)) {
+      return r.Fail("bad object kind");
+    }
+    o.kind = static_cast<CheckpointImage::ObjKind>(kind);
+    o.thread_index = static_cast<int>(tidx);
+    o.mutex_locked = locked != 0;
+    o.mutex_owner_thread = static_cast<int>(owner);
+    // Cross-checks the restorer relies on.
+    if (o.kind == CheckpointImage::ObjKind::kThreadSelf &&
+        (o.thread_index < 0 || static_cast<size_t>(o.thread_index) >= out->threads.size())) {
+      return r.Fail("thread-self slot references a missing thread");
+    }
+  }
+  if (!r.AtEnd()) {
+    return r.Fail("trailing bytes");
+  }
+  return true;
+}
+
+}  // namespace fluke

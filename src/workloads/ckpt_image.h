@@ -1,0 +1,33 @@
+// Checkpoint image serialization.
+//
+// Turns a CheckpointImage into a self-describing byte stream and back, so a
+// migration manager can ship a frozen task over a wire or park it on disk.
+// The format is versioned and validated on load; pages are stored sparsely
+// (only mapped pages travel).
+
+#ifndef SRC_WORKLOADS_CKPT_IMAGE_H_
+#define SRC_WORKLOADS_CKPT_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/workloads/checkpoint.h"
+
+namespace fluke {
+
+inline constexpr uint32_t kCkptMagic = 0x464C4B31;  // "FLK1"
+inline constexpr uint32_t kCkptVersion = 1;
+
+// Serializes `img` to bytes.
+std::vector<uint8_t> SerializeCheckpoint(const CheckpointImage& img);
+
+// Parses bytes back into an image. Returns false (with *error set) on a
+// malformed, truncated or version-mismatched stream; never crashes on
+// hostile input.
+bool DeserializeCheckpoint(const std::vector<uint8_t>& bytes, CheckpointImage* out,
+                           std::string* error);
+
+}  // namespace fluke
+
+#endif  // SRC_WORKLOADS_CKPT_IMAGE_H_

@@ -1,0 +1,162 @@
+// Unit tests for the ABI tables, the syscall registry, the configuration
+// rules, and the user-side stub emitters.
+
+#include "src/kern/syscall_table.h"
+#include "tests/test_util.h"
+
+namespace fluke {
+namespace {
+
+TEST(Abi, ErrorNamesStable) {
+  EXPECT_STREQ(FlukeErrorName(kFlukeOk), "OK");
+  EXPECT_STREQ(FlukeErrorName(kFlukeErrInterrupted), "INTERRUPTED");
+  EXPECT_STREQ(FlukeErrorName(kFlukeErrDisconnected), "DISCONNECTED");
+  EXPECT_STREQ(FlukeErrorName(9999), "UNKNOWN");
+}
+
+TEST(Abi, SysNamesUniqueAndComplete) {
+  std::set<std::string> names;
+  for (uint32_t n = 0; n < kSysCount; ++n) {
+    const std::string name = SysName(n);
+    EXPECT_NE(name, "sys_unknown") << n;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate " << name;
+  }
+  EXPECT_STREQ(SysName(kSysCount + 5), "sys_unknown");
+}
+
+TEST(SyscallTable, PaperTable1BreakdownExact) {
+  int counts[4] = {0, 0, 0, 0};
+  for (const auto& d : AllSyscalls()) {
+    ++counts[static_cast<int>(d.cat)];
+  }
+  EXPECT_EQ(counts[static_cast<int>(SysCat::kTrivial)], 8);
+  EXPECT_EQ(counts[static_cast<int>(SysCat::kShort)], 68);
+  EXPECT_EQ(counts[static_cast<int>(SysCat::kLong)], 8);
+  EXPECT_EQ(counts[static_cast<int>(SysCat::kMultiStage)], 23);
+  EXPECT_EQ(AllSyscalls().size(), 107u);
+}
+
+TEST(SyscallTable, ExactlyFiveRestartPoints) {
+  int restart_points = 0;
+  for (const auto& d : AllSyscalls()) {
+    if (d.restart_point) {
+      ++restart_points;
+    }
+  }
+  EXPECT_EQ(restart_points, 5);  // paper section 4.4
+}
+
+TEST(SyscallTable, EveryEntryHasAHandlerAndUniqueNumber) {
+  std::set<uint32_t> nums;
+  for (const auto& d : AllSyscalls()) {
+    EXPECT_NE(d.handler, nullptr) << d.name;
+    EXPECT_TRUE(nums.insert(d.num).second) << d.name;
+    EXPECT_EQ(GetSyscall(d.num), &d);
+  }
+  EXPECT_EQ(GetSyscall(kSysCount), nullptr);
+  EXPECT_EQ(GetSyscall(0xFFFFFFFF), nullptr);
+}
+
+TEST(SyscallTable, MultiStageInventoryPerPaper) {
+  // "Except for cond_wait and region_search ... all of the multi-stage
+  // calls in the Fluke API are IPC-related."
+  for (const auto& d : AllSyscalls()) {
+    if (d.cat != SysCat::kMultiStage) {
+      continue;
+    }
+    const std::string name = d.name;
+    const bool is_ipc = name.find("Ipc") != std::string::npos;
+    const bool is_exception = d.num == kSysCondWait || d.num == kSysRegionSearch;
+    EXPECT_TRUE(is_ipc || is_exception) << name;
+  }
+}
+
+TEST(Config, LabelsMatchPaperTable4) {
+  EXPECT_EQ(PaperConfig(0).Label(), "Process NP");
+  EXPECT_EQ(PaperConfig(1).Label(), "Process PP");
+  EXPECT_EQ(PaperConfig(2).Label(), "Process FP");
+  EXPECT_EQ(PaperConfig(3).Label(), "Interrupt NP");
+  EXPECT_EQ(PaperConfig(4).Label(), "Interrupt PP");
+}
+
+TEST(Config, FullPreemptionRequiresProcessModel) {
+  KernelConfig cfg;
+  cfg.model = ExecModel::kInterrupt;
+  cfg.preempt = PreemptMode::kFull;
+  EXPECT_FALSE(cfg.Valid());
+  cfg.model = ExecModel::kProcess;
+  EXPECT_TRUE(cfg.Valid());
+}
+
+TEST(Ulib, EmitSysSetsOnlyRequestedRegisters) {
+  Assembler a("t");
+  EmitSys(a, kSysMutexLock, 7, kUlibKeep, 9);
+  a.Halt();
+  auto p = a.Build();
+  // movi b,7 ; movi d,9 ; movi a,<lock> ; syscall ; halt
+  ASSERT_EQ(p->size(), 5u);
+  EXPECT_EQ(p->At(0)->op, Op::kMovImm);
+  EXPECT_EQ(p->At(0)->a, kRegB);
+  EXPECT_EQ(p->At(0)->imm, 7u);
+  EXPECT_EQ(p->At(1)->a, kRegD);
+  EXPECT_EQ(p->At(1)->imm, 9u);
+  EXPECT_EQ(p->At(2)->a, kRegA);
+  EXPECT_EQ(p->At(2)->imm, static_cast<uint32_t>(kSysMutexLock));
+  EXPECT_EQ(p->At(3)->op, Op::kSyscall);
+}
+
+TEST(Ulib, EmitComputeConsumesApproximatelyRequestedCycles) {
+  SimpleWorld w;
+  w.kernel.trace.Enable();
+  Assembler a("t");
+  EmitCompute(a, 2000000);  // 10 ms
+  a.Halt();
+  w.Spawn(a.Build());
+  w.RunAll();
+  // The run loop advances in coarse chunks; the exact completion time is on
+  // the thread-exit trace event.
+  Time exit_time = 0;
+  for (const auto& e : w.kernel.trace.Snapshot()) {
+    if (e.kind == TraceKind::kThreadExit) {
+      exit_time = e.when;
+    }
+  }
+  const double ms = static_cast<double>(exit_time) / kNsPerMs;
+  EXPECT_GT(ms, 9.5);
+  EXPECT_LT(ms, 13.0);  // loop overhead allowed
+}
+
+TEST(Ulib, EmitTouchRangeWritesEveryByte) {
+  SimpleWorld w;
+  Assembler a("t");
+  EmitTouchRange(a, SimpleWorld::kAnonBase, 100, /*write=*/true);
+  a.Halt();
+  // Register A holds 0 during the walk, so bytes become 0; pre-fill to
+  // verify every byte was overwritten.
+  uint8_t ones[100];
+  memset(ones, 0xFF, sizeof(ones));
+  ASSERT_TRUE(w.space->HostWrite(SimpleWorld::kAnonBase, ones, sizeof(ones)));
+  w.Spawn(a.Build());
+  w.RunAll();
+  uint8_t got[100];
+  ASSERT_TRUE(w.space->HostRead(SimpleWorld::kAnonBase, got, sizeof(got)));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(got[i], 0) << i;
+  }
+}
+
+TEST(Ulib, EmitCheckOkHaltsOnError) {
+  SimpleWorld w;
+  Assembler a("t");
+  EmitSys(a, kSysMutexLock, 9999);  // BAD_HANDLE
+  EmitCheckOk(a);
+  EmitPuts(a, "unreachable");
+  a.Halt();
+  Thread* t = w.Spawn(a.Build());
+  w.RunAll();
+  EXPECT_EQ(t->run_state, ThreadRun::kDead);
+  EXPECT_EQ(w.kernel.console.output(), "");
+}
+
+}  // namespace
+}  // namespace fluke

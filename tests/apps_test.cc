@@ -1,0 +1,105 @@
+// Integration tests for the paper's three applications at CI scale: they
+// must complete in every configuration with the structural invariants the
+// benchmarks rely on (fault counts, context-switch profiles, probe
+// accounting).
+
+#include "src/workloads/apps.h"
+#include "tests/test_util.h"
+
+namespace fluke {
+namespace {
+
+class AppsTest : public testing::TestWithParam<KernelConfig> {};
+
+TEST_P(AppsTest, MemtestCompletesWithOneHardFaultPerPage) {
+  MemtestParams p;
+  p.bytes = 1 << 20;  // 1 MiB = 256 pages
+  AppResult r = RunMemtest(GetParam(), p);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.stats.hard_faults, 256u);
+  EXPECT_GE(r.stats.soft_faults, 256u);  // retry install + manager zero-fill
+  EXPECT_GT(r.elapsed_ns, 0u);
+}
+
+TEST_P(AppsTest, FlukeperfCompletesAllPhases) {
+  FlukeperfParams p;
+  p.null_syscalls = 5000;
+  p.mutex_pairs = 3000;
+  p.rpc_rounds = 2000;
+  p.bulk_1mb_sends = 4;
+  p.bulk_big_sends = 1;
+  p.small_searches = 30;
+  p.big_searches = 1;
+  AppResult r = RunFlukeperf(GetParam(), p);
+  ASSERT_TRUE(r.completed);
+  // Syscall volume: null + 2*mutex + 2*rpc (client side) at minimum.
+  EXPECT_GT(r.stats.syscalls, 5000u + 2 * 3000u + 2 * 2000u);
+  // The RPC phase forces ~2 switches per round.
+  EXPECT_GT(r.stats.context_switches, 2 * 2000u);
+  // Searches scanned: 30 * 64 pages + 1 * 1664 pages.
+  EXPECT_EQ(r.stats.region_pages_scanned, 30u * 64 + 1664u);
+}
+
+TEST_P(AppsTest, FlukeperfProbeAccountingConsistent) {
+  FlukeperfParams p;
+  p.null_syscalls = 2000;
+  p.mutex_pairs = 1000;
+  p.rpc_rounds = 1000;
+  p.bulk_1mb_sends = 3;
+  p.bulk_big_sends = 1;
+  p.small_searches = 10;
+  p.big_searches = 1;
+  p.latency_probe = true;
+  AppResult r = RunFlukeperf(GetParam(), p);
+  ASSERT_TRUE(r.completed);
+  // Every tick is either a probe run or a miss (+/- the final partial tick).
+  const uint64_t ticks = r.elapsed_ns / kNsPerMs;
+  EXPECT_NEAR(static_cast<double>(r.stats.probe_runs + r.stats.probe_misses),
+              static_cast<double>(ticks), 2.0);
+  if (GetParam().preempt == PreemptMode::kFull) {
+    EXPECT_EQ(r.stats.probe_misses, 0u);
+    EXPECT_LT(r.stats.ProbeMax(), 60 * kNsPerUs);
+  } else {
+    // The big send (~7 ms in NP) must show up in the max.
+    if (GetParam().preempt == PreemptMode::kNone) {
+      EXPECT_GT(r.stats.ProbeMax(), 1000 * kNsPerUs);
+    }
+  }
+}
+
+TEST_P(AppsTest, GccCompletesWithWorkers) {
+  GccParams p;
+  p.units = 3;
+  p.compute_per_unit = 4000000;
+  AppResult r = RunGcc(GetParam(), p);
+  ASSERT_TRUE(r.completed);
+  // Per unit: read-RPC, worker create/set/resume/join, object write, heap
+  // faults through the manager.
+  EXPECT_GT(r.stats.syscalls, 3u * 8);
+  EXPECT_GE(r.stats.hard_faults, 3u * 24);  // 24 fresh heap pages per unit
+  EXPECT_GT(r.stats.context_switches, 3u * 4);
+}
+
+TEST_P(AppsTest, DeterministicAcrossRuns) {
+  FlukeperfParams p;
+  p.null_syscalls = 1000;
+  p.mutex_pairs = 500;
+  p.rpc_rounds = 300;
+  p.bulk_1mb_sends = 1;
+  p.bulk_big_sends = 0;
+  p.small_searches = 5;
+  p.big_searches = 0;
+  AppResult a = RunFlukeperf(GetParam(), p);
+  AppResult b = RunFlukeperf(GetParam(), p);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.elapsed_ns, b.elapsed_ns);
+  EXPECT_EQ(a.stats.syscalls, b.stats.syscalls);
+  EXPECT_EQ(a.stats.context_switches, b.stats.context_switches);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, AppsTest, testing::ValuesIn(AllPaperConfigs()),
+                         ConfigName);
+
+}  // namespace
+}  // namespace fluke

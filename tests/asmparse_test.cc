@@ -1,0 +1,164 @@
+// Text-assembler tests: syntax coverage, macros, error reporting, and an
+// end-to-end run of a parsed program on the kernel.
+
+#include "src/uvm/asmparse.h"
+#include "tests/test_util.h"
+
+namespace fluke {
+namespace {
+
+TEST(AsmParse, BasicProgramRuns) {
+  auto r = ParseAsm("t", R"(
+; compute 2+3 and print '5'
+    movi b, 2
+    movi c, 3
+    add  b, b, c
+    addi b, b, 0x30     # to ASCII
+    movi a, 75          ; kSysConsolePutc -- but use the macro form below too
+    sys  console_putc
+    halt
+)");
+  ASSERT_EQ(r.error, "");
+  ASSERT_NE(r.program, nullptr);
+  SimpleWorld w;
+  w.Spawn(r.program);
+  w.RunAll();
+  EXPECT_EQ(w.kernel.console.output(), "5");
+}
+
+TEST(AsmParse, LabelsAndBranches) {
+  auto r = ParseAsm("loop", R"(
+    movi di, 0
+    movi sp, 5
+head:
+    bge  di, sp, done
+    puts "x"
+    addi di, di, 1
+    jmp  head
+done: halt
+)");
+  ASSERT_EQ(r.error, "") << r.error;
+  SimpleWorld w;
+  w.Spawn(r.program);
+  w.RunAll();
+  EXPECT_EQ(w.kernel.console.output(), "xxxxx");
+}
+
+TEST(AsmParse, MemoryOperands) {
+  auto r = ParseAsm("mem", R"(
+    movi c, 0x10000
+    movi b, 0xAB
+    stb  b, [c+8]
+    ldb  d, [c+8]
+    stw  d, [c]
+    ldw  si, [c]
+    movi a, 0
+    halt
+)");
+  ASSERT_EQ(r.error, "");
+  SimpleWorld w;
+  w.Spawn(r.program);
+  w.RunAll();
+  uint32_t v = 0;
+  ASSERT_TRUE(w.space->HostRead(0x10000, &v, 4));
+  EXPECT_EQ(v, 0xABu);
+}
+
+TEST(AsmParse, SysMacroAcceptsNameVariants) {
+  for (const char* variant : {"mutex_create", "MutexCreate", "sys_MutexCreate", "MUTEX_CREATE"}) {
+    const std::string src = std::string("  sys ") + variant + "\n  halt\n";
+    auto r = ParseAsm("v", src);
+    EXPECT_EQ(r.error, "") << variant;
+    ASSERT_NE(r.program, nullptr) << variant;
+    // The program is: movi a, kSysMutexCreate; syscall; halt.
+    EXPECT_EQ(r.program->At(0)->imm, static_cast<uint32_t>(kSysMutexCreate)) << variant;
+  }
+}
+
+TEST(AsmParse, PutsEscapes) {
+  auto r = ParseAsm("esc", R"(
+    puts "a\tb\n"
+    halt
+)");
+  ASSERT_EQ(r.error, "");
+  SimpleWorld w;
+  w.Spawn(r.program);
+  w.RunAll();
+  EXPECT_EQ(w.kernel.console.output(), "a\tb\n");
+}
+
+TEST(AsmParse, LabelOnSameLineAsInstruction) {
+  auto r = ParseAsm("inline", "start: halt\n");
+  EXPECT_EQ(r.error, "");
+  ASSERT_NE(r.program, nullptr);
+  EXPECT_EQ(r.program->At(0)->op, Op::kHalt);
+}
+
+TEST(AsmParse, ErrorUnknownInstruction) {
+  auto r = ParseAsm("bad", "  frobnicate a, b\n");
+  EXPECT_EQ(r.program, nullptr);
+  EXPECT_NE(r.error.find("line 1"), std::string::npos);
+  EXPECT_NE(r.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(AsmParse, ErrorUnknownRegister) {
+  auto r = ParseAsm("bad", "  movi q, 3\n");
+  EXPECT_EQ(r.program, nullptr);
+  EXPECT_NE(r.error.find("register"), std::string::npos);
+}
+
+TEST(AsmParse, ErrorUndefinedLabel) {
+  auto r = ParseAsm("bad", "  jmp nowhere\n  halt\n");
+  EXPECT_EQ(r.program, nullptr);
+  EXPECT_NE(r.error.find("nowhere"), std::string::npos);
+}
+
+TEST(AsmParse, ErrorDuplicateLabel) {
+  auto r = ParseAsm("bad", "x:\n  halt\nx:\n  halt\n");
+  EXPECT_EQ(r.program, nullptr);
+  EXPECT_NE(r.error.find("twice"), std::string::npos);
+}
+
+TEST(AsmParse, ErrorUnknownSysName) {
+  auto r = ParseAsm("bad", "  sys warp_drive\n");
+  EXPECT_EQ(r.program, nullptr);
+  EXPECT_NE(r.error.find("warp_drive"), std::string::npos);
+}
+
+TEST(AsmParse, ErrorTrailingTokens) {
+  auto r = ParseAsm("bad", "  halt now\n");
+  EXPECT_EQ(r.program, nullptr);
+  EXPECT_NE(r.error.find("trailing"), std::string::npos);
+}
+
+TEST(AsmParse, CommentsInsideStringsPreserved) {
+  auto r = ParseAsm("s", "  puts \"semi;colon#hash\"\n  halt\n");
+  ASSERT_EQ(r.error, "");
+  SimpleWorld w;
+  w.Spawn(r.program);
+  w.RunAll();
+  EXPECT_EQ(w.kernel.console.output(), "semi;colon#hash");
+}
+
+TEST(AsmParse, FullSyscallProgramEndToEnd) {
+  // A mutex-protected critical section written entirely in .fasm.
+  auto r = ParseAsm("e2e", R"(
+    sys  mutex_create
+    mov  bp, b            ; handle
+    mov  b, bp
+    sys  mutex_lock
+    puts "in;"
+    mov  b, bp
+    sys  mutex_unlock
+    puts "out"
+    halt
+)");
+  ASSERT_EQ(r.error, "") << r.error;
+  SimpleWorld w;
+  w.Spawn(r.program);
+  w.RunAll();
+  EXPECT_EQ(w.kernel.console.output(), "in;out");
+}
+
+}  // namespace
+}  // namespace fluke

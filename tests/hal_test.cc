@@ -1,0 +1,181 @@
+// HAL unit tests: event queue ordering, interrupt controller semantics,
+// timer cadence under processing delay, disk latency model, console I/O.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hal/clock.h"
+#include "src/hal/devices.h"
+#include "src/hal/irq.h"
+
+namespace fluke {
+namespace {
+
+TEST(EventQueue, FiresInDeadlineOrder) {
+  VirtualClock clock;
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(300, [&] { order.push_back(3); });
+  q.ScheduleAt(100, [&] { order.push_back(1); });
+  q.ScheduleAt(200, [&] { order.push_back(2); });
+  q.RunDue(250);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  q.RunDue(300);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualDeadlinesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  q.RunDue(50);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlerMaySchedule) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] {
+    ++fired;
+    q.ScheduleAt(20, [&] { ++fired; });
+  });
+  q.RunDue(30);  // the nested event is due within the same sweep
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Irq, PendingCoalescesRaiseTimeKeepsFirst) {
+  InterruptController ic;
+  ic.Raise(kIrqTimer, 1000);
+  ic.Raise(kIrqTimer, 2000);
+  EXPECT_TRUE(ic.Pending(kIrqTimer));
+  EXPECT_EQ(ic.raise_time(kIrqTimer), 1000u);  // first raise's timestamp
+  EXPECT_EQ(ic.raise_count(kIrqTimer), 2u);
+  ic.Ack(kIrqTimer);
+  EXPECT_FALSE(ic.Pending(kIrqTimer));
+  ic.Raise(kIrqTimer, 3000);
+  EXPECT_EQ(ic.raise_time(kIrqTimer), 3000u);  // fresh pending period
+}
+
+TEST(Irq, HighestPendingIsLowestLine) {
+  InterruptController ic;
+  ic.Raise(kIrqConsole, 0);
+  ic.Raise(kIrqTimer, 0);
+  EXPECT_EQ(ic.HighestPending(), kIrqTimer);
+  ic.Ack(kIrqTimer);
+  EXPECT_EQ(ic.HighestPending(), kIrqConsole);
+  ic.Ack(kIrqConsole);
+  EXPECT_EQ(ic.HighestPending(), -1);
+}
+
+TEST(Timer, KeepsAbsoluteCadenceWhenProcessedLate) {
+  VirtualClock clock;
+  EventQueue events;
+  InterruptController irqs;
+  TimerDevice timer(&clock, &events, &irqs);
+  timer.Start(1000);
+  // Process events only after a long "kernel operation": 5.5 virtual us.
+  clock.Advance(5500);
+  events.RunDue(clock.now());
+  // Five ticks came due; they coalesce into one pending IRQ but the raise
+  // count records every tick, stamped with its scheduled time.
+  EXPECT_EQ(timer.ticks(), 5u);
+  EXPECT_EQ(irqs.raise_count(kIrqTimer), 5u);
+  EXPECT_EQ(irqs.raise_time(kIrqTimer), 1000u);  // the first missed tick
+  // The next tick stays on the grid (at 6000, not 6500+1000).
+  irqs.Ack(kIrqTimer);
+  clock.Advance(500);  // now = 6000
+  events.RunDue(clock.now());
+  EXPECT_EQ(timer.ticks(), 6u);
+}
+
+TEST(Timer, StopPreventsFurtherTicks) {
+  VirtualClock clock;
+  EventQueue events;
+  InterruptController irqs;
+  TimerDevice timer(&clock, &events, &irqs);
+  timer.Start(100);
+  clock.Advance(250);
+  events.RunDue(clock.now());
+  EXPECT_EQ(timer.ticks(), 2u);
+  timer.Stop();
+  clock.Advance(1000);
+  events.RunDue(clock.now());
+  EXPECT_EQ(timer.ticks(), 2u);
+}
+
+TEST(Disk, CompletionAfterLatencyRaisesIrq) {
+  VirtualClock clock;
+  EventQueue events;
+  InterruptController irqs;
+  DiskDevice disk(&clock, &events, &irqs);
+  const uint64_t id = disk.Submit(1000, 8, false);
+  EXPECT_EQ(disk.completions_pending(), 0u);
+  uint64_t done = 0;
+  EXPECT_FALSE(disk.PopCompletion(&done));
+  clock.Advance(DiskDevice::kSeekNs + 8 * DiskDevice::kPerSectorNs);
+  events.RunDue(clock.now());
+  EXPECT_TRUE(irqs.Pending(kIrqDisk));
+  ASSERT_TRUE(disk.PopCompletion(&done));
+  EXPECT_EQ(done, id);
+}
+
+TEST(Disk, SequentialAccessIsCheaperThanSeek) {
+  VirtualClock clock;
+  EventQueue events;
+  InterruptController irqs;
+  DiskDevice disk(&clock, &events, &irqs);
+  disk.Submit(500, 1, false);  // positions the head
+  clock.Advance(100 * kNsPerMs);
+  events.RunDue(clock.now());
+  uint64_t id;
+  disk.PopCompletion(&id);
+
+  // Same-sector request completes in under a full seek.
+  const Time t0 = clock.now();
+  disk.Submit(500, 1, false);
+  clock.Advance(DiskDevice::kSeekNs / 2);
+  events.RunDue(clock.now());
+  EXPECT_TRUE(disk.PopCompletion(&id)) << "rotational-only latency expected";
+  (void)t0;
+}
+
+TEST(Console, OutputAccumulatesAndClears) {
+  VirtualClock clock;
+  EventQueue events;
+  InterruptController irqs;
+  ConsoleDevice con(&clock, &events, &irqs);
+  con.PutChar('h');
+  con.PutChar('i');
+  EXPECT_EQ(con.output(), "hi");
+  con.ClearOutput();
+  EXPECT_EQ(con.output(), "");
+}
+
+TEST(Console, InjectedInputArrivesOverTime) {
+  VirtualClock clock;
+  EventQueue events;
+  InterruptController irqs;
+  ConsoleDevice con(&clock, &events, &irqs);
+  con.InjectInput("ab", /*when=*/100, /*gap=*/50);
+  EXPECT_FALSE(con.HasInput());
+  clock.AdvanceTo(100);
+  events.RunDue(clock.now());
+  EXPECT_TRUE(irqs.Pending(kIrqConsole));
+  EXPECT_EQ(con.GetChar(), 'a');
+  EXPECT_EQ(con.GetChar(), -1);  // 'b' not due yet
+  clock.AdvanceTo(150);
+  events.RunDue(clock.now());
+  EXPECT_EQ(con.GetChar(), 'b');
+}
+
+TEST(Clock, CyclesConversion) {
+  EXPECT_EQ(Cycles(1), 5u);      // 200 MHz
+  EXPECT_EQ(Cycles(200), 1000u); // 1 us
+}
+
+}  // namespace
+}  // namespace fluke

@@ -1,0 +1,114 @@
+// Legacy (user-mode-in-kernel-space) thread support -- section 5.6: the
+// pseudo-syscall gate, its privilege check, and a process-model driver
+// thread blocking on device interrupts inside an interrupt-model kernel.
+
+#include "src/kern/legacy.h"
+#include "tests/test_util.h"
+
+namespace fluke {
+namespace {
+
+class LegacyTest : public testing::TestWithParam<KernelConfig> {};
+
+TEST_P(LegacyTest, PseudoSyscallRefusedForOrdinaryThreads) {
+  SimpleWorld w(GetParam());
+  Assembler a("pleb");
+  EmitSys(a, kPsysDiskSubmit, 0, 1, 0);
+  a.MovImm(kRegC, SimpleWorld::kAnonBase);
+  a.StoreW(kRegA, kRegC, 0);
+  EmitSys(a, kPsysKstat, kKstatSyscalls);
+  a.StoreW(kRegA, kRegC, 4);
+  a.Halt();
+  w.Spawn(a.Build());
+  w.RunAll();
+  uint32_t errs[2] = {};
+  ASSERT_TRUE(w.space->HostRead(SimpleWorld::kAnonBase, errs, 8));
+  EXPECT_EQ(errs[0], kFlukeErrProtection);
+  EXPECT_EQ(errs[1], kFlukeErrProtection);
+  EXPECT_EQ(w.kernel.disk.submitted(), 0u);  // nothing reached the device
+}
+
+TEST_P(LegacyTest, KstatExposesCounters) {
+  SimpleWorld w(GetParam());
+  Assembler a("kstat");
+  for (int i = 0; i < 5; ++i) {
+    EmitSys(a, kSysNull);
+  }
+  EmitSys(a, kPsysKstat, kKstatSyscalls);
+  a.MovImm(kRegC, SimpleWorld::kAnonBase);
+  a.StoreW(kRegB, kRegC, 0);
+  EmitSys(a, kPsysKstat, kKstatAliveThreads);
+  a.StoreW(kRegB, kRegC, 4);
+  a.Halt();
+  Thread* t = w.Spawn(a.Build());
+  t->legacy = true;
+  w.RunAll();
+  uint32_t vals[2] = {};
+  ASSERT_TRUE(w.space->HostRead(SimpleWorld::kAnonBase, vals, 8));
+  EXPECT_GE(vals[0], 5u);
+  EXPECT_GE(vals[1], 1u);
+}
+
+TEST_P(LegacyTest, DriverSubmitWaitCompletes) {
+  SimpleWorld w(GetParam());
+  Assembler a("driver");
+  // Submit two reads, then collect both completions (order of completion
+  // follows the latency model).
+  EmitSys(a, kPsysDiskSubmit, 500, 4, 0);
+  EmitCheckOk(a);
+  a.MovImm(kRegC, SimpleWorld::kAnonBase);
+  a.StoreW(kRegB, kRegC, 0);  // id of first
+  EmitSys(a, kPsysDiskSubmit, 500, 64, 0);
+  EmitCheckOk(a);
+  a.StoreW(kRegB, kRegC, 4);
+  EmitSys(a, kSysDiskWait);
+  EmitCheckOk(a);
+  a.MovImm(kRegC, SimpleWorld::kAnonBase);
+  a.StoreW(kRegB, kRegC, 8);
+  EmitSys(a, kSysDiskWait);
+  EmitCheckOk(a);
+  a.MovImm(kRegC, SimpleWorld::kAnonBase);
+  a.StoreW(kRegB, kRegC, 12);
+  a.Halt();
+  Thread* t = w.Spawn(a.Build());
+  t->legacy = true;
+  w.RunAll(500 * kNsPerMs);
+  uint32_t out[4] = {};
+  ASSERT_TRUE(w.space->HostRead(SimpleWorld::kAnonBase, out, 16));
+  // Both ids seen, first-submitted completes first (same sector, fewer
+  // sectors => earlier).
+  EXPECT_EQ(out[2], out[0]);
+  EXPECT_EQ(out[3], out[1]);
+  EXPECT_EQ(w.kernel.disk.submitted(), 2u);
+}
+
+TEST_P(LegacyTest, DriverBlockingDoesNotDisturbCoreKernel) {
+  // A legacy thread parked in disk_wait while ordinary threads churn: the
+  // "process-model code in an interrupt-model kernel" coexistence claim.
+  SimpleWorld w(GetParam());
+  Assembler d("driver");
+  EmitSys(d, kPsysDiskSubmit, 2000, 32, 0);
+  EmitSys(d, kSysDiskWait);
+  EmitCheckOk(d);
+  EmitPuts(d, "D");
+  d.Halt();
+  Thread* drv = w.Spawn(d.Build(), 6);
+  drv->legacy = true;
+
+  Assembler u("app");
+  for (int i = 0; i < 200; ++i) {
+    EmitSys(u, kSysNull);
+  }
+  EmitPuts(u, "A");
+  u.Halt();
+  w.Spawn(u.Build(), 4);
+  w.RunAll(500 * kNsPerMs);
+  // The app finishes during the disk latency; the driver after it.
+  EXPECT_EQ(w.kernel.console.output(), "AD");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, LegacyTest, testing::ValuesIn(AllPaperConfigs()),
+                         ConfigName);
+
+}  // namespace
+}  // namespace fluke

@@ -1,0 +1,131 @@
+// Kernel trace-buffer tests: event capture, ring-buffer wrap, and the
+// model-distinguishing restart events (a blocked op re-entered in the
+// interrupt model traces as sys-restart; a resumed one in the process
+// model does not re-enter at all).
+
+#include "tests/test_util.h"
+
+namespace fluke {
+namespace {
+
+TEST(TraceBuffer, DisabledRecordsNothing) {
+  TraceBuffer tb(8);
+  tb.Record(1, TraceKind::kWake, 42);
+  EXPECT_EQ(tb.size(), 0u);
+  EXPECT_EQ(tb.total_recorded(), 0u);
+}
+
+TEST(TraceBuffer, RingWrapKeepsNewest) {
+  TraceBuffer tb(4);
+  tb.Enable();
+  for (uint32_t i = 0; i < 10; ++i) {
+    tb.Record(i, TraceKind::kWake, i);
+  }
+  EXPECT_EQ(tb.total_recorded(), 10u);
+  auto v = tb.Snapshot();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.front().when, 6u);  // oldest surviving
+  EXPECT_EQ(v.back().when, 9u);   // newest
+}
+
+TEST(TraceBuffer, DumpIsReadable) {
+  TraceBuffer tb;
+  tb.Enable();
+  tb.Record(5000, TraceKind::kSyscallEnter, 7, kSysMutexLock);
+  const std::string d = tb.Dump();
+  EXPECT_NE(d.find("sys-enter"), std::string::npos);
+  EXPECT_NE(d.find("sys_MutexLock"), std::string::npos);
+  EXPECT_NE(d.find("t7"), std::string::npos);
+}
+
+class TraceKernelTest : public testing::TestWithParam<KernelConfig> {};
+
+TEST_P(TraceKernelTest, SyscallLifecycleTraced) {
+  SimpleWorld w(GetParam());
+  w.kernel.trace.Enable();
+  Assembler a("t");
+  EmitSys(a, kSysNull);
+  a.Halt();
+  w.Spawn(a.Build());
+  w.RunAll();
+  int enters = 0, exits = 0, thread_exits = 0;
+  for (const auto& e : w.kernel.trace.Snapshot()) {
+    if (e.kind == TraceKind::kSyscallEnter && e.a == kSysNull) {
+      ++enters;
+    }
+    if (e.kind == TraceKind::kSyscallExit && e.a == kSysNull) {
+      ++exits;
+      EXPECT_EQ(e.b, kFlukeOk);
+    }
+    if (e.kind == TraceKind::kThreadExit) {
+      ++thread_exits;
+    }
+  }
+  EXPECT_EQ(enters, 1);
+  EXPECT_EQ(exits, 1);
+  EXPECT_EQ(thread_exits, 1);
+}
+
+TEST_P(TraceKernelTest, RestartEventsDistinguishTheModels) {
+  SimpleWorld w(GetParam());
+  w.kernel.trace.Enable();
+  auto mutex = w.kernel.NewMutex();
+  mutex->locked = true;
+  const Handle m = w.kernel.Install(w.space.get(), mutex);
+  Assembler a("t");
+  EmitSys(a, kSysMutexLock, m);
+  a.Halt();
+  Thread* t = w.Spawn(a.Build());
+  w.kernel.Run(w.kernel.clock.now() + 5 * kNsPerMs);
+  ASSERT_EQ(t->run_state, ThreadRun::kBlocked);
+  mutex->locked = false;
+  w.kernel.WakeOne(&mutex->waiters);
+  w.RunAll();
+
+  int blocks = 0, wakes = 0, restarts = 0;
+  for (const auto& e : w.kernel.trace.Snapshot()) {
+    if (e.kind == TraceKind::kBlock && e.a == kSysMutexLock) {
+      ++blocks;
+    }
+    if (e.kind == TraceKind::kWake && e.thread_id == t->id()) {
+      ++wakes;
+    }
+    if (e.kind == TraceKind::kSyscallRestart) {
+      ++restarts;
+    }
+  }
+  EXPECT_EQ(blocks, 1);
+  EXPECT_EQ(wakes, 1);
+  // THE execution-model signature: the interrupt model re-enters the
+  // syscall from the registers; the process model resumes the retained
+  // frame and never re-enters.
+  if (GetParam().model == ExecModel::kInterrupt) {
+    EXPECT_EQ(restarts, 1);
+  } else {
+    EXPECT_EQ(restarts, 0);
+  }
+}
+
+TEST_P(TraceKernelTest, FaultsTraced) {
+  SimpleWorld w(GetParam());
+  w.kernel.trace.Enable();
+  Assembler a("t");
+  a.MovImm(kRegC, SimpleWorld::kAnonBase + 0x5000);
+  a.LoadB(kRegB, kRegC, 0);  // soft (anon zero-fill)
+  a.Halt();
+  w.Spawn(a.Build());
+  w.RunAll();
+  bool saw = false;
+  for (const auto& e : w.kernel.trace.Snapshot()) {
+    if (e.kind == TraceKind::kSoftFault && e.a == SimpleWorld::kAnonBase + 0x5000) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, TraceKernelTest, testing::ValuesIn(AllPaperConfigs()),
+                         ConfigName);
+
+}  // namespace
+}  // namespace fluke

@@ -1,0 +1,288 @@
+// Unit tests for the user virtual machine: assembler, interpreter, faults.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/api/abi.h"
+#include "src/uvm/interp.h"
+#include "src/uvm/program.h"
+
+namespace fluke {
+namespace {
+
+// A trivial flat-memory bus with a movable fault window.
+class FlatBus : public MemoryBus {
+ public:
+  explicit FlatBus(uint32_t size = 64 * 1024) : mem_(size, 0) {}
+
+  void FaultAt(uint32_t lo, uint32_t hi) {
+    fault_lo_ = lo;
+    fault_hi_ = hi;
+  }
+
+  bool ReadByte(uint32_t a, uint8_t* out, uint32_t* fa) override {
+    if (Bad(a)) {
+      *fa = a;
+      return false;
+    }
+    *out = mem_[a];
+    return true;
+  }
+  bool WriteByte(uint32_t a, uint8_t v, uint32_t* fa) override {
+    if (Bad(a)) {
+      *fa = a;
+      return false;
+    }
+    mem_[a] = v;
+    return true;
+  }
+  bool ReadWord(uint32_t a, uint32_t* out, uint32_t* fa) override {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      uint8_t b;
+      if (!ReadByte(a + i, &b, fa)) {
+        return false;
+      }
+      v |= static_cast<uint32_t>(b) << (8 * i);
+    }
+    *out = v;
+    return true;
+  }
+  bool WriteWord(uint32_t a, uint32_t v, uint32_t* fa) override {
+    for (int i = 0; i < 4; ++i) {
+      if (!WriteByte(a + i, static_cast<uint8_t>(v >> (8 * i)), fa)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  uint8_t at(uint32_t a) const { return mem_[a]; }
+
+ private:
+  bool Bad(uint32_t a) const {
+    return a >= mem_.size() || (a >= fault_lo_ && a < fault_hi_);
+  }
+  std::vector<uint8_t> mem_;
+  uint32_t fault_lo_ = 1, fault_hi_ = 0;  // empty window
+};
+
+RunResult RunProg(const ProgramRef& p, UserRegisters* regs, MemoryBus* bus,
+              uint64_t budget = 1 << 20) {
+  return RunUser(*p, regs, bus, budget);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  Assembler a("t");
+  auto fwd = a.NewLabel();
+  a.Jmp(fwd);
+  a.MovImm(0, 99);  // skipped
+  a.Bind(fwd);
+  a.MovImm(0, 7);
+  a.Halt();
+  auto p = a.Build();
+  UserRegisters r;
+  FlatBus bus;
+  auto res = RunProg(p, &r, &bus);
+  EXPECT_EQ(res.event, UserEvent::kHalt);
+  EXPECT_EQ(r.gpr[0], 7u);
+}
+
+TEST(Interp, AluOps) {
+  Assembler a("alu");
+  a.MovImm(0, 6);
+  a.MovImm(1, 3);
+  a.Add(2, 0, 1);   // 9
+  a.Sub(3, 0, 1);   // 3
+  a.Mul(4, 0, 1);   // 18
+  a.Xor(5, 0, 1);   // 5
+  a.Shl(6, 0, 1);   // 48
+  a.Shr(7, 0, 1);   // 0
+  a.Halt();
+  auto p = a.Build();
+  UserRegisters r;
+  FlatBus bus;
+  RunProg(p, &r, &bus);
+  EXPECT_EQ(r.gpr[2], 9u);
+  EXPECT_EQ(r.gpr[3], 3u);
+  EXPECT_EQ(r.gpr[4], 18u);
+  EXPECT_EQ(r.gpr[5], 5u);
+  EXPECT_EQ(r.gpr[6], 48u);
+  EXPECT_EQ(r.gpr[7], 0u);
+}
+
+TEST(Interp, LoadStoreRoundTrip) {
+  Assembler a("mem");
+  a.MovImm(0, 0xAB);
+  a.MovImm(1, 100);
+  a.StoreB(0, 1, 5);  // mem[105] = 0xAB
+  a.LoadB(2, 1, 5);
+  a.MovImm(3, 0xDEADBEEF);
+  a.StoreW(3, 1, 8);
+  a.LoadW(4, 1, 8);
+  a.Halt();
+  auto p = a.Build();
+  UserRegisters r;
+  FlatBus bus;
+  RunProg(p, &r, &bus);
+  EXPECT_EQ(r.gpr[2], 0xABu);
+  EXPECT_EQ(r.gpr[4], 0xDEADBEEFu);
+  EXPECT_EQ(bus.at(105), 0xAB);
+}
+
+TEST(Interp, BranchesTakenAndNotTaken) {
+  Assembler a("br");
+  auto l1 = a.NewLabel();
+  auto l2 = a.NewLabel();
+  a.MovImm(0, 5);
+  a.MovImm(1, 5);
+  a.Beq(0, 1, l1);
+  a.Halt();  // not reached
+  a.Bind(l1);
+  a.MovImm(2, 1);
+  a.MovImm(1, 9);
+  a.Blt(0, 1, l2);  // 5 < 9 taken
+  a.Halt();
+  a.Bind(l2);
+  a.MovImm(3, 1);
+  a.Bge(0, 1, l1);  // 5 >= 9 not taken
+  a.MovImm(4, 1);
+  a.Halt();
+  auto p = a.Build();
+  UserRegisters r;
+  FlatBus bus;
+  auto res = RunProg(p, &r, &bus);
+  EXPECT_EQ(res.event, UserEvent::kHalt);
+  EXPECT_EQ(r.gpr[2], 1u);
+  EXPECT_EQ(r.gpr[3], 1u);
+  EXPECT_EQ(r.gpr[4], 1u);
+}
+
+TEST(Interp, SyscallStopsWithPcOnInstruction) {
+  Assembler a("sc");
+  a.MovImm(kRegA, 42);
+  a.Syscall();
+  a.Halt();
+  auto p = a.Build();
+  UserRegisters r;
+  FlatBus bus;
+  auto res = RunProg(p, &r, &bus);
+  EXPECT_EQ(res.event, UserEvent::kSyscall);
+  EXPECT_EQ(r.pc, 1u);  // resting ON the syscall instruction
+  EXPECT_EQ(r.gpr[kRegA], 42u);
+  // Re-running without changing anything re-traps (restart semantics).
+  auto res2 = RunProg(p, &r, &bus);
+  EXPECT_EQ(res2.event, UserEvent::kSyscall);
+  EXPECT_EQ(r.pc, 1u);
+}
+
+TEST(Interp, FaultLeavesPcOnFaultingInstruction) {
+  Assembler a("fault");
+  a.MovImm(1, 200);
+  a.LoadB(0, 1, 0);
+  a.Halt();
+  auto p = a.Build();
+  UserRegisters r;
+  FlatBus bus;
+  bus.FaultAt(200, 201);
+  auto res = RunProg(p, &r, &bus);
+  EXPECT_EQ(res.event, UserEvent::kFault);
+  EXPECT_EQ(res.fault_addr, 200u);
+  EXPECT_FALSE(res.fault_is_write);
+  EXPECT_EQ(r.pc, 1u);
+  // Clear the fault and resume: the instruction retries transparently.
+  bus.FaultAt(1, 0);
+  auto res2 = RunProg(p, &r, &bus);
+  EXPECT_EQ(res2.event, UserEvent::kHalt);
+}
+
+TEST(Interp, WriteFaultFlagged) {
+  Assembler a("wfault");
+  a.MovImm(1, 300);
+  a.StoreB(0, 1, 0);
+  a.Halt();
+  auto p = a.Build();
+  UserRegisters r;
+  FlatBus bus;
+  bus.FaultAt(300, 301);
+  auto res = RunProg(p, &r, &bus);
+  EXPECT_EQ(res.event, UserEvent::kFault);
+  EXPECT_TRUE(res.fault_is_write);
+}
+
+TEST(Interp, BudgetExhaustionIsResumable) {
+  Assembler a("budget");
+  auto loop = a.NewLabel();
+  a.MovImm(0, 0);
+  a.MovImm(1, 1);
+  a.MovImm(2, 100000);
+  a.Bind(loop);
+  a.Add(0, 0, 1);
+  a.Bne(0, 2, loop);
+  a.Halt();
+  auto p = a.Build();
+  UserRegisters r;
+  FlatBus bus;
+  uint64_t total_cycles = 0;
+  int bursts = 0;
+  for (;;) {
+    auto res = RunProg(p, &r, &bus, 1000);
+    total_cycles += res.cycles;
+    ++bursts;
+    if (res.event == UserEvent::kHalt) {
+      break;
+    }
+    ASSERT_EQ(res.event, UserEvent::kBudget);
+    ASSERT_LT(bursts, 10000);
+  }
+  EXPECT_EQ(r.gpr[0], 100000u);
+  EXPECT_GT(bursts, 100);  // really was split across bursts
+  EXPECT_GT(total_cycles, 100000u);
+}
+
+TEST(Interp, ComputeCosts) {
+  Assembler a("comp");
+  a.Compute(5000);
+  a.Halt();
+  auto p = a.Build();
+  UserRegisters r;
+  FlatBus bus;
+  auto res = RunProg(p, &r, &bus);
+  EXPECT_EQ(res.event, UserEvent::kHalt);
+  EXPECT_GE(res.cycles, 5000u);
+}
+
+TEST(Interp, BadPcReported) {
+  Assembler a("bad");
+  a.MovImm(0, 1);  // falls off the end
+  auto p = a.Build();
+  UserRegisters r;
+  FlatBus bus;
+  auto res = RunProg(p, &r, &bus);
+  EXPECT_EQ(res.event, UserEvent::kBadPc);
+}
+
+TEST(Interp, BreakStops) {
+  Assembler a("brk");
+  a.Break();
+  a.Halt();
+  auto p = a.Build();
+  UserRegisters r;
+  FlatBus bus;
+  auto res = RunProg(p, &r, &bus);
+  EXPECT_EQ(res.event, UserEvent::kBreak);
+  EXPECT_EQ(r.pc, 0u);
+}
+
+TEST(ProgramRegistry, FindByName) {
+  ProgramRegistry reg;
+  Assembler a("prog-a");
+  a.Halt();
+  reg.Register(a.Build());
+  EXPECT_NE(reg.Find("prog-a"), nullptr);
+  EXPECT_EQ(reg.Find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace fluke

@@ -1,0 +1,176 @@
+// fluke_run: assemble and run a .fasm user program on a Fluke kernel.
+//
+// Usage:
+//   fluke_run [options] program.fasm [more.fasm ...]
+//
+// Each file becomes one thread (all in one space, sharing memory). Options:
+//   --model=process|interrupt     execution model        (default process)
+//   --preempt=np|pp|fp            preemption mode        (default np)
+//   --anon=BYTES                  anonymous memory size  (default 16 MiB)
+//   --max-ms=N                    virtual time budget    (default 10000)
+//   --paged                       run under a user-mode demand pager instead
+//                                 of kernel anon memory
+//   --stats                       print kernel statistics at exit
+//   --trace                       dump the kernel event trace at exit
+//   --ps                          dump thread/space state at exit
+//
+// Example program (echo.fasm):
+//   start:
+//     puts "hello from fluke\n"
+//     sys  clock_get
+//     halt
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/kern/kernel.h"
+#include "src/kern/inspect.h"
+#include "src/uvm/asmparse.h"
+#include "src/workloads/pager.h"
+
+namespace fluke {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fluke_run [--model=process|interrupt] [--preempt=np|pp|fp]\n"
+               "                 [--anon=BYTES] [--max-ms=N] [--paged] [--stats] [--trace] [--ps]\n"
+               "                 program.fasm [more.fasm ...]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  KernelConfig cfg;
+  uint32_t anon_bytes = 16 * 1024 * 1024;
+  uint64_t max_ms = 10000;
+  bool paged = false;
+  bool stats = false;
+  bool trace = false;
+  bool ps = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--model=process") {
+      cfg.model = ExecModel::kProcess;
+    } else if (arg == "--model=interrupt") {
+      cfg.model = ExecModel::kInterrupt;
+    } else if (arg == "--preempt=np") {
+      cfg.preempt = PreemptMode::kNone;
+    } else if (arg == "--preempt=pp") {
+      cfg.preempt = PreemptMode::kPartial;
+    } else if (arg == "--preempt=fp") {
+      cfg.preempt = PreemptMode::kFull;
+    } else if (arg.rfind("--anon=", 0) == 0) {
+      anon_bytes = static_cast<uint32_t>(std::stoul(arg.substr(7), nullptr, 0));
+    } else if (arg.rfind("--max-ms=", 0) == 0) {
+      max_ms = std::stoull(arg.substr(9), nullptr, 0);
+    } else if (arg == "--paged") {
+      paged = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--ps") {
+      ps = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "fluke_run: unknown option '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    return Usage();
+  }
+  if (!cfg.Valid()) {
+    std::fprintf(stderr, "fluke_run: --preempt=fp requires --model=process\n");
+    return 2;
+  }
+
+  Kernel kernel(cfg);
+  if (trace) {
+    kernel.trace.Enable();
+  }
+  std::shared_ptr<Space> space;
+  if (paged) {
+    ManagedSetup m = BuildManagedSpace(kernel, anon_bytes, "cli");
+    kernel.StartThread(m.manager_thread);
+    space = m.child_space;
+  } else {
+    space = kernel.CreateSpace("cli");
+    space->SetAnonRange(0, anon_bytes);
+  }
+
+  std::vector<Thread*> threads;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "fluke_run: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream src;
+    src << in.rdbuf();
+    AsmParseResult r = ParseAsm(path, src.str());
+    if (r.program == nullptr) {
+      std::fprintf(stderr, "fluke_run: %s: %s\n", path.c_str(), r.error.c_str());
+      return 1;
+    }
+    Thread* t = kernel.CreateThread(space.get(), r.program);
+    kernel.StartThread(t);
+    threads.push_back(t);
+  }
+
+  // Run until every program thread finishes (daemons like the pager run
+  // forever) or the virtual-time budget expires.
+  const Time deadline = kernel.clock.now() + max_ms * kNsPerMs;
+  for (Thread* t : threads) {
+    if (!kernel.RunUntilThreadDone(t, deadline - kernel.clock.now())) {
+      break;
+    }
+  }
+  std::fputs(kernel.console.output().c_str(), stdout);
+
+  int rc = 0;
+  for (size_t i = 0; i < threads.size(); ++i) {
+    if (threads[i]->run_state != ThreadRun::kDead) {
+      std::fprintf(stderr, "fluke_run: %s: thread still %s at the time budget\n",
+                   files[i].c_str(), ThreadRunName(threads[i]->run_state));
+      rc = 3;
+    } else if (threads[i]->exit_code != 0) {
+      std::fprintf(stderr, "fluke_run: %s: exit code %u\n", files[i].c_str(),
+                   threads[i]->exit_code);
+      rc = 1;
+    }
+  }
+  if (stats) {
+    const KernelStats& s = kernel.stats;
+    std::fprintf(stderr,
+                 "[%s] virtual time %.3f ms | %llu syscalls (%llu restarts) | "
+                 "%llu context switches | faults: %llu soft, %llu hard\n",
+                 cfg.Label().c_str(), static_cast<double>(kernel.clock.now()) / kNsPerMs,
+                 static_cast<unsigned long long>(s.syscalls),
+                 static_cast<unsigned long long>(s.syscall_restarts),
+                 static_cast<unsigned long long>(s.context_switches),
+                 static_cast<unsigned long long>(s.soft_faults),
+                 static_cast<unsigned long long>(s.hard_faults));
+  }
+  if (trace) {
+    std::fputs(kernel.trace.Dump().c_str(), stderr);
+  }
+  if (ps || rc == 3) {
+    // On a hang (budget overrun), the dump names every thread's committed
+    // restart point -- the atomic API's debugging dividend.
+    std::fputs(DumpKernel(kernel).c_str(), stderr);
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace fluke
+
+int main(int argc, char** argv) { return fluke::Main(argc, argv); }
