@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_bias.dir/arch_bias.cc.o"
+  "CMakeFiles/arch_bias.dir/arch_bias.cc.o.d"
+  "arch_bias"
+  "arch_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_models.dir/fig1_models.cc.o"
+  "CMakeFiles/fig1_models.dir/fig1_models.cc.o.d"
+  "fig1_models"
+  "fig1_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig234_styles.cc" "bench/CMakeFiles/fig234_styles.dir/fig234_styles.cc.o" "gcc" "bench/CMakeFiles/fig234_styles.dir/fig234_styles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/fluke_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/fluke_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/fluke_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/uvm/CMakeFiles/fluke_uvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fluke_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/fluke_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fluke_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/fluke_api_abi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

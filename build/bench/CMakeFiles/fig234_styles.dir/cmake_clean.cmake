@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig234_styles.dir/fig234_styles.cc.o"
+  "CMakeFiles/fig234_styles.dir/fig234_styles.cc.o.d"
+  "fig234_styles"
+  "fig234_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig234_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

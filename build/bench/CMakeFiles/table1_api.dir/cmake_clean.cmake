@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_api.dir/table1_api.cc.o"
+  "CMakeFiles/table1_api.dir/table1_api.cc.o.d"
+  "table1_api"
+  "table1_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_restart.dir/table3_restart.cc.o"
+  "CMakeFiles/table3_restart.dir/table3_restart.cc.o.d"
+  "table3_restart"
+  "table3_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

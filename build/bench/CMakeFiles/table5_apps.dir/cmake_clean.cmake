@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_apps.dir/table5_apps.cc.o"
+  "CMakeFiles/table5_apps.dir/table5_apps.cc.o.d"
+  "table5_apps"
+  "table5_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_latency.dir/table6_latency.cc.o"
+  "CMakeFiles/table6_latency.dir/table6_latency.cc.o.d"
+  "table6_latency"
+  "table6_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_memory.dir/table7_memory.cc.o"
+  "CMakeFiles/table7_memory.dir/table7_memory.cc.o.d"
+  "table7_memory"
+  "table7_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_driver.dir/legacy_driver.cpp.o"
+  "CMakeFiles/legacy_driver.dir/legacy_driver.cpp.o.d"
+  "legacy_driver"
+  "legacy_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pager.dir/pager.cpp.o"
+  "CMakeFiles/pager.dir/pager.cpp.o.d"
+  "pager"
+  "pager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

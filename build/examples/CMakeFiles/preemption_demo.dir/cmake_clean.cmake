@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemption_demo.dir/preemption_demo.cpp.o"
+  "CMakeFiles/preemption_demo.dir/preemption_demo.cpp.o.d"
+  "preemption_demo"
+  "preemption_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemption_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

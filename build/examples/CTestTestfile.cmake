@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_checkpoint "/root/repo/build/examples/checkpoint")
+set_tests_properties(example_checkpoint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_migration "/root/repo/build/examples/migration")
+set_tests_properties(example_migration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pager "/root/repo/build/examples/pager")
+set_tests_properties(example_pager PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_legacy_driver "/root/repo/build/examples/legacy_driver")
+set_tests_properties(example_legacy_driver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_preemption_demo "/root/repo/build/examples/preemption_demo")
+set_tests_properties(example_preemption_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(fasm_hello "/root/repo/build/tools/fluke_run" "/root/repo/examples/fasm/hello.fasm")
+set_tests_properties(fasm_hello PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(fasm_count "/root/repo/build/tools/fluke_run" "/root/repo/examples/fasm/count.fasm")
+set_tests_properties(fasm_count PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(fasm_mutex "/root/repo/build/tools/fluke_run" "/root/repo/examples/fasm/mutex.fasm")
+set_tests_properties(fasm_mutex PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(fasm_faulty "/root/repo/build/tools/fluke_run" "--paged" "/root/repo/examples/fasm/faulty.fasm")
+set_tests_properties(fasm_faulty PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

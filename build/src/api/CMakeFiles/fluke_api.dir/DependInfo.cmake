@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/ulib.cc" "src/api/CMakeFiles/fluke_api.dir/ulib.cc.o" "gcc" "src/api/CMakeFiles/fluke_api.dir/ulib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/fluke_api_abi.dir/DependInfo.cmake"
+  "/root/repo/build/src/uvm/CMakeFiles/fluke_uvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fluke_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

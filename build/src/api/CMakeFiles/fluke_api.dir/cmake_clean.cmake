@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluke_api.dir/ulib.cc.o"
+  "CMakeFiles/fluke_api.dir/ulib.cc.o.d"
+  "libfluke_api.a"
+  "libfluke_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluke_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

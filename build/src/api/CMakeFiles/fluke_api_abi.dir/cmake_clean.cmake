@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluke_api_abi.dir/abi.cc.o"
+  "CMakeFiles/fluke_api_abi.dir/abi.cc.o.d"
+  "libfluke_api_abi.a"
+  "libfluke_api_abi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluke_api_abi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

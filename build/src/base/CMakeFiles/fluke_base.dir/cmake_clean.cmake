@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluke_base.dir/log.cc.o"
+  "CMakeFiles/fluke_base.dir/log.cc.o.d"
+  "CMakeFiles/fluke_base.dir/status.cc.o"
+  "CMakeFiles/fluke_base.dir/status.cc.o.d"
+  "libfluke_base.a"
+  "libfluke_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluke_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hal/clock.cc" "src/hal/CMakeFiles/fluke_hal.dir/clock.cc.o" "gcc" "src/hal/CMakeFiles/fluke_hal.dir/clock.cc.o.d"
+  "/root/repo/src/hal/devices.cc" "src/hal/CMakeFiles/fluke_hal.dir/devices.cc.o" "gcc" "src/hal/CMakeFiles/fluke_hal.dir/devices.cc.o.d"
+  "/root/repo/src/hal/irq.cc" "src/hal/CMakeFiles/fluke_hal.dir/irq.cc.o" "gcc" "src/hal/CMakeFiles/fluke_hal.dir/irq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fluke_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

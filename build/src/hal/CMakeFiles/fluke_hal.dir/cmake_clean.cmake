@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluke_hal.dir/clock.cc.o"
+  "CMakeFiles/fluke_hal.dir/clock.cc.o.d"
+  "CMakeFiles/fluke_hal.dir/devices.cc.o"
+  "CMakeFiles/fluke_hal.dir/devices.cc.o.d"
+  "CMakeFiles/fluke_hal.dir/irq.cc.o"
+  "CMakeFiles/fluke_hal.dir/irq.cc.o.d"
+  "libfluke_hal.a"
+  "libfluke_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluke_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

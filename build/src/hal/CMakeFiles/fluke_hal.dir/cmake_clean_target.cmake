@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfluke_hal.a"
+)

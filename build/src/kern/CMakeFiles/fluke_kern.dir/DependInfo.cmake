@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/config.cc" "src/kern/CMakeFiles/fluke_kern.dir/config.cc.o" "gcc" "src/kern/CMakeFiles/fluke_kern.dir/config.cc.o.d"
+  "/root/repo/src/kern/dispatch.cc" "src/kern/CMakeFiles/fluke_kern.dir/dispatch.cc.o" "gcc" "src/kern/CMakeFiles/fluke_kern.dir/dispatch.cc.o.d"
+  "/root/repo/src/kern/inspect.cc" "src/kern/CMakeFiles/fluke_kern.dir/inspect.cc.o" "gcc" "src/kern/CMakeFiles/fluke_kern.dir/inspect.cc.o.d"
+  "/root/repo/src/kern/ipc.cc" "src/kern/CMakeFiles/fluke_kern.dir/ipc.cc.o" "gcc" "src/kern/CMakeFiles/fluke_kern.dir/ipc.cc.o.d"
+  "/root/repo/src/kern/kernel.cc" "src/kern/CMakeFiles/fluke_kern.dir/kernel.cc.o" "gcc" "src/kern/CMakeFiles/fluke_kern.dir/kernel.cc.o.d"
+  "/root/repo/src/kern/ktask.cc" "src/kern/CMakeFiles/fluke_kern.dir/ktask.cc.o" "gcc" "src/kern/CMakeFiles/fluke_kern.dir/ktask.cc.o.d"
+  "/root/repo/src/kern/space.cc" "src/kern/CMakeFiles/fluke_kern.dir/space.cc.o" "gcc" "src/kern/CMakeFiles/fluke_kern.dir/space.cc.o.d"
+  "/root/repo/src/kern/syscall_table.cc" "src/kern/CMakeFiles/fluke_kern.dir/syscall_table.cc.o" "gcc" "src/kern/CMakeFiles/fluke_kern.dir/syscall_table.cc.o.d"
+  "/root/repo/src/kern/syscalls.cc" "src/kern/CMakeFiles/fluke_kern.dir/syscalls.cc.o" "gcc" "src/kern/CMakeFiles/fluke_kern.dir/syscalls.cc.o.d"
+  "/root/repo/src/kern/thread.cc" "src/kern/CMakeFiles/fluke_kern.dir/thread.cc.o" "gcc" "src/kern/CMakeFiles/fluke_kern.dir/thread.cc.o.d"
+  "/root/repo/src/kern/trace.cc" "src/kern/CMakeFiles/fluke_kern.dir/trace.cc.o" "gcc" "src/kern/CMakeFiles/fluke_kern.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fluke_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/fluke_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/uvm/CMakeFiles/fluke_uvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fluke_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/fluke_api_abi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluke_kern.dir/config.cc.o"
+  "CMakeFiles/fluke_kern.dir/config.cc.o.d"
+  "CMakeFiles/fluke_kern.dir/dispatch.cc.o"
+  "CMakeFiles/fluke_kern.dir/dispatch.cc.o.d"
+  "CMakeFiles/fluke_kern.dir/inspect.cc.o"
+  "CMakeFiles/fluke_kern.dir/inspect.cc.o.d"
+  "CMakeFiles/fluke_kern.dir/ipc.cc.o"
+  "CMakeFiles/fluke_kern.dir/ipc.cc.o.d"
+  "CMakeFiles/fluke_kern.dir/kernel.cc.o"
+  "CMakeFiles/fluke_kern.dir/kernel.cc.o.d"
+  "CMakeFiles/fluke_kern.dir/ktask.cc.o"
+  "CMakeFiles/fluke_kern.dir/ktask.cc.o.d"
+  "CMakeFiles/fluke_kern.dir/space.cc.o"
+  "CMakeFiles/fluke_kern.dir/space.cc.o.d"
+  "CMakeFiles/fluke_kern.dir/syscall_table.cc.o"
+  "CMakeFiles/fluke_kern.dir/syscall_table.cc.o.d"
+  "CMakeFiles/fluke_kern.dir/syscalls.cc.o"
+  "CMakeFiles/fluke_kern.dir/syscalls.cc.o.d"
+  "CMakeFiles/fluke_kern.dir/thread.cc.o"
+  "CMakeFiles/fluke_kern.dir/thread.cc.o.d"
+  "CMakeFiles/fluke_kern.dir/trace.cc.o"
+  "CMakeFiles/fluke_kern.dir/trace.cc.o.d"
+  "libfluke_kern.a"
+  "libfluke_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluke_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluke_mem.dir/phys.cc.o"
+  "CMakeFiles/fluke_mem.dir/phys.cc.o.d"
+  "libfluke_mem.a"
+  "libfluke_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluke_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluke_uvm.dir/asmparse.cc.o"
+  "CMakeFiles/fluke_uvm.dir/asmparse.cc.o.d"
+  "CMakeFiles/fluke_uvm.dir/disasm.cc.o"
+  "CMakeFiles/fluke_uvm.dir/disasm.cc.o.d"
+  "CMakeFiles/fluke_uvm.dir/interp.cc.o"
+  "CMakeFiles/fluke_uvm.dir/interp.cc.o.d"
+  "CMakeFiles/fluke_uvm.dir/program.cc.o"
+  "CMakeFiles/fluke_uvm.dir/program.cc.o.d"
+  "libfluke_uvm.a"
+  "libfluke_uvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluke_uvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluke_workloads.dir/apps.cc.o"
+  "CMakeFiles/fluke_workloads.dir/apps.cc.o.d"
+  "CMakeFiles/fluke_workloads.dir/checkpoint.cc.o"
+  "CMakeFiles/fluke_workloads.dir/checkpoint.cc.o.d"
+  "CMakeFiles/fluke_workloads.dir/ckpt_image.cc.o"
+  "CMakeFiles/fluke_workloads.dir/ckpt_image.cc.o.d"
+  "CMakeFiles/fluke_workloads.dir/pager.cc.o"
+  "CMakeFiles/fluke_workloads.dir/pager.cc.o.d"
+  "libfluke_workloads.a"
+  "libfluke_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluke_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmparse_test.dir/asmparse_test.cc.o"
+  "CMakeFiles/asmparse_test.dir/asmparse_test.cc.o.d"
+  "asmparse_test"
+  "asmparse_test.pdb"
+  "asmparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_image_test.dir/ckpt_image_test.cc.o"
+  "CMakeFiles/ckpt_image_test.dir/ckpt_image_test.cc.o.d"
+  "ckpt_image_test"
+  "ckpt_image_test.pdb"
+  "ckpt_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

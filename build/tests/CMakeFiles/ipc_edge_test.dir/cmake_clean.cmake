@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_edge_test.dir/ipc_edge_test.cc.o"
+  "CMakeFiles/ipc_edge_test.dir/ipc_edge_test.cc.o.d"
+  "ipc_edge_test"
+  "ipc_edge_test.pdb"
+  "ipc_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

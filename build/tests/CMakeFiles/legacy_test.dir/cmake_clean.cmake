@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_test.dir/legacy_test.cc.o"
+  "CMakeFiles/legacy_test.dir/legacy_test.cc.o.d"
+  "legacy_test"
+  "legacy_test.pdb"
+  "legacy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

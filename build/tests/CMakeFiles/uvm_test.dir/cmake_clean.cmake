@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvm_test.dir/uvm_test.cc.o"
+  "CMakeFiles/uvm_test.dir/uvm_test.cc.o.d"
+  "uvm_test"
+  "uvm_test.pdb"
+  "uvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/uvm_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/state_test[1]_include.cmake")
+include("/root/repo/build/tests/objects_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/hal_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_property_test[1]_include.cmake")
+include("/root/repo/build/tests/legacy_test[1]_include.cmake")
+include("/root/repo/build/tests/asmparse_test[1]_include.cmake")
+include("/root/repo/build/tests/ckpt_image_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/disasm_test[1]_include.cmake")
+include("/root/repo/build/tests/inspect_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/api_test[1]_include.cmake")

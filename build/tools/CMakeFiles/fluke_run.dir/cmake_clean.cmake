@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluke_run.dir/fluke_run.cc.o"
+  "CMakeFiles/fluke_run.dir/fluke_run.cc.o.d"
+  "fluke_run"
+  "fluke_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluke_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
