@@ -42,6 +42,10 @@ struct KernelConfig {
   // IPC copy-path preemption point interval, in bytes (paper: 8 KiB).
   uint32_t preempt_chunk_bytes = 8 * 1024;
   uint64_t rng_seed = 1;
+  // Software TLB on the user-memory hot path (src/kern/tlb.h). Pure host-
+  // side caching: results are bit-identical either way (tested by
+  // tests/tlb_test.cc); off exists for that A/B check and for debugging.
+  bool enable_tlb = true;
 
   bool Valid() const {
     if (preempt == PreemptMode::kFull && model == ExecModel::kInterrupt) {

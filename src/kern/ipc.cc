@@ -178,6 +178,40 @@ KTask TransferData(SysCtx& ctx, Thread* sender, Thread* recver) {
   uint32_t pp_bytes = 0;
   uint32_t buf[kChunkWords];
 
+  // Cached page translations for the copy loop. Chunks are 2 KiB but pages
+  // are 4 KiB and large transfers walk each page twice, so re-deriving host
+  // pointers per chunk is pure overhead. A cached run is only trusted after
+  // revalidating against the space's page-table generation: any
+  // MapPage/UnmapPage -- by this transfer's own fault resolution or by
+  // whatever ran while we were suspended at a preemption point -- bumps
+  // pt_gen and forces a fresh translation. While the generation is
+  // unchanged the mapped frame cannot have been freed, so the pointer is
+  // safe to dereference.
+  uint8_t* scache_ptr = nullptr;
+  uint32_t scache_start = 0, scache_len = 0;
+  uint64_t scache_gen = 0;
+  uint8_t* dcache_ptr = nullptr;
+  uint32_t dcache_start = 0, dcache_len = 0;
+  uint64_t dcache_gen = 0;
+  auto cached_span = [](Space* sp, uint32_t addr, uint32_t bytes, uint32_t want,
+                        uint8_t*& ptr, uint32_t& start, uint32_t& len,
+                        uint64_t& gen) -> uint8_t* {
+    if (ptr != nullptr && gen == sp->pt_gen() && addr >= start &&
+        addr - start + bytes <= len) {
+      return ptr + (addr - start);
+    }
+    // Translate to the end of the page so the next chunk on it hits.
+    const Span s = sp->TranslateSpan(addr, kPageSize - (addr & kPageMask), want);
+    if (s.len < bytes) {
+      return nullptr;  // unmapped or under-protected: take the word loop
+    }
+    ptr = s.ptr;
+    start = addr;
+    len = s.len;
+    gen = sp->pt_gen();
+    return s.ptr;
+  };
+
   while (sreg.gpr[kRegD] > 0 && rreg.gpr[kRegDI] > 0) {
     const uint32_t src = sreg.gpr[kRegC];
     const uint32_t dst = rreg.gpr[kRegSI];
@@ -191,41 +225,101 @@ KTask TransferData(SysCtx& ctx, Thread* sender, Thread* recver) {
       words = 1;
     }
 
-    k.Charge(k.costs.ipc_chunk_setup);
-    k.ChargeFpLocks();  // per-chunk: both spaces' pmap access is locked
-    Time uncommitted = Cycles(k.costs.ipc_chunk_setup);
+    // Page-lending path (non-preemptive configs only): when both sides are
+    // page-aligned with a full page left, remap the sender's frame into the
+    // receiver copy-on-write instead of copying 4 KiB. Gated to
+    // PreemptMode::kNone because the page's two chunk commits then happen
+    // with no possible suspension between them (the lend proves both
+    // translations, so the chunks cannot fault), making the batched commit
+    // below indistinguishable from two separate ones. Charges are exactly
+    // the copy path's per-chunk charges; ChargeFpLocks is skipped because
+    // it only charges under PreemptMode::kFull. A repeated send of the same
+    // buffer is the steady state: the frames already match, SharePageFrom
+    // returns immediately, and no remap or shootdown happens at all.
+    if (k.cfg.preempt == PreemptMode::kNone && (src & kPageMask) == 0 &&
+        (dst & kPageMask) == 0 && sreg.gpr[kRegD] >= kPageSize / 4 &&
+        rreg.gpr[kRegDI] >= kPageSize / 4 &&
+        recver->space->SharePageFrom(*sender->space, src, dst)) {
+      ++k.stats.ipc_page_lends;
+      for (uint32_t c = 0; c < kPageSize / (4 * kChunkWords); ++c) {
+        k.Charge(k.costs.ipc_chunk_setup + 2ull * kChunkWords * k.costs.ipc_per_word);
+        sreg.gpr[kRegC] += 4 * kChunkWords;
+        sreg.gpr[kRegD] -= kChunkWords;
+        rreg.gpr[kRegSI] += 4 * kChunkWords;
+        rreg.gpr[kRegDI] -= kChunkWords;
+        if (sreg.gpr[kRegD] == 0 || rreg.gpr[kRegDI] == 0) {
+          SettleBlockedPeerAtCommit(k, ctx.thread, sender, recver);
+        } else {
+          pp_bytes += 4 * kChunkWords;
+          if (pp_bytes >= k.cfg.preempt_chunk_bytes) {
+            pp_bytes = 0;
+            k.Charge(k.costs.preempt_point_check);
+          }
+        }
+      }
+      continue;
+    }
 
-    // Fast path: both PTEs present with sufficient rights (the common case
-    // after warm-up). Cost-identical to the word loop; only host time
-    // differs.
+    // Fast path: both sides translate with sufficient rights (the common
+    // case after warm-up) -- one TLB-backed translation per side and one
+    // memcpy per chunk. Cost-identical to the word loop; only host time
+    // differs. The setup and per-word charges are folded into one Charge:
+    // nothing observes the clock between them on this path.
     {
-      const Pte* spte = sender->space->FindPte(src);
-      const Pte* dpte = recver->space->FindPte(dst);
-      if (spte != nullptr && dpte != nullptr && (spte->prot & kProtRead) != 0 &&
-          (dpte->prot & kProtWrite) != 0) {
-        std::memcpy(recver->space->phys()->Data(dpte->frame) + (dst & kPageMask),
-                    sender->space->phys()->Data(spte->frame) + (src & kPageMask), 4 * words);
-        k.Charge(2ull * words * k.costs.ipc_per_word);
+      const uint32_t bytes = 4 * words;
+      uint8_t* sp = cached_span(sender->space, src, bytes, kProtRead,
+                                scache_ptr, scache_start, scache_len, scache_gen);
+      uint8_t* dp = sp == nullptr
+                        ? nullptr
+                        : cached_span(recver->space, dst, bytes, kProtWrite,
+                                      dcache_ptr, dcache_start, dcache_len, dcache_gen);
+      if (sp != nullptr && dp != nullptr) {
+        std::memcpy(dp, sp, bytes);
+        k.Charge(k.costs.ipc_chunk_setup + 2ull * words * k.costs.ipc_per_word);
+        k.ChargeFpLocks();  // per-chunk: both spaces' pmap access is locked
         sreg.gpr[kRegC] += 4 * words;
         sreg.gpr[kRegD] -= words;
         rreg.gpr[kRegSI] += 4 * words;
         rreg.gpr[kRegDI] -= words;
-        SettleBlockedPeerAtCommit(k, ctx.thread, sender, recver);
+        if (sreg.gpr[kRegD] == 0 || rreg.gpr[kRegDI] == 0) {
+          // A side completed; mid-message chunks cannot satisfy any of the
+          // settle conditions (all require D == 0 or DI == 0).
+          SettleBlockedPeerAtCommit(k, ctx.thread, sender, recver);
+        }
         // Preemption opportunities only while work remains: suspending
         // after the FINAL commit would let an interrupt-model restart
         // re-enter the send stage with D == 0, which must stay reserved
         // for genuine zero-length messages.
         if (sreg.gpr[kRegD] > 0 && rreg.gpr[kRegDI] > 0) {
-          co_await Work(ctx, 0);  // FP preemption opportunity
-          pp_bytes += 4 * words;
-          if (pp_bytes >= k.cfg.preempt_chunk_bytes) {
-            pp_bytes = 0;
-            co_await PreemptPoint(ctx);
+          if (k.cfg.preempt == PreemptMode::kNone) {
+            // Non-preemptive config: Work(0) charges nothing and
+            // PreemptPoint only charges its check cost -- neither can
+            // suspend. Charging directly keeps the chunk loop free of
+            // co_awaits, so its locals stay out of the coroutine frame.
+            pp_bytes += 4 * words;
+            if (pp_bytes >= k.cfg.preempt_chunk_bytes) {
+              pp_bytes = 0;
+              k.Charge(k.costs.preempt_point_check);
+            }
+          } else {
+            co_await Work(ctx, 0);  // FP preemption opportunity
+            pp_bytes += 4 * words;
+            if (pp_bytes >= k.cfg.preempt_chunk_bytes) {
+              pp_bytes = 0;
+              co_await PreemptPoint(ctx);
+            }
           }
         }
         continue;
       }
     }
+
+    // Slow path (unresolved page or insufficient protection on either
+    // side): charge the chunk setup up front as before, then copy word by
+    // word with faulting semantics.
+    k.Charge(k.costs.ipc_chunk_setup);
+    k.ChargeFpLocks();  // per-chunk: both spaces' pmap access is locked
+    Time uncommitted = Cycles(k.costs.ipc_chunk_setup);
 
     // --- Read phase (faults attributed to the sender's side) ---
     bool fault = false;

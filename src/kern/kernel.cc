@@ -33,6 +33,7 @@ Kernel::~Kernel() {
 
 std::shared_ptr<Space> Kernel::CreateSpace(const std::string& name) {
   auto s = std::make_shared<Space>(NextObjId(), &phys);
+  s->ConfigureTlb(cfg.enable_tlb, &stats);
   s->set_name(name);
   spaces_.push_back(s);
   s->self_handle = s->Install(s);  // space_self

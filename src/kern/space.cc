@@ -6,6 +6,7 @@
 namespace fluke {
 
 Space::~Space() {
+  TlbFlushAll();
   for (auto& [page, pte] : pages_) {
     if (pte.frame != kInvalidFrame) {
       phys_->Unref(pte.frame);
@@ -14,11 +15,14 @@ Space::~Space() {
 }
 
 Handle Space::Install(std::shared_ptr<KernelObject> obj) {
+  ++live_handles_;
   // Reuse a dead slot if available; otherwise grow.
-  for (size_t i = 1; i < handles_.size(); ++i) {
-    if (handles_[i] == nullptr) {
-      handles_[i] = std::move(obj);
-      return static_cast<Handle>(i);
+  while (!free_slots_.empty()) {
+    const Handle h = free_slots_.back();
+    free_slots_.pop_back();
+    if (h < handles_.size() && handles_[h] == nullptr) {
+      handles_[h] = std::move(obj);
+      return h;
     }
   }
   handles_.push_back(std::move(obj));
@@ -48,20 +52,14 @@ std::shared_ptr<KernelObject> Space::LookupShared(Handle h) const {
 }
 
 void Space::Uninstall(Handle h) {
-  if (h != kInvalidHandle && h < handles_.size()) {
+  if (h != kInvalidHandle && h < handles_.size() && handles_[h] != nullptr) {
     handles_[h] = nullptr;
+    free_slots_.push_back(h);
+    --live_handles_;
   }
 }
 
-size_t Space::handle_count() const {
-  size_t n = 0;
-  for (const auto& p : handles_) {
-    if (p != nullptr) {
-      ++n;
-    }
-  }
-  return n;
-}
+size_t Space::handle_count() const { return live_handles_; }
 
 bool Space::PagePresent(uint32_t vaddr) const {
   return pages_.count(vaddr >> kPageShift) != 0;
@@ -73,6 +71,8 @@ const Pte* Space::FindPte(uint32_t vaddr) const {
 }
 
 void Space::MapPage(uint32_t vaddr, FrameId frame, uint32_t prot) {
+  ++pt_gen_;
+  TlbInvalidatePage(vaddr >> kPageShift);  // shootdown: remap or prot change
   phys_->Ref(frame);  // ref first: replacing a page with itself must not free it
   auto it = pages_.find(vaddr >> kPageShift);
   if (it != pages_.end()) {
@@ -86,12 +86,27 @@ void Space::MapPage(uint32_t vaddr, FrameId frame, uint32_t prot) {
 }
 
 void Space::UnmapPage(uint32_t vaddr) {
+  ++pt_gen_;
+  TlbInvalidatePage(vaddr >> kPageShift);  // shootdown: no stale translation
   auto it = pages_.find(vaddr >> kPageShift);
   if (it != pages_.end()) {
     if (it->second.frame != kInvalidFrame) {
       phys_->Unref(it->second.frame);
     }
     pages_.erase(it);
+  }
+}
+
+void Space::TlbInvalidatePage(uint32_t page) {
+  if (tlb_.InvalidatePage(page) && stats_ != nullptr) {
+    ++stats_->tlb_flushes;
+  }
+}
+
+void Space::TlbFlushAll() {
+  const uint32_t discarded = tlb_.FlushAll();
+  if (stats_ != nullptr) {
+    stats_->tlb_flushes += discarded;
   }
 }
 
@@ -103,6 +118,72 @@ FrameId Space::ProvidePage(uint32_t vaddr, uint32_t prot) {
   MapPage(vaddr, f, prot);
   phys_->Unref(f);  // MapPage took its own reference; drop Alloc's
   return f;
+}
+
+bool Space::CowBreak(uint32_t vaddr, Pte& pte) {
+  if (phys_->refcount(pte.frame) > 1) {
+    const FrameId nf = phys_->Alloc();
+    if (nf == kInvalidFrame) {
+      return false;
+    }
+    std::memcpy(phys_->Data(nf), phys_->Data(pte.frame), kPageSize);
+    // MapPage bumps pt_gen_, shoots down the TLB entry, unrefs the shared
+    // frame and resets cow (Pte{} default). The other holder keeps its own
+    // cow flag; its next write privatizes (or just clears, if it is by then
+    // the sole holder).
+    MapPage(vaddr, nf, pte.prot);
+    phys_->Unref(nf);  // MapPage took its own reference; drop Alloc's
+  } else {
+    // Sole holder already: nothing to copy. The translation itself is
+    // unchanged (same frame, same prot, strictly wider host access), so no
+    // generation bump or shootdown is needed -- cached read pointers stay
+    // valid and no cached write pointer can exist for a cow page.
+    pte.cow = false;
+  }
+  return true;
+}
+
+bool Space::EnsurePrivateFrame(uint32_t vaddr) {
+  auto it = pages_.find(vaddr >> kPageShift);
+  if (it == pages_.end() || !it->second.cow) {
+    return true;
+  }
+  return CowBreak(vaddr, it->second);
+}
+
+bool Space::SharePageFrom(Space& from, uint32_t src_vaddr, uint32_t dst_vaddr) {
+  auto sit = from.pages_.find(src_vaddr >> kPageShift);
+  if (sit == from.pages_.end() || (sit->second.prot & kProtRead) == 0) {
+    return false;
+  }
+  auto dit = pages_.find(dst_vaddr >> kPageShift);
+  if (dit == pages_.end() || (dit->second.prot & kProtWrite) == 0) {
+    return false;
+  }
+  if (dit->second.frame == sit->second.frame) {
+    return true;  // already lent (steady state: repeated sends of one buffer)
+  }
+  // A frame referenced by several PTEs *without* cow is shared through the
+  // mapping hierarchy. Lending is wrong on either end then: hierarchy
+  // references to the source would not honor the break-before-write
+  // contract, and a copy into a hierarchy-shared destination frame is
+  // visible to its other sharers, which a remap would not reproduce.
+  if (phys_->refcount(sit->second.frame) > 1 && !sit->second.cow) {
+    return false;
+  }
+  if (phys_->refcount(dit->second.frame) > 1 && !dit->second.cow) {
+    return false;
+  }
+  MapPage(dst_vaddr, sit->second.frame, dit->second.prot);
+  dit->second.cow = true;
+  if (!sit->second.cow) {
+    sit->second.cow = true;
+    // The source translation narrows for host writes: cached write pointers
+    // (IPC span cache, TLB) must revalidate and re-walk.
+    ++from.pt_gen_;
+    from.TlbInvalidatePage(src_vaddr >> kPageShift);
+  }
+  return true;
 }
 
 void Space::RemoveMapping(Mapping* m) {
@@ -129,6 +210,15 @@ SoftFaultResult Space::TryResolveSoft(uint32_t vaddr, bool want_write) {
         const uint32_t eff = pte->prot & cur.prot;
         if ((eff & want) != want) {
           return r;  // reachable but protection forbids the access
+        }
+        if (pte->cow) {
+          // Never hand a lent (copy-on-write) frame to the hierarchy: the
+          // new reference would not honor the break-before-write contract.
+          // Privatize the source page first, then install its own frame.
+          if (!cur.space->EnsurePrivateFrame(cur.addr)) {
+            return r;  // frame exhaustion: stays a hard fault
+          }
+          pte = cur.space->FindPte(cur.addr);
         }
         // Install into the faulting space.
         UnmapPage(vaddr);
@@ -180,13 +270,72 @@ SoftFaultResult Space::TryResolveSoft(uint32_t vaddr, bool want_write) {
   return r;  // hierarchy too deep: treat as hard
 }
 
-uint8_t* Space::PageData(uint32_t vaddr, uint32_t want_prot, uint32_t* fault_addr) {
-  const Pte* pte = FindPte(vaddr);
-  if (pte == nullptr || (pte->prot & want_prot) != want_prot) {
+uint8_t* Space::PageData(uint32_t vaddr, uint32_t want_prot, uint32_t* fault_addr) const {
+  const uint32_t page = vaddr >> kPageShift;
+  if (tlb_enabled_) {
+    const TlbEntry& e = tlb_.Slot(page);
+    if (e.tag == page) {
+      // Hit. The entry mirrors the PTE exactly (every PTE mutation
+      // invalidates it), so a protection mismatch here is a real fault.
+      if (stats_ != nullptr) {
+        ++stats_->tlb_hits;
+      }
+      if ((e.prot & want_prot) != want_prot) {
+        *fault_addr = vaddr;
+        return nullptr;
+      }
+      return e.data + (vaddr & kPageMask);
+    }
+    if (stats_ != nullptr) {
+      ++stats_->tlb_misses;
+    }
+  }
+  auto it = pages_.find(page);
+  if (it == pages_.end()) {
     *fault_addr = vaddr;
     return nullptr;
   }
-  return phys_->Data(pte->frame) + (vaddr & kPageMask);
+  if (it->second.cow && (want_prot & kProtWrite) != 0) {
+    // Write to a lent (copy-on-write) frame: privatize it first so the other
+    // holder never observes the write. Protection is checked before breaking
+    // so a forbidden write does not waste a frame copy. CowBreak is a
+    // host-side caching/ownership action, not a semantic mutation of the
+    // simulated address space, hence the const_cast from this const walk.
+    if ((it->second.prot & want_prot) != want_prot) {
+      *fault_addr = vaddr;
+      return nullptr;
+    }
+    if (!const_cast<Space*>(this)->CowBreak(vaddr, const_cast<Pte&>(it->second))) {
+      *fault_addr = vaddr;  // frame exhaustion: surface as a fault
+      return nullptr;
+    }
+  }
+  uint8_t* base = phys_->Data(it->second.frame);
+  if (tlb_enabled_ && !it->second.cow) {
+    // Fill even when the access is about to prot-fault: the entry still
+    // mirrors the PTE, and the next permitted access hits. Cow pages are
+    // never cached: a TLB hit carrying write permission would bypass the
+    // copy-on-write break above.
+    tlb_.Fill(page, it->second.prot, base);
+  }
+  if ((it->second.prot & want_prot) != want_prot) {
+    *fault_addr = vaddr;
+    return nullptr;
+  }
+  return base + (vaddr & kPageMask);
+}
+
+Span Space::TranslateSpanConst(uint32_t vaddr, uint32_t len, uint32_t want_prot) const {
+  if (len == 0) {
+    return {};
+  }
+  uint32_t fault_addr = 0;
+  uint8_t* p = PageData(vaddr, want_prot, &fault_addr);
+  if (p == nullptr) {
+    return {};
+  }
+  const uint32_t in_page = kPageSize - (vaddr & kPageMask);
+  return Span{p, std::min(len, in_page)};
 }
 
 bool Space::ReadByte(uint32_t vaddr, uint8_t* out, uint32_t* fault_addr) {
@@ -246,17 +395,19 @@ bool Space::WriteWord(uint32_t vaddr, uint32_t value, uint32_t* fault_addr) {
   return true;
 }
 
+// The host helpers deliberately ignore page protection (want_prot ==
+// kProtNone), matching their historical raw-page-table behavior: they exist
+// for test and workload setup, not simulated accesses.
+
 bool Space::HostRead(uint32_t vaddr, void* out, uint32_t len) const {
   uint8_t* dst = static_cast<uint8_t*>(out);
   for (uint32_t i = 0; i < len;) {
-    const Pte* pte = FindPte(vaddr + i);
-    if (pte == nullptr) {
+    const Span s = TranslateSpanConst(vaddr + i, len - i, kProtNone);
+    if (s.len == 0) {
       return false;
     }
-    const uint32_t off = (vaddr + i) & kPageMask;
-    const uint32_t n = std::min(len - i, kPageSize - off);
-    std::memcpy(dst + i, phys_->Data(pte->frame) + off, n);
-    i += n;
+    std::memcpy(dst + i, s.ptr, s.len);
+    i += s.len;
   }
   return true;
 }
@@ -265,17 +416,21 @@ bool Space::HostWrite(uint32_t vaddr, const void* data, uint32_t len) {
   const uint8_t* src = static_cast<const uint8_t*>(data);
   for (uint32_t i = 0; i < len;) {
     const uint32_t addr = vaddr + i;
-    const Pte* pte = FindPte(addr);
-    if (pte == nullptr) {
+    if (!EnsurePrivateFrame(addr)) {  // prot-blind, but cow still breaks
+      return false;
+    }
+    Span s = TranslateSpanConst(addr, len - i, kProtNone);
+    if (s.len == 0) {
       if (ProvidePage(addr, kProtReadWrite) == kInvalidFrame) {
         return false;
       }
-      pte = FindPte(addr);
+      s = TranslateSpanConst(addr, len - i, kProtNone);
+      if (s.len == 0) {
+        return false;
+      }
     }
-    const uint32_t off = addr & kPageMask;
-    const uint32_t n = std::min(len - i, kPageSize - off);
-    std::memcpy(phys_->Data(pte->frame) + off, src + i, n);
-    i += n;
+    std::memcpy(s.ptr, src + i, s.len);
+    i += s.len;
   }
   return true;
 }

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "src/kern/objects.h"
+#include "src/kern/stats.h"
+#include "src/kern/tlb.h"
 #include "src/mem/phys.h"
 #include "src/uvm/interp.h"
 
@@ -31,6 +33,11 @@ inline constexpr Handle kInvalidHandle = 0;
 struct Pte {
   FrameId frame = kInvalidFrame;
   uint32_t prot = kProtNone;
+  // Copy-on-write: the frame is lent between exactly the PTEs that carry
+  // this flag (IPC page lending). Any write access must privatize the frame
+  // first (Space::CowBreak); cow pages are never cached in the software TLB
+  // so the break cannot be bypassed by a cached translation.
+  bool cow = false;
 };
 
 // Outcome of a soft-fault resolution attempt.
@@ -69,6 +76,19 @@ class Space final : public KernelObject, public MemoryBus {
   // Host-side convenience: allocate + map + optionally fill a page.
   FrameId ProvidePage(uint32_t vaddr, uint32_t prot = kProtReadWrite);
 
+  // --- Copy-on-write page lending (IPC bulk-transfer fast path) ---
+  // Maps the frame backing `from`'s page at src_vaddr into this space at
+  // dst_vaddr and marks both PTEs copy-on-write, instead of copying 4 KiB.
+  // Returns false (caller must fall back to copying) unless the source page
+  // is readable, the destination page is writable, and neither frame is
+  // shared through the mapping hierarchy (refcount > 1 without cow). A
+  // repeat lend of an already-lent page is a no-op returning true.
+  bool SharePageFrom(Space& from, uint32_t src_vaddr, uint32_t dst_vaddr);
+  // Breaks copy-on-write at vaddr if set (copying the frame when it is still
+  // shared). True if the page is now privately writable-safe; false only on
+  // frame exhaustion. No-op (true) when the page is absent or not cow.
+  bool EnsurePrivateFrame(uint32_t vaddr);
+
   // --- Mapping hierarchy ---
   void AddMapping(Mapping* m) { mappings_.push_back(m); }
   void RemoveMapping(Mapping* m);
@@ -106,13 +126,31 @@ class Space final : public KernelObject, public MemoryBus {
   bool WriteByte(uint32_t vaddr, uint8_t value, uint32_t* fault_addr) override;
   bool ReadWord(uint32_t vaddr, uint32_t* out, uint32_t* fault_addr) override;
   bool WriteWord(uint32_t vaddr, uint32_t value, uint32_t* fault_addr) override;
+  Span TranslateSpan(uint32_t vaddr, uint32_t len, uint32_t want_prot) override {
+    return TranslateSpanConst(vaddr, len, want_prot);
+  }
 
   // Host-side helpers for tests and workload setup (bypass faulting).
   bool HostRead(uint32_t vaddr, void* out, uint32_t len) const;
   bool HostWrite(uint32_t vaddr, const void* data, uint32_t len);
 
+  // --- Software TLB (src/kern/tlb.h) ---
+  // Wired by Kernel::CreateSpace; counters land in KernelStats::tlb_*.
+  void ConfigureTlb(bool enabled, KernelStats* stats) {
+    tlb_enabled_ = enabled;
+    stats_ = stats;
+  }
+  void TlbFlushAll();
+
   PhysMemory* phys() const { return phys_; }
   size_t mapped_pages() const { return pages_.size(); }
+
+  // Page-table generation: bumped on every MapPage/UnmapPage. Callers that
+  // cache host pointers across potential suspension points (the IPC bulk
+  // copy) revalidate against this instead of re-translating; any mapping or
+  // protection change -- including by another thread while the caller was
+  // suspended -- changes the generation.
+  uint64_t pt_gen() const { return pt_gen_; }
 
   // Introspection for checkpointing and tests.
   const std::unordered_map<uint32_t, Pte>& page_table() const { return pages_; }
@@ -124,14 +162,26 @@ class Space final : public KernelObject, public MemoryBus {
   std::vector<Thread*> threads;
 
  private:
-  uint8_t* PageData(uint32_t vaddr, uint32_t want_prot, uint32_t* fault_addr);
+  bool CowBreak(uint32_t vaddr, Pte& pte);
+  uint8_t* PageData(uint32_t vaddr, uint32_t want_prot, uint32_t* fault_addr) const;
+  Span TranslateSpanConst(uint32_t vaddr, uint32_t len, uint32_t want_prot) const;
+  void TlbInvalidatePage(uint32_t page);
 
   PhysMemory* phys_;
   std::vector<std::shared_ptr<KernelObject>> handles_{nullptr};  // slot 0 invalid
+  std::vector<Handle> free_slots_;  // dead handle slots available for reuse
+  size_t live_handles_ = 0;         // non-null slots (O(1) handle_count)
   std::unordered_map<uint32_t, Pte> pages_;  // keyed by vaddr >> kPageShift
   std::vector<Mapping*> mappings_;
   uint32_t anon_base_ = 0;
   uint32_t anon_size_ = 0;
+  uint64_t pt_gen_ = 0;
+
+  // Translation cache. Mutable: filling it from a read path is caching, not
+  // a semantic mutation of the space.
+  mutable Tlb tlb_;
+  bool tlb_enabled_ = true;
+  KernelStats* stats_ = nullptr;  // hit/miss/flush counters (may be null)
 };
 
 }  // namespace fluke

@@ -48,6 +48,22 @@ struct KernelStats {
   uint64_t region_pages_scanned = 0;  // region_search loop iterations
   uint64_t syscall_faults = 0;  // faults inside kernel copies (IPC etc.)
 
+  // Software-TLB accounting (host-side translation cache; see
+  // src/kern/tlb.h). These are the only counters allowed to differ between
+  // TLB-enabled and TLB-disabled runs of the same workload -- everything
+  // else in this struct, and all virtual-time results, must be identical.
+  uint64_t tlb_hits = 0;
+  uint64_t tlb_misses = 0;
+  uint64_t tlb_flushes = 0;  // entries discarded by unmap/remap/teardown
+
+  // IPC copy-on-write page lending (non-preemptive configs only): full pages
+  // transferred by remapping the sender's frame instead of copying 4 KiB.
+  // Purely a host-side optimization -- the virtual-time charges are
+  // identical to the copy path -- but counted for observability. Lending
+  // does not consult the TLB, so this counter is the same in TLB-enabled
+  // and TLB-disabled runs.
+  uint64_t ipc_page_lends = 0;
+
   // Rollback accounting (Table 3): virtual time of work discarded and
   // redone because an operation rolled back to its last commit point, and
   // virtual time spent remedying faults.

@@ -1,0 +1,87 @@
+// Software TLB: a per-space direct-mapped translation cache.
+//
+// Every simulated user load/store used to walk the space's page-table
+// unordered_map; this cache keeps the last translation per index so the hot
+// path is an array index, a tag compare, and a protection mask. Entries
+// cache {host frame pointer, effective protection} for one virtual page.
+//
+// Correctness contract (see DESIGN.md "Software TLB and translation
+// caching"): an entry may only exist while it exactly mirrors the space's
+// page table, so every PTE mutation -- MapPage, UnmapPage (including the
+// remap done by soft-fault resolution) and space teardown -- invalidates
+// the affected entry. This is the software analog of an x86 TLB shootdown:
+// a stale translation can never survive an unmap, a remap to a different
+// frame, or a protection change. The TLB is pure host-side caching; it
+// charges no virtual time and must never change simulated results.
+
+#ifndef SRC_KERN_TLB_H_
+#define SRC_KERN_TLB_H_
+
+#include <cstdint>
+
+#include "src/api/abi.h"
+
+namespace fluke {
+
+// Power of two so the index is a mask. 64 entries cover 256 KiB of working
+// set, comfortably more than the IPC buffers and user loops in the benches.
+inline constexpr uint32_t kTlbEntries = 64;
+// Virtual page numbers are at most 2^20 - 1 (32-bit vaddr, 4 KiB pages), so
+// an all-ones tag can never match a real page.
+inline constexpr uint32_t kTlbInvalidTag = 0xFFFFFFFFu;
+
+struct TlbEntry {
+  uint32_t tag = kTlbInvalidTag;  // virtual page number
+  uint32_t prot = kProtNone;      // protection copied from the PTE
+  uint8_t* data = nullptr;        // host pointer to the frame's first byte
+};
+
+class Tlb {
+ public:
+  // Hot-path lookup: returns the entry slot for `page` (caller checks tag).
+  TlbEntry& Slot(uint32_t page) { return entries_[page & (kTlbEntries - 1)]; }
+  const TlbEntry& Slot(uint32_t page) const {
+    return entries_[page & (kTlbEntries - 1)];
+  }
+
+  void Fill(uint32_t page, uint32_t prot, uint8_t* data) {
+    TlbEntry& e = Slot(page);
+    e.tag = page;
+    e.prot = prot;
+    e.data = data;
+  }
+
+  // Drops the translation for `page` if cached. Returns true if an entry
+  // was actually discarded (for flush accounting).
+  bool InvalidatePage(uint32_t page) {
+    TlbEntry& e = Slot(page);
+    if (e.tag != page) {
+      return false;
+    }
+    e.tag = kTlbInvalidTag;
+    e.data = nullptr;
+    e.prot = kProtNone;
+    return true;
+  }
+
+  // Drops every translation; returns how many live entries were discarded.
+  uint32_t FlushAll() {
+    uint32_t discarded = 0;
+    for (TlbEntry& e : entries_) {
+      if (e.tag != kTlbInvalidTag) {
+        ++discarded;
+      }
+      e.tag = kTlbInvalidTag;
+      e.data = nullptr;
+      e.prot = kProtNone;
+    }
+    return discarded;
+  }
+
+ private:
+  TlbEntry entries_[kTlbEntries];
+};
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_TLB_H_

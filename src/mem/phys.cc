@@ -1,23 +1,55 @@
 #include "src/mem/phys.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <new>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
 
 namespace fluke {
+
+PhysMemory::~PhysMemory() {
+  for (void* slab : slabs_) {
+    ::operator delete(slab, std::align_val_t(kSlabAlign));
+  }
+}
 
 FrameId PhysMemory::Alloc() {
   FrameId f;
   if (!free_list_.empty()) {
     f = free_list_.back();
     free_list_.pop_back();
-    std::memset(frames_[f].get(), 0, kPageSize);
+    std::memset(frame_data_[f], 0, kPageSize);
   } else {
-    if (frames_.size() > max_frames_) {
+    if (frame_data_.size() > max_frames_) {
       return kInvalidFrame;
     }
-    f = static_cast<FrameId>(frames_.size());
-    frames_.push_back(std::make_unique<uint8_t[]>(kPageSize));
+    if (slab_spare_ == 0) {
+      // Carve a new slab: a full kSlabFrames unless the pool's remaining
+      // capacity is smaller (small pools in tests should not burn 4 MiB).
+      const uint32_t remaining =
+          max_frames_ + 1 - static_cast<uint32_t>(frame_data_.size());
+      const uint32_t want = std::min(kSlabFrames, remaining);
+      void* slab = ::operator new(static_cast<size_t>(want) * kPageSize,
+                                  std::align_val_t(kSlabAlign));
+#ifdef __linux__
+      // The slab is hugepage-aligned; ask for THP backing so bulk copies
+      // across simulated frames don't thrash the host dTLB. Best-effort.
+      madvise(slab, static_cast<size_t>(want) * kPageSize, MADV_HUGEPAGE);
+#endif
+      std::memset(slab, 0, static_cast<size_t>(want) * kPageSize);
+      slabs_.push_back(slab);
+      slab_next_ = static_cast<uint8_t*>(slab);
+      slab_spare_ = want;
+    }
+    f = static_cast<FrameId>(frame_data_.size());
+    frame_data_.push_back(slab_next_);
     refcounts_.push_back(0);
+    slab_next_ += kPageSize;
+    --slab_spare_;
   }
   refcounts_[f] = 1;
   ++allocated_;

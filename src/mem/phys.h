@@ -4,12 +4,21 @@
 // an invalid sentinel so page-table entries can use frame==0 for "not
 // present". The allocator tracks per-frame reference counts because the
 // mapping hierarchy (Region/Mapping) lets several spaces share one frame.
+//
+// Frames are carved out of multi-megabyte host slabs rather than allocated
+// individually: sequentially allocated frames land contiguously in host
+// memory, so bulk copies over freshly zero-filled buffers stream at full
+// memcpy bandwidth, and the 2 MiB-aligned slabs are transparent-hugepage
+// candidates (fewer host dTLB misses on the simulator's hot paths). A
+// frame's data pointer is stable for the lifetime of the PhysMemory --
+// slabs are never moved or freed before destruction -- which is what lets
+// the software TLB (src/kern/tlb.h) cache them.
 
 #ifndef SRC_MEM_PHYS_H_
 #define SRC_MEM_PHYS_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "src/api/abi.h"
@@ -23,9 +32,12 @@ class PhysMemory {
  public:
   explicit PhysMemory(uint32_t max_frames = 64 * 1024)  // default 256 MiB
       : max_frames_(max_frames) {
-    frames_.push_back(nullptr);  // frame 0 = sentinel
+    frame_data_.push_back(nullptr);  // frame 0 = sentinel
     refcounts_.push_back(0);
   }
+  ~PhysMemory();
+  PhysMemory(const PhysMemory&) = delete;
+  PhysMemory& operator=(const PhysMemory&) = delete;
 
   // Allocates a zeroed frame; returns kInvalidFrame when exhausted.
   FrameId Alloc();
@@ -34,19 +46,23 @@ class PhysMemory {
   // Drops one reference; frees the frame when the count reaches zero.
   void Unref(FrameId f);
 
-  uint8_t* Data(FrameId f) {
-    return frames_[f].get();
-  }
-  const uint8_t* Data(FrameId f) const { return frames_[f].get(); }
+  uint8_t* Data(FrameId f) { return frame_data_[f]; }
+  const uint8_t* Data(FrameId f) const { return frame_data_[f]; }
 
   uint32_t refcount(FrameId f) const { return refcounts_[f]; }
   uint32_t allocated_frames() const { return allocated_; }
   uint64_t allocated_bytes() const { return static_cast<uint64_t>(allocated_) * kPageSize; }
 
  private:
+  static constexpr uint32_t kSlabFrames = 1024;          // 4 MiB per slab
+  static constexpr size_t kSlabAlign = 2 * 1024 * 1024;  // hugepage boundary
+
   uint32_t max_frames_;
   uint32_t allocated_ = 0;
-  std::vector<std::unique_ptr<uint8_t[]>> frames_;
+  std::vector<uint8_t*> frame_data_;  // frame id -> host page (stable)
+  std::vector<void*> slabs_;          // owned slab allocations
+  uint8_t* slab_next_ = nullptr;      // next un-carved page in slabs_.back()
+  uint32_t slab_spare_ = 0;           // un-carved pages left in slabs_.back()
   std::vector<uint32_t> refcounts_;
   std::vector<FrameId> free_list_;
 };

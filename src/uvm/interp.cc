@@ -1,161 +1,272 @@
 #include "src/uvm/interp.h"
 
+#include <cstring>
+
 namespace fluke {
 
+namespace {
+// Interpreter-local translation cache. 16 direct-mapped entries per access
+// direction, living on RunUser's host stack. An entry is (page, host base
+// pointer) obtained from MemoryBus::TranslateSpan; hits cost an index, a
+// compare and a memcpy -- no virtual call, no page-table walk.
+//
+// Why this needs no invalidation: entries live only for one RunUser call,
+// and nothing can change a translation while user instructions execute --
+// the page table is only mutated inside kernel entries (syscalls, faults,
+// host-side setup), all of which end the run. The next RunUser starts cold.
+inline constexpr uint32_t kMiniTlbEntries = 16;
+inline constexpr uint32_t kMiniTlbMask = kMiniTlbEntries - 1;
+inline constexpr uint32_t kNoPage = 0xFFFFFFFFu;  // vpns are < 2^20
+}  // namespace
+
+// The dispatch loop keeps the code pointer, PC and cycle counter in locals
+// (hoisted out of the per-instruction Program::At/RunResult accesses) and
+// writes them back at every exit. Cycle accounting is unchanged from the
+// naive loop: the budget is re-checked before each instruction, so virtual
+// time is bit-identical -- only host time improves.
 RunResult RunUser(const Program& program, UserRegisters* regs, MemoryBus* bus,
                   uint64_t budget_cycles) {
   RunResult result;
   uint32_t* r = regs->gpr;
+  const Instr* code = program.code();
+  const uint32_t code_size = program.size();
+  uint32_t pc = regs->pc;
+  uint64_t cycles = 0;
 
-  while (result.cycles < budget_cycles) {
-    const Instr* in = program.At(regs->pc);
-    if (in == nullptr) {
+  uint32_t rtag[kMiniTlbEntries];
+  uint8_t* rbase[kMiniTlbEntries];
+  uint32_t wtag[kMiniTlbEntries];
+  uint8_t* wbase[kMiniTlbEntries];
+  for (uint32_t i = 0; i < kMiniTlbEntries; ++i) {
+    rtag[i] = wtag[i] = kNoPage;
+  }
+  // Translates `page` for reading/writing and caches it; null means the
+  // access must take the faulting word/byte path on the bus.
+  auto fill_read = [&](uint32_t page) -> uint8_t* {
+    const Span s = bus->TranslateSpan(page << kPageShift, kPageSize, kProtRead);
+    if (s.len != kPageSize) {
+      return nullptr;
+    }
+    rtag[page & kMiniTlbMask] = page;
+    rbase[page & kMiniTlbMask] = s.ptr;
+    return s.ptr;
+  };
+  auto fill_write = [&](uint32_t page) -> uint8_t* {
+    const Span s = bus->TranslateSpan(page << kPageShift, kPageSize, kProtWrite);
+    if (s.len != kPageSize) {
+      return nullptr;
+    }
+    // A write translation can break copy-on-write (IPC page lending),
+    // moving the page to a fresh frame mid-run -- the one exception to
+    // "translations never change while user code executes". Drop any
+    // cached read pointer for the page so loads refill and see the run's
+    // own stores.
+    if (rtag[page & kMiniTlbMask] == page) {
+      rtag[page & kMiniTlbMask] = kNoPage;
+    }
+    wtag[page & kMiniTlbMask] = page;
+    wbase[page & kMiniTlbMask] = s.ptr;
+    return s.ptr;
+  };
+
+  // Every exit funnels through done: so pc/cycles locals are committed on
+  // all paths. The PC is NOT advanced past a faulting load/store, a syscall,
+  // a halt or a breakpoint -- the kernel decides how to resume.
+  while (cycles < budget_cycles) {
+    if (pc >= code_size) {
       result.event = UserEvent::kBadPc;
-      return result;
+      goto done;
     }
-    switch (in->op) {
-      case Op::kHalt:
-        result.cycles += kCostAlu;
-        result.event = UserEvent::kHalt;
-        return result;
-      case Op::kNop:
-        result.cycles += kCostAlu;
-        break;
-      case Op::kMovImm:
-        r[in->a] = in->imm;
-        result.cycles += kCostAlu;
-        break;
-      case Op::kMov:
-        r[in->a] = r[in->b];
-        result.cycles += kCostAlu;
-        break;
-      case Op::kAdd:
-        r[in->a] = r[in->b] + r[in->c];
-        result.cycles += kCostAlu;
-        break;
-      case Op::kSub:
-        r[in->a] = r[in->b] - r[in->c];
-        result.cycles += kCostAlu;
-        break;
-      case Op::kMul:
-        r[in->a] = r[in->b] * r[in->c];
-        result.cycles += kCostAlu * 3;
-        break;
-      case Op::kAnd:
-        r[in->a] = r[in->b] & r[in->c];
-        result.cycles += kCostAlu;
-        break;
-      case Op::kOr:
-        r[in->a] = r[in->b] | r[in->c];
-        result.cycles += kCostAlu;
-        break;
-      case Op::kXor:
-        r[in->a] = r[in->b] ^ r[in->c];
-        result.cycles += kCostAlu;
-        break;
-      case Op::kShl:
-        r[in->a] = r[in->b] << (r[in->c] & 31);
-        result.cycles += kCostAlu;
-        break;
-      case Op::kShr:
-        r[in->a] = r[in->b] >> (r[in->c] & 31);
-        result.cycles += kCostAlu;
-        break;
-      case Op::kAddImm:
-        r[in->a] = r[in->b] + in->imm;
-        result.cycles += kCostAlu;
-        break;
-      case Op::kLoadB: {
-        uint8_t v = 0;
-        const uint32_t addr = r[in->b] + in->imm;
-        if (!bus->ReadByte(addr, &v, &result.fault_addr)) {
-          result.event = UserEvent::kFault;
-          result.fault_is_write = false;
-          return result;  // PC stays on the faulting instruction
+    {
+      const Instr* in = &code[pc];
+      switch (in->op) {
+        case Op::kHalt:
+          cycles += kCostAlu;
+          result.event = UserEvent::kHalt;
+          goto done;
+        case Op::kNop:
+          cycles += kCostAlu;
+          break;
+        case Op::kMovImm:
+          r[in->a] = in->imm;
+          cycles += kCostAlu;
+          break;
+        case Op::kMov:
+          r[in->a] = r[in->b];
+          cycles += kCostAlu;
+          break;
+        case Op::kAdd:
+          r[in->a] = r[in->b] + r[in->c];
+          cycles += kCostAlu;
+          break;
+        case Op::kSub:
+          r[in->a] = r[in->b] - r[in->c];
+          cycles += kCostAlu;
+          break;
+        case Op::kMul:
+          r[in->a] = r[in->b] * r[in->c];
+          cycles += kCostAlu * 3;
+          break;
+        case Op::kAnd:
+          r[in->a] = r[in->b] & r[in->c];
+          cycles += kCostAlu;
+          break;
+        case Op::kOr:
+          r[in->a] = r[in->b] | r[in->c];
+          cycles += kCostAlu;
+          break;
+        case Op::kXor:
+          r[in->a] = r[in->b] ^ r[in->c];
+          cycles += kCostAlu;
+          break;
+        case Op::kShl:
+          r[in->a] = r[in->b] << (r[in->c] & 31);
+          cycles += kCostAlu;
+          break;
+        case Op::kShr:
+          r[in->a] = r[in->b] >> (r[in->c] & 31);
+          cycles += kCostAlu;
+          break;
+        case Op::kAddImm:
+          r[in->a] = r[in->b] + in->imm;
+          cycles += kCostAlu;
+          break;
+        case Op::kLoadB: {
+          const uint32_t addr = r[in->b] + in->imm;
+          const uint32_t page = addr >> kPageShift;
+          uint8_t* base = rtag[page & kMiniTlbMask] == page ? rbase[page & kMiniTlbMask]
+                                                           : fill_read(page);
+          if (base != nullptr) {
+            r[in->a] = base[addr & kPageMask];
+            cycles += kCostMem;
+            break;
+          }
+          uint8_t v = 0;
+          if (!bus->ReadByte(addr, &v, &result.fault_addr)) {
+            result.event = UserEvent::kFault;
+            result.fault_is_write = false;
+            goto done;  // PC stays on the faulting instruction
+          }
+          r[in->a] = v;
+          cycles += kCostMem;
+          break;
         }
-        r[in->a] = v;
-        result.cycles += kCostMem;
-        break;
+        case Op::kStoreB: {
+          const uint32_t addr = r[in->b] + in->imm;
+          const uint32_t page = addr >> kPageShift;
+          uint8_t* base = wtag[page & kMiniTlbMask] == page ? wbase[page & kMiniTlbMask]
+                                                            : fill_write(page);
+          if (base != nullptr) {
+            base[addr & kPageMask] = static_cast<uint8_t>(r[in->a]);
+            cycles += kCostMem;
+            break;
+          }
+          if (!bus->WriteByte(addr, static_cast<uint8_t>(r[in->a]), &result.fault_addr)) {
+            result.event = UserEvent::kFault;
+            result.fault_is_write = true;
+            goto done;
+          }
+          cycles += kCostMem;
+          break;
+        }
+        case Op::kLoadW: {
+          uint32_t v = 0;
+          const uint32_t addr = r[in->b] + in->imm;
+          const uint32_t off = addr & kPageMask;
+          if (off + 4 <= kPageSize) {  // page-straddling words take the bus
+            const uint32_t page = addr >> kPageShift;
+            const uint8_t* base = rtag[page & kMiniTlbMask] == page
+                                      ? rbase[page & kMiniTlbMask]
+                                      : fill_read(page);
+            if (base != nullptr) {
+              std::memcpy(&v, base + off, 4);
+              r[in->a] = v;
+              cycles += kCostMem;
+              break;
+            }
+          }
+          if (!bus->ReadWord(addr, &v, &result.fault_addr)) {
+            result.event = UserEvent::kFault;
+            result.fault_is_write = false;
+            goto done;
+          }
+          r[in->a] = v;
+          cycles += kCostMem;
+          break;
+        }
+        case Op::kStoreW: {
+          const uint32_t addr = r[in->b] + in->imm;
+          const uint32_t off = addr & kPageMask;
+          if (off + 4 <= kPageSize) {
+            const uint32_t page = addr >> kPageShift;
+            uint8_t* base = wtag[page & kMiniTlbMask] == page ? wbase[page & kMiniTlbMask]
+                                                              : fill_write(page);
+            if (base != nullptr) {
+              std::memcpy(base + off, &r[in->a], 4);
+              cycles += kCostMem;
+              break;
+            }
+          }
+          if (!bus->WriteWord(addr, r[in->a], &result.fault_addr)) {
+            result.event = UserEvent::kFault;
+            result.fault_is_write = true;
+            goto done;
+          }
+          cycles += kCostMem;
+          break;
+        }
+        case Op::kJmp:
+          pc = in->imm;
+          cycles += kCostBranch;
+          continue;  // pc already set
+        case Op::kBeq:
+          cycles += kCostBranch;
+          if (r[in->a] == r[in->b]) {
+            pc = in->imm;
+            continue;
+          }
+          break;
+        case Op::kBne:
+          cycles += kCostBranch;
+          if (r[in->a] != r[in->b]) {
+            pc = in->imm;
+            continue;
+          }
+          break;
+        case Op::kBlt:
+          cycles += kCostBranch;
+          if (r[in->a] < r[in->b]) {
+            pc = in->imm;
+            continue;
+          }
+          break;
+        case Op::kBge:
+          cycles += kCostBranch;
+          if (r[in->a] >= r[in->b]) {
+            pc = in->imm;
+            continue;
+          }
+          break;
+        case Op::kSyscall:
+          // PC stays on the syscall instruction; the kernel advances it on
+          // completion or rewrites register A to name a restart entrypoint.
+          result.event = UserEvent::kSyscall;
+          goto done;
+        case Op::kCompute:
+          cycles += in->imm;
+          break;
+        case Op::kBreak:
+          result.event = UserEvent::kBreak;
+          goto done;
       }
-      case Op::kStoreB: {
-        const uint32_t addr = r[in->b] + in->imm;
-        if (!bus->WriteByte(addr, static_cast<uint8_t>(r[in->a]), &result.fault_addr)) {
-          result.event = UserEvent::kFault;
-          result.fault_is_write = true;
-          return result;
-        }
-        result.cycles += kCostMem;
-        break;
-      }
-      case Op::kLoadW: {
-        uint32_t v = 0;
-        const uint32_t addr = r[in->b] + in->imm;
-        if (!bus->ReadWord(addr, &v, &result.fault_addr)) {
-          result.event = UserEvent::kFault;
-          result.fault_is_write = false;
-          return result;
-        }
-        r[in->a] = v;
-        result.cycles += kCostMem;
-        break;
-      }
-      case Op::kStoreW: {
-        const uint32_t addr = r[in->b] + in->imm;
-        if (!bus->WriteWord(addr, r[in->a], &result.fault_addr)) {
-          result.event = UserEvent::kFault;
-          result.fault_is_write = true;
-          return result;
-        }
-        result.cycles += kCostMem;
-        break;
-      }
-      case Op::kJmp:
-        regs->pc = in->imm;
-        result.cycles += kCostBranch;
-        continue;  // pc already set
-      case Op::kBeq:
-        result.cycles += kCostBranch;
-        if (r[in->a] == r[in->b]) {
-          regs->pc = in->imm;
-          continue;
-        }
-        break;
-      case Op::kBne:
-        result.cycles += kCostBranch;
-        if (r[in->a] != r[in->b]) {
-          regs->pc = in->imm;
-          continue;
-        }
-        break;
-      case Op::kBlt:
-        result.cycles += kCostBranch;
-        if (r[in->a] < r[in->b]) {
-          regs->pc = in->imm;
-          continue;
-        }
-        break;
-      case Op::kBge:
-        result.cycles += kCostBranch;
-        if (r[in->a] >= r[in->b]) {
-          regs->pc = in->imm;
-          continue;
-        }
-        break;
-      case Op::kSyscall:
-        // PC stays on the syscall instruction; the kernel advances it on
-        // completion or rewrites register A to name a restart entrypoint.
-        result.event = UserEvent::kSyscall;
-        return result;
-      case Op::kCompute:
-        result.cycles += in->imm;
-        break;
-      case Op::kBreak:
-        result.event = UserEvent::kBreak;
-        return result;
     }
-    ++regs->pc;
+    ++pc;
   }
   result.event = UserEvent::kBudget;
+
+done:
+  regs->pc = pc;
+  result.cycles = cycles;
   return result;
 }
 

@@ -17,6 +17,14 @@
 
 namespace fluke {
 
+// A contiguous in-page run of directly addressable user memory, produced by
+// MemoryBus::TranslateSpan. `len == 0` (ptr null) means the span could not
+// be translated and the caller must fall back to the faulting word path.
+struct Span {
+  uint8_t* ptr = nullptr;
+  uint32_t len = 0;
+};
+
 // Abstract user-memory access. Implemented by kern::Space.
 class MemoryBus {
  public:
@@ -27,6 +35,17 @@ class MemoryBus {
   virtual bool WriteByte(uint32_t vaddr, uint8_t value, uint32_t* fault_addr) = 0;
   virtual bool ReadWord(uint32_t vaddr, uint32_t* out, uint32_t* fault_addr) = 0;
   virtual bool WriteWord(uint32_t vaddr, uint32_t value, uint32_t* fault_addr) = 0;
+  // Bulk-copy fast path: translates up to `len` bytes starting at `vaddr`
+  // into one host-addressable run, clamped to the containing page. Returns
+  // an empty span when the page is unmapped or `want_prot` is not granted;
+  // never resolves faults. Purely host-side: implementations must charge no
+  // virtual time.
+  virtual Span TranslateSpan(uint32_t vaddr, uint32_t len, uint32_t want_prot) {
+    (void)vaddr;
+    (void)len;
+    (void)want_prot;
+    return {};
+  }
 };
 
 enum class UserEvent : int {

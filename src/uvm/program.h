@@ -32,6 +32,9 @@ class Program {
   const Instr* At(uint32_t pc) const {
     return pc < code_.size() ? &code_[pc] : nullptr;
   }
+  // Raw code pointer for the interpreter's hoisted fetch loop (bounds are
+  // the caller's job; pair with size()).
+  const Instr* code() const { return code_.data(); }
   uint32_t size() const { return static_cast<uint32_t>(code_.size()); }
 
  private:

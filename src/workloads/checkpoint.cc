@@ -37,13 +37,17 @@ CheckpointImage CaptureSpace(Kernel& k, Space& space) {
     img.threads.push_back(ti);
   }
 
-  // Memory: every mapped page, sorted for determinism.
+  // Memory: every mapped page, sorted for determinism. Pages are read
+  // through the span-translation path (one TLB-backed translation + one
+  // memcpy per page), the same fast path the IPC bulk copy uses.
   for (const auto& [page, pte] : space.page_table()) {
     CheckpointImage::PageImage pi;
     pi.vaddr = page << kPageShift;
     pi.prot = pte.prot;
     pi.data.resize(kPageSize);
-    std::memcpy(pi.data.data(), space.phys()->Data(pte.frame), kPageSize);
+    const Span s = space.TranslateSpan(pi.vaddr, kPageSize, kProtNone);
+    assert(s.len == kPageSize);
+    std::memcpy(pi.data.data(), s.ptr, s.len);
     img.pages.push_back(std::move(pi));
   }
   std::sort(img.pages.begin(), img.pages.end(),

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Runs the host-time microbenchmarks and distills BENCH_microbench.json.
+
+Usage:
+    tools/bench_report.py [--bench PATH] [--out PATH] [--min-time SECS]
+
+Runs bench/microbench (built by the normal cmake build) with JSON output and
+writes a compact report: one entry per benchmark with the items/sec or
+bytes/sec rate google-benchmark computed, so successive runs can be compared
+with a diff. Host-time numbers only -- virtual-time results live in the
+table benches, not here.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_default_bench(repo_root):
+    for rel in ("build/bench/microbench", "bench/microbench"):
+        p = os.path.join(repo_root, rel)
+        if os.path.isfile(p) and os.access(p, os.X_OK):
+            return p
+    return None
+
+
+def run_bench(bench, min_time):
+    cmd = [
+        bench,
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark run failed ({proc.returncode})")
+    return json.loads(proc.stdout)
+
+
+def distill(raw):
+    out = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "name": b["name"],
+            "real_time_ns": b.get("real_time"),
+            "cpu_time_ns": b.get("cpu_time"),
+            "iterations": b.get("iterations"),
+        }
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        if "bytes_per_second" in b:
+            entry["bytes_per_second"] = b["bytes_per_second"]
+        out.append(entry)
+    return out
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", default=None, help="path to the microbench binary")
+    ap.add_argument(
+        "--out",
+        default=os.path.join(repo_root, "BENCH_microbench.json"),
+        help="output JSON path",
+    )
+    ap.add_argument("--min-time", default="1.0", help="per-benchmark min time (s)")
+    ap.add_argument(
+        "--baseline",
+        default=None,
+        help="optional second microbench binary (e.g. a pre-change build); "
+        "its results are recorded under 'baseline' with per-benchmark "
+        "speedup ratios",
+    )
+    args = ap.parse_args()
+
+    bench = args.bench or find_default_bench(repo_root)
+    if bench is None:
+        raise SystemExit(
+            "microbench binary not found; build it first:\n"
+            "  cmake -B build -S . && cmake --build build -j"
+        )
+
+    raw = run_bench(bench, args.min_time)
+    report = {
+        "context": {
+            k: raw.get("context", {}).get(k)
+            for k in ("date", "host_name", "num_cpus", "mhz_per_cpu",
+                      "library_build_type")
+        },
+        "benchmarks": distill(raw),
+    }
+    if args.baseline:
+        base = distill(run_bench(args.baseline, args.min_time))
+        report["baseline"] = base
+        rates = {}
+        for e in base:
+            rates[e["name"]] = e.get("items_per_second") or e.get("bytes_per_second")
+        speedups = {}
+        for e in report["benchmarks"]:
+            new_rate = e.get("items_per_second") or e.get("bytes_per_second")
+            old_rate = rates.get(e["name"])
+            if new_rate and old_rate:
+                speedups[e["name"]] = round(new_rate / old_rate, 3)
+        report["speedup_vs_baseline"] = speedups
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out} ({len(report['benchmarks'])} benchmarks)")
+
+
+if __name__ == "__main__":
+    main()
