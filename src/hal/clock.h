@@ -11,9 +11,12 @@
 #ifndef SRC_HAL_CLOCK_H_
 #define SRC_HAL_CLOCK_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace fluke {
@@ -40,11 +43,49 @@ class VirtualClock {
   Time now_ = 0;
 };
 
+// A fixed-capacity handler slot for EventQueue. Device callbacks are all
+// "object pointer plus a couple of scalars" closures, so they are stored
+// inline -- scheduling and firing an event never touches the heap (a
+// std::function here allocates per steady-state timer tick once captures
+// exceed its small-buffer size). The trivially-copyable constraint is what
+// makes the inline copy in/out safe; a capture that outgrows the buffer or
+// owns resources fails to compile rather than silently allocating.
+class EventFn {
+ public:
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor): callable slot
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "EventQueue handler captures too much; shrink the closure "
+                  "or raise EventFn::kInlineBytes");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned EventQueue handler");
+    static_assert(std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn>,
+                  "EventQueue handlers must be trivially copyable (capture "
+                  "raw pointers/scalars, not owning objects)");
+    new (buf_) Fn(std::forward<F>(fn));
+    call_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+  }
+
+  void operator()() { call_(buf_); }
+
+ private:
+  static constexpr size_t kInlineBytes = 48;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes] = {};
+  void (*call_)(void*) = nullptr;
+};
+
 // A time-ordered queue of hardware events. Events with equal deadlines fire
 // in insertion order, which keeps the simulation deterministic.
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
+  using Handler = EventFn;
 
   void ScheduleAt(Time when, Handler fn);
   void ScheduleIn(const VirtualClock& clock, Time delta, Handler fn) {

@@ -46,6 +46,12 @@ struct KernelConfig {
   // side caching: results are bit-identical either way (tested by
   // tests/tlb_test.cc); off exists for that A/B check and for debugging.
   bool enable_tlb = true;
+  // Threaded-dispatch interpreter over predecoded programs (src/uvm/
+  // predecode.h). Pure host-side execution engine swap: results are
+  // bit-identical either way (tested by tests/interp_dispatch_test.cc); off
+  // exists for that A/B check and for debugging. No effect when the
+  // computed-goto engine is not compiled in (FLUKE_INTERP_COMPUTED_GOTO).
+  bool enable_threaded_interp = true;
 
   bool Valid() const {
     if (preempt == PreemptMode::kFull && model == ExecModel::kInterrupt) {

@@ -80,15 +80,14 @@ void Kernel::DispatchIrqs() {
       }
       // Table 6 probe accounting: a probe that is waiting will run once now
       // (the remaining coalesced ticks are misses); one that is still
-      // running or queued misses all of them.
-      for (const auto& t : threads_) {
-        if (!t->latency_probe || t->run_state == ThreadRun::kDead) {
-          continue;
-        }
+      // running or queued misses all of them. latency_probes_ holds exactly
+      // the live probe threads (maintained by SetLatencyProbe/ThreadExit),
+      // so this is O(probes) per tick, not O(all threads).
+      latency_probes_.ForEach([&](Thread* t) {
         const bool waiting =
             t->run_state == ThreadRun::kBlocked && t->irq_line == kIrqTimer;
         stats.probe_misses += waiting ? n_ticks - 1 : n_ticks;
-      }
+      });
     } else if (line == kIrqDisk) {
       WakeAll(&disk_waiters);
     } else if (line == kIrqConsole) {
@@ -133,34 +132,40 @@ void Kernel::RunThread(Thread* t, Time horizon) {
   } else if (t->program == nullptr) {
     ThreadExit(t, 0xBAD0);  // no code to run
   } else {
-    uint64_t budget = 1;
+    uint64_t budget = 1;  // horizon at or behind now: force progress
     if (horizon > clock.now()) {
       budget = (horizon - clock.now()) / kNsPerCycle;
-      if (budget == 0) {
-        budget = 1;
-      }
     }
-    const RunResult r = RunUser(*t->program, &t->regs, t->space, budget);
-    clock.Advance(r.cycles * kNsPerCycle);
-    switch (r.event) {
-      case UserEvent::kBudget:
-        break;  // horizon reached; requeue below
-      case UserEvent::kSyscall:
-        EnterSyscall(t);
-        break;
-      case UserEvent::kFault:
-        HandleUserFault(t, r.fault_addr, r.fault_is_write);
-        break;
-      case UserEvent::kHalt:
-        ThreadExit(t, t->regs.gpr[kRegB]);
-        break;
-      case UserEvent::kBreak:
-        ++t->regs.pc;  // resume continues after the breakpoint
-        t->run_state = ThreadRun::kStopped;
-        break;
-      case UserEvent::kBadPc:
-        ThreadExit(t, 0xDEAD);
-        break;
+    if (budget == 0) {
+      // The horizon is less than one whole cycle away. Running anyway would
+      // overrun it by a full cycle, pushing the due event late; instead the
+      // thread idles the sub-cycle remainder and is requeued at the horizon
+      // (Run() then fires whatever is due there before re-picking it).
+      clock.AdvanceTo(horizon);
+    } else {
+      const RunResult r =
+          RunUser(*t->program, &t->regs, t->space, budget, interp_opts_);
+      clock.Advance(r.cycles * kNsPerCycle);
+      switch (r.event) {
+        case UserEvent::kBudget:
+          break;  // horizon reached; requeue below
+        case UserEvent::kSyscall:
+          EnterSyscall(t);
+          break;
+        case UserEvent::kFault:
+          HandleUserFault(t, r.fault_addr, r.fault_is_write);
+          break;
+        case UserEvent::kHalt:
+          ThreadExit(t, t->regs.gpr[kRegB]);
+          break;
+        case UserEvent::kBreak:
+          ++t->regs.pc;  // resume continues after the breakpoint
+          t->run_state = ThreadRun::kStopped;
+          break;
+        case UserEvent::kBadPc:
+          ThreadExit(t, 0xDEAD);
+          break;
+      }
     }
   }
 

@@ -15,6 +15,9 @@ Kernel::Kernel(const KernelConfig& config, ProgramRegistry* program_registry)
   for (int i = 0; i < cfg.num_cpus; ++i) {
     cpus_[i].id = i;
   }
+  interp_opts_.threaded = cfg.enable_threaded_interp;
+  interp_opts_.block_charges = &stats.interp_block_charges;
+  interp_opts_.predecodes = &stats.interp_predecodes;
   timer.Start(cfg.tick_ns);
 }
 
@@ -128,6 +131,18 @@ void Kernel::MakeRunnable(Thread* t) {
   t->run_state = ThreadRun::kRunnable;
   t->wake_time = clock.now();
   runq_[t->priority].PushBack(t);
+}
+
+void Kernel::SetLatencyProbe(Thread* t, bool enable) {
+  if (t->latency_probe == enable) {
+    return;
+  }
+  t->latency_probe = enable;
+  if (enable) {
+    latency_probes_.PushBack(t);
+  } else if (t->probe_node.linked()) {
+    latency_probes_.Remove(t);
+  }
 }
 
 void Kernel::WakeOne(WaitQueue* q) {
@@ -274,6 +289,9 @@ void Kernel::ThreadExit(Thread* t, uint32_t code) {
     WakeAll(t->join_wait.get());
   }
   t->run_state = ThreadRun::kDead;
+  if (t->probe_node.linked()) {
+    latency_probes_.Remove(t);
+  }
   t->MarkDead();
 }
 

@@ -26,6 +26,7 @@
 #include "src/kern/costs.h"
 #include "src/kern/objects.h"
 #include "src/kern/space.h"
+#include "src/uvm/interp.h"
 #include "src/kern/state.h"
 #include "src/kern/stats.h"
 #include "src/kern/trace.h"
@@ -135,6 +136,11 @@ class Kernel {
   void MakeRunnable(Thread* t);
   void WakeOne(WaitQueue* q);
   void WakeAll(WaitQueue* q);
+  // (Un)marks `t` as a Table 6 latency probe and maintains the
+  // latency_probes_ list DispatchIrqs() iterates per tick. Always use this
+  // rather than writing t->latency_probe directly, or tick-time probe-miss
+  // accounting will skip the thread.
+  void SetLatencyProbe(Thread* t, bool enable);
   // True when a higher-priority thread than `t` is runnable (or t's slice
   // expired) -- consulted by preemption points and FP work quanta.
   bool PreemptPending(const Thread* t) const;
@@ -240,6 +246,13 @@ class Kernel {
 
   static constexpr int kNumPrio = 8;
   IntrusiveList<Thread, &Thread::rq_node> runq_[kNumPrio];
+  // Live latency-probe threads (see SetLatencyProbe); threads are removed
+  // at exit so DispatchIrqs never sees a dead probe.
+  IntrusiveList<Thread, &Thread::probe_node> latency_probes_;
+  // RunUser engine options, built once in the constructor -- the engine
+  // flag and the stats-counter pointers are fixed for the kernel's lifetime,
+  // so RunThread doesn't reassemble them on every timeslice.
+  InterpOptions interp_opts_;
   std::vector<Cpu> cpus_;
   int active_cpu_ = 0;
 

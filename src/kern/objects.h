@@ -89,7 +89,9 @@ struct Thread final : public KernelObject {
   ListNode rq_node;             // run-queue linkage
   uint32_t slice_ticks = 0;     // remaining timeslice
   Time wake_time = 0;           // when last made runnable (latency probe)
-  bool latency_probe = false;   // record wake->run latencies (Table 6)
+  bool latency_probe = false;   // record wake->run latencies (Table 6);
+                                // set via Kernel::SetLatencyProbe
+  ListNode probe_node;          // Kernel::latency_probes_ linkage
   bool legacy = false;          // pseudo-kernel thread (section 5.6)
 
   // --- In-progress kernel operation ---

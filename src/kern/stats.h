@@ -56,6 +56,13 @@ struct KernelStats {
   uint64_t tlb_misses = 0;
   uint64_t tlb_flushes = 0;  // entries discarded by unmap/remap/teardown
 
+  // Threaded-interpreter accounting (src/uvm/interp.cc). Like the tlb_*
+  // counters these are host-side observability only, and are the only
+  // counters allowed to differ between threaded-dispatch-enabled and
+  // -disabled runs of the same workload.
+  uint64_t interp_block_charges = 0;  // whole-block batched cycle charges
+  uint64_t interp_predecodes = 0;     // programs decoded into side-tables
+
   // IPC copy-on-write page lending (non-preemptive configs only): full pages
   // transferred by remapping the sender's frame instead of copying 4 KiB.
   // Purely a host-side optimization -- the virtual-time charges are

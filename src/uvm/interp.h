@@ -64,10 +64,27 @@ struct RunResult {
   bool fault_is_write = false;
 };
 
+// Engine selection and host-side accounting for RunUser. The threaded
+// engine dispatches via computed goto over the program's predecoded
+// side-table and charges cycles per straight-line block; it requires
+// compiler support compiled in (ThreadedDispatchCompiledIn()) -- otherwise
+// the portable switch loop runs regardless of `threaded`. Both engines
+// produce bit-identical RunResults, register state and memory effects; the
+// counters are host-side observability only.
+struct InterpOptions {
+  bool threaded = true;
+  uint64_t* block_charges = nullptr;  // += 1 per whole-block cycle charge
+  uint64_t* predecodes = nullptr;     // += 1 per program decode performed
+};
+
+// True when the computed-goto engine was compiled in (GCC/Clang with the
+// FLUKE_INTERP_COMPUTED_GOTO CMake option, default ON).
+bool ThreadedDispatchCompiledIn();
+
 // Executes at most `budget_cycles` worth of instructions of `program`
 // starting from regs->pc. Mutates `regs` in place.
 RunResult RunUser(const Program& program, UserRegisters* regs, MemoryBus* bus,
-                  uint64_t budget_cycles);
+                  uint64_t budget_cycles, const InterpOptions& opts = {});
 
 }  // namespace fluke
 

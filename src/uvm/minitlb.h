@@ -1,0 +1,148 @@
+// Interpreter-local translation cache, shared by both execution engines.
+//
+// 16 direct-mapped entries per access direction, living on RunUser's host
+// stack. An entry is (page, host base pointer) obtained from
+// MemoryBus::TranslateSpan; hits cost an index, a compare and a memcpy --
+// no virtual call, no page-table walk.
+//
+// Why this needs no invalidation: entries live only for one RunUser call,
+// and nothing can change a translation while user instructions execute --
+// the page table is only mutated inside kernel entries (syscalls, faults,
+// host-side setup), all of which end the run. The next RunUser starts cold.
+//
+// Shared by both engines (the portable switch loop and the threaded
+// dispatcher) so their bus access patterns -- and therefore the kernel's
+// tlb_* stats -- are identical instruction for instruction.
+
+#ifndef SRC_UVM_MINITLB_H_
+#define SRC_UVM_MINITLB_H_
+
+#include <cstdint>
+
+#include "src/uvm/interp.h"
+
+// Hot-path annotations for the interpreter; no-ops off GCC/Clang.
+#if defined(__GNUC__) || defined(__clang__)
+#define FLUKE_LIKELY(x) __builtin_expect(!!(x), 1)
+#define FLUKE_NOINLINE __attribute__((noinline))
+#else
+#define FLUKE_LIKELY(x) (x)
+#define FLUKE_NOINLINE
+#endif
+
+namespace fluke {
+namespace interp_internal {
+
+inline constexpr uint32_t kMiniTlbEntries = 16;
+inline constexpr uint32_t kMiniTlbMask = kMiniTlbEntries - 1;
+inline constexpr uint32_t kNoPage = 0xFFFFFFFFu;  // vpns are < 2^20
+
+struct MiniTlb {
+  explicit MiniTlb(MemoryBus* bus) : bus_(bus) {
+    for (uint32_t i = 0; i < kMiniTlbEntries; ++i) {
+      rtag_[i] = wtag_[i] = kNoPage;
+    }
+  }
+
+  // disable default copy to keep the cached pointers from leaking across
+  // MiniTlb instances by accident; one instance per RunUser call.
+  MiniTlb(const MiniTlb&) = delete;
+  MiniTlb& operator=(const MiniTlb&) = delete;
+
+  // Null means the access must take the faulting word/byte path on the bus.
+  // A last-page slot (r0/w0) fronts the array: streaming loops touch the
+  // same page thousands of times, and the slot turns those probes into one
+  // compare. It only ever mirrors a live array entry, so it cannot change
+  // which accesses reach the bus -- both engines see identical fill
+  // patterns with or without the hit.
+  uint8_t* ReadBase(uint32_t page) {
+    if (FLUKE_LIKELY(page == r0page_)) {
+      return r0base_;
+    }
+    const uint32_t idx = page & kMiniTlbMask;
+    if (rtag_[idx] == page) {
+      r0page_ = page;
+      r0base_ = rbase_[idx];
+      return r0base_;
+    }
+    return FillRead(page);
+  }
+  uint8_t* WriteBase(uint32_t page) {
+    if (FLUKE_LIKELY(page == w0page_)) {
+      return w0base_;
+    }
+    const uint32_t idx = page & kMiniTlbMask;
+    if (wtag_[idx] == page) {
+      w0page_ = page;
+      w0base_ = wbase_[idx];
+      return w0base_;
+    }
+    return FillWrite(page);
+  }
+
+ private:
+  // The fills are kept out of line so the hit path -- an index, a compare
+  // and a load -- doesn't drag TranslateSpan's register pressure into every
+  // interpreter memory handler.
+  FLUKE_NOINLINE uint8_t* FillRead(uint32_t page) {
+    const Span s = bus_->TranslateSpan(page << kPageShift, kPageSize, kProtRead);
+    if (s.len != kPageSize) {
+      return nullptr;
+    }
+    rtag_[page & kMiniTlbMask] = page;
+    rbase_[page & kMiniTlbMask] = s.ptr;
+    r0page_ = page;
+    r0base_ = s.ptr;
+    return s.ptr;
+  }
+  FLUKE_NOINLINE uint8_t* FillWrite(uint32_t page) {
+    const Span s = bus_->TranslateSpan(page << kPageShift, kPageSize, kProtWrite);
+    if (s.len != kPageSize) {
+      return nullptr;
+    }
+    // A write translation can break copy-on-write (IPC page lending),
+    // moving the page to a fresh frame mid-run -- the one exception to
+    // "translations never change while user code executes". Drop any
+    // cached read pointer for the page (array entry AND last-page slot) so
+    // loads refill and see the run's own stores.
+    if (rtag_[page & kMiniTlbMask] == page) {
+      rtag_[page & kMiniTlbMask] = kNoPage;
+    }
+    if (r0page_ == page) {
+      r0page_ = kNoPage;
+    }
+    wtag_[page & kMiniTlbMask] = page;
+    wbase_[page & kMiniTlbMask] = s.ptr;
+    w0page_ = page;
+    w0base_ = s.ptr;
+    return s.ptr;
+  }
+
+  // Last-page slots. Invariant: when r0page_ != kNoPage, the array entry at
+  // its index holds the same (page, base) pair -- fills set both together,
+  // and the CoW drop above clears both together. Same for w0page_. That is
+  // what makes the slot a pure fast path: any access pattern reaches the
+  // bus on exactly the probes the array alone would have sent there.
+  uint32_t r0page_ = kNoPage;
+  uint32_t w0page_ = kNoPage;
+  uint8_t* r0base_ = nullptr;
+  uint8_t* w0base_ = nullptr;
+  uint32_t rtag_[kMiniTlbEntries];
+  uint8_t* rbase_[kMiniTlbEntries];
+  uint32_t wtag_[kMiniTlbEntries];
+  uint8_t* wbase_[kMiniTlbEntries];
+  MemoryBus* bus_;
+};
+
+// The portable fetch/decode/switch engine (interp_switch.cc). Kept in its
+// own translation unit at the project's default optimization flags: it is
+// the reference semantics and the faithful pre-threading baseline, while
+// interp.cc carries interpreter-specific codegen flags that would otherwise
+// skew it.
+RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
+                        MemoryBus* bus, uint64_t budget_cycles);
+
+}  // namespace interp_internal
+}  // namespace fluke
+
+#endif  // SRC_UVM_MINITLB_H_

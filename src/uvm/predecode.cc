@@ -1,0 +1,238 @@
+#include "src/uvm/predecode.h"
+
+#include <cstddef>
+
+namespace fluke {
+
+namespace {
+
+// True when control cannot fall through to the next instruction's slot
+// without a fresh dispatch decision: exits, traps, and all control
+// transfers. These terminate a straight-line block.
+bool IsBlockEnd(DecOp op) {
+  switch (op) {
+    case DecOp::kHalt:
+    case DecOp::kJmp:
+    case DecOp::kJmpOut:
+    case DecOp::kBeq:
+    case DecOp::kBne:
+    case DecOp::kBlt:
+    case DecOp::kBge:
+    case DecOp::kBeqOut:
+    case DecOp::kBneOut:
+    case DecOp::kBltOut:
+    case DecOp::kBgeOut:
+    case DecOp::kSyscall:
+    case DecOp::kBreak:
+    case DecOp::kEnd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Dispatch index for the fused pair (first, second), or DecOp::kCount when
+// the pair is not fusable. Generated from the same lists as the enum and
+// the interpreter's handler tables.
+DecOp FuseOps(Op first, Op second) {
+  switch (first) {
+#define FLUKE_FUSE_CASE2(n2, o2, n1, o1) \
+  case Op::o2:                           \
+    return DecOp::kF_##n1##_##n2;
+#define FLUKE_FUSE_CASE1(n1, o1, unused)      \
+  case Op::o1:                                \
+    switch (second) {                         \
+      FLUKE_FUSE_ALU_OPS2(FLUKE_FUSE_CASE2, n1, o1) \
+      FLUKE_FUSE_BR_OPS(FLUKE_FUSE_CASE2, n1, o1)   \
+      default:                                \
+        return DecOp::kCount;                 \
+    }
+    FLUKE_FUSE_ALU_OPS(FLUKE_FUSE_CASE1, 0)
+#undef FLUKE_FUSE_CASE1
+#undef FLUKE_FUSE_CASE2
+    case Op::kLoadW:
+      return second == Op::kAddImm ? DecOp::kF_loadw_addimm : DecOp::kCount;
+    case Op::kStoreW:
+      return second == Op::kAddImm ? DecOp::kF_storew_addimm : DecOp::kCount;
+    default:
+      return DecOp::kCount;
+  }
+}
+
+// Dispatch index for the fused triple (mem, kAddImm, br). Callers have
+// already checked mem is kLoadW or kStoreW; a non-branch third op falls to
+// kCount (not fusable as a triple).
+DecOp TripleOp(Op mem, Op br) {
+  switch (br) {
+#define FLUKE_TRIPLE_CASE(n3, o3, unused)                  \
+  case Op::o3:                                             \
+    return mem == Op::kLoadW ? DecOp::kF_loadw_addimm_##n3 \
+                             : DecOp::kF_storew_addimm_##n3;
+    FLUKE_FUSE_BR_OPS(FLUKE_TRIPLE_CASE, 0)
+#undef FLUKE_TRIPLE_CASE
+    default:
+      return DecOp::kCount;
+  }
+}
+
+// For entries that carry an in-range taken edge, the offset (from the entry)
+// of the instruction whose imm is the taken target: 0 for plain jumps and
+// branches, 1 for fused ALU+branch pairs, 2 for fused triples. kNoTakenEdge
+// for everything else (including the *Out variants, whose "target" is a bad
+// PC, not a block).
+constexpr uint32_t kNoTakenEdge = 0xFFFFFFFFu;
+
+uint32_t TakenEdgeSlot(DecOp op) {
+  switch (op) {
+    case DecOp::kJmp:
+    case DecOp::kBeq:
+    case DecOp::kBne:
+    case DecOp::kBlt:
+    case DecOp::kBge:
+      return 0;
+#define FLUKE_AB_CASE(n2, o2, n1, o1) case DecOp::kF_##n1##_##n2:
+      FLUKE_FUSE_FOREACH_AB(FLUKE_AB_CASE)
+#undef FLUKE_AB_CASE
+      return 1;
+#define FLUKE_TRIPLE_CASE(n3, o3, n1) case DecOp::kF_##n1##_addimm_##n3:
+      FLUKE_FUSE_BR_OPS(FLUKE_TRIPLE_CASE, loadw)
+      FLUKE_FUSE_BR_OPS(FLUKE_TRIPLE_CASE, storew)
+#undef FLUKE_TRIPLE_CASE
+      return 2;
+    default:
+      return kNoTakenEdge;
+  }
+}
+
+}  // namespace
+
+void DecodedProgram::Link(const void* const* bulk_table) {
+  for (DecodedInstr& d : code_) {
+    d.handler = bulk_table[static_cast<int>(d.op)];
+  }
+  // Taken-edge cache: copy the target block's handler and batched charge
+  // into the branch-carrying entry. Targets are in range by construction --
+  // decode rewrote any branch with imm > size to an *Out op and never fuses
+  // across one, and imm == size lands on the sentinel entry.
+  for (uint32_t i = 0; i < size_; ++i) {
+    const uint32_t slot = TakenEdgeSlot(code_[i].op);
+    if (slot == kNoTakenEdge) {
+      continue;
+    }
+    const uint32_t target = code_[i + slot].imm;
+    code_[i].tgt_handler = code_[target].handler;
+    code_[i].tgt_cycles = code_[target].block_cycles;
+  }
+  linked_ = true;
+}
+
+uint64_t InstrCost(Op op, uint32_t imm) {
+  switch (op) {
+    case Op::kMul:
+      return kCostAlu * 3;
+    case Op::kLoadB:
+    case Op::kStoreB:
+    case Op::kLoadW:
+    case Op::kStoreW:
+      return kCostMem;
+    case Op::kJmp:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+      return kCostBranch;
+    case Op::kSyscall:
+    case Op::kBreak:
+      return 0;  // traps charge nothing; the kernel owns what happens next
+    case Op::kCompute:
+      return imm;
+    default:
+      return kCostAlu;  // Halt, Nop and the ALU/data-movement family
+  }
+}
+
+DecodedProgram::DecodedProgram(const Instr* code, uint32_t size) : size_(size) {
+  code_.resize(static_cast<size_t>(size) + 1);  // + kEnd sentinel (default)
+
+  for (uint32_t i = 0; i < size; ++i) {
+    const Instr& in = code[i];
+    DecodedInstr& d = code_[i];
+    d.op = static_cast<DecOp>(in.op);
+    d.a = in.a;
+    d.b = in.b;
+    d.c = in.c;
+    d.imm = in.imm;
+    // A control transfer to `size` lands on the sentinel (same kBadPc the
+    // switch loop reports for falling off the end), so only targets beyond
+    // the sentinel need the out-of-range dispatch variant.
+    if (in.imm > size) {
+      switch (in.op) {
+        case Op::kJmp:
+          d.op = DecOp::kJmpOut;
+          break;
+        case Op::kBeq:
+          d.op = DecOp::kBeqOut;
+          break;
+        case Op::kBne:
+          d.op = DecOp::kBneOut;
+          break;
+        case Op::kBlt:
+          d.op = DecOp::kBltOut;
+          break;
+        case Op::kBge:
+          d.op = DecOp::kBgeOut;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Fusion pass: rewrite entry i's op when (i, i+1) forms a fusable pair.
+  // Entry i+1 is left untouched -- the fused handler reads its fields and
+  // skips its dispatch, while a branch landing ON i+1 still dispatches its
+  // original op. Overlap is fine for the same reason: a pair starting at
+  // i+1 only changes i+1's op, which the fused handler at i never reads.
+  // A branch second whose taken-target was rewritten to an *Out op is not
+  // fused (the fused branch handlers assume an in-range target).
+  for (uint32_t i = 0; i + 1 < size; ++i) {
+    // Triples are matched before pairs: a triple's prefix (word access +
+    // AddImm) is itself a fusable pair, and the wider match wins. The branch
+    // must be in range for the same reason as below.
+    if (i + 2 < size &&
+        (code[i].op == Op::kLoadW || code[i].op == Op::kStoreW) &&
+        code[i + 1].op == Op::kAddImm && code[i + 2].imm <= size) {
+      const DecOp triple = TripleOp(code[i].op, code[i + 2].op);
+      if (triple != DecOp::kCount) {
+        code_[i].op = triple;
+        continue;
+      }
+    }
+    const Op second = code[i + 1].op;
+    const bool second_is_branch = second == Op::kBeq || second == Op::kBne ||
+                                  second == Op::kBlt || second == Op::kBge;
+    if (second_is_branch && code[i + 1].imm > size) {
+      continue;  // decoded as *Out
+    }
+    const DecOp fused = FuseOps(code[i].op, second);
+    if (fused != DecOp::kCount) {
+      code_[i].op = fused;
+    }
+  }
+
+  // Backward scan: each entry's block_cycles is its own cost plus the rest
+  // of its straight-line block. The sentinel (and every block-ending
+  // instruction) contributes only its own cost. Runs after fusion, which is
+  // safe because IsBlockEnd is false for every fused op -- a fused first op
+  // is by construction not a block end, so the suffix sum still extends
+  // through the pair to the true block end.
+  for (uint32_t i = size; i-- > 0;) {
+    DecodedInstr& d = code_[i];
+    d.block_cycles = InstrCost(code[i].op, code[i].imm);
+    if (!IsBlockEnd(d.op)) {
+      d.block_cycles += code_[i + 1].block_cycles;
+    }
+  }
+}
+
+}  // namespace fluke

@@ -1,0 +1,202 @@
+// Predecoded programs for the threaded-dispatch interpreter.
+//
+// A DecodedProgram is a dense side-table built once per Program (and cached
+// on it -- Programs are immutable, so the cache never invalidates): each
+// instruction's opcode resolved to a dispatch index, its register indices
+// and immediate copied into one 16-byte entry, and -- the batching
+// ingredient -- the cycle sum of the straight-line block starting at that
+// instruction. Branch targets are validated at decode time (out-of-range
+// targets get their own dispatch index) and a sentinel entry terminates the
+// table, so the execution loop needs neither a PC bounds check nor, inside
+// a fully-budgeted block, a budget check per instruction. See DESIGN.md
+// "Predecode and threaded dispatch" for the invariance argument.
+
+#ifndef SRC_UVM_PREDECODE_H_
+#define SRC_UVM_PREDECODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/uvm/instr.h"
+
+namespace fluke {
+
+// ---------------------------------------------------------------------------
+// Superinstruction generation lists.
+//
+// The decoder fuses common adjacent pairs into one dispatch: any simple ALU
+// op followed by another simple ALU op or by a conditional branch (the
+// compare-free "compute then loop" idiom), and a word load/store followed by
+// AddImm (the "access then bump the pointer" idiom). One X-macro list drives
+// the DecOp enum, the decoder's pair matcher, and the threaded engine's
+// handler/table generation, so the three can never drift apart. Fused entries
+// exist only in the decoded side-table -- the Instr stream is untouched, the
+// per-instruction step handlers never see them (a fused op's step-table slot
+// is its first op's step handler), and entry i+1 keeps its own op so branches
+// into the middle of a pair execute normally.
+//
+// The second copies exist because a macro cannot appear inside its own
+// expansion; both must list identical entries in identical order.
+// ---------------------------------------------------------------------------
+#define FLUKE_FUSE_ALU_OPS(X, ...) \
+  X(add, kAdd, __VA_ARGS__)        \
+  X(sub, kSub, __VA_ARGS__)        \
+  X(and_, kAnd, __VA_ARGS__)       \
+  X(or_, kOr, __VA_ARGS__)         \
+  X(xor_, kXor, __VA_ARGS__)       \
+  X(shl, kShl, __VA_ARGS__)        \
+  X(shr, kShr, __VA_ARGS__)        \
+  X(addimm, kAddImm, __VA_ARGS__)
+
+#define FLUKE_FUSE_ALU_OPS2(X, ...) \
+  X(add, kAdd, __VA_ARGS__)         \
+  X(sub, kSub, __VA_ARGS__)         \
+  X(and_, kAnd, __VA_ARGS__)        \
+  X(or_, kOr, __VA_ARGS__)          \
+  X(xor_, kXor, __VA_ARGS__)        \
+  X(shl, kShl, __VA_ARGS__)         \
+  X(shr, kShr, __VA_ARGS__)         \
+  X(addimm, kAddImm, __VA_ARGS__)
+
+#define FLUKE_FUSE_BR_OPS(X, ...) \
+  X(beq, kBeq, __VA_ARGS__)       \
+  X(bne, kBne, __VA_ARGS__)       \
+  X(blt, kBlt, __VA_ARGS__)       \
+  X(bge, kBge, __VA_ARGS__)
+
+// For every fusable first op n1, emit Y once per (n1, second) pair, ALU
+// seconds first, then branch seconds -- the canonical pair order shared by
+// the enum, the decoder and the dispatch tables.
+#define FLUKE_FUSE_PAIR_INNER(n1, o1, AA, AB) \
+  FLUKE_FUSE_ALU_OPS2(AA, n1, o1)             \
+  FLUKE_FUSE_BR_OPS(AB, n1, o1)
+#define FLUKE_FUSE_FOREACH_PAIR(AA, AB) \
+  FLUKE_FUSE_ALU_OPS(FLUKE_FUSE_PAIR_INNER, AA, AB)
+
+// Just the ALU+branch pairs (the AB subset of the above), for code that only
+// cares about entries carrying a taken edge.
+#define FLUKE_FUSE_FOREACH_AB_INNER(n1, o1, AB) FLUKE_FUSE_BR_OPS(AB, n1, o1)
+#define FLUKE_FUSE_FOREACH_AB(AB) \
+  FLUKE_FUSE_ALU_OPS(FLUKE_FUSE_FOREACH_AB_INNER, AB)
+
+// Dispatch indices. The first entries mirror Op one-to-one (same order, so
+// the common case is a plain cast); the synthesized entries encode facts the
+// decoder proved once so the hot loop never re-checks them.
+enum class DecOp : uint8_t {
+  kHalt = 0,
+  kNop,
+  kMovImm,
+  kMov,
+  kAdd,
+  kSub,
+  kMul,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kAddImm,
+  kLoadB,
+  kStoreB,
+  kLoadW,
+  kStoreW,
+  kJmp,
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kSyscall,
+  kCompute,
+  kBreak,
+  // Synthesized by the decoder:
+  kEnd,     // sentinel one past the last instruction: falling here is kBadPc
+  kJmpOut,  // kJmp whose target lies beyond the sentinel
+  kBeqOut,  // branches whose *taken* target lies beyond the sentinel
+  kBneOut,
+  kBltOut,
+  kBgeOut,
+  // Fused pairs (kF_<first>_<second>), generated from the lists above. The
+  // entry's a/b/c/imm describe the first instruction; the second's fields
+  // are read from the following (unmodified) table entry.
+#define FLUKE_DECOP_FUSED(n2, o2, n1, o1) kF_##n1##_##n2,
+  FLUKE_FUSE_FOREACH_PAIR(FLUKE_DECOP_FUSED, FLUKE_DECOP_FUSED)
+#undef FLUKE_DECOP_FUSED
+  kF_loadw_addimm,
+  kF_storew_addimm,
+  // Fused triples: word access + AddImm + in-range conditional branch --
+  // the streaming-loop backbone ("touch the word, bump the pointer, loop")
+  // retired in one dispatch. Same layout rule as the pairs: the entry's
+  // fields describe the first instruction, the AddImm's and the branch's are
+  // read from the two following (unmodified) entries.
+#define FLUKE_DECOP_TRIPLE(n3, o3, n1) kF_##n1##_addimm_##n3,
+  FLUKE_FUSE_BR_OPS(FLUKE_DECOP_TRIPLE, loadw)
+  FLUKE_FUSE_BR_OPS(FLUKE_DECOP_TRIPLE, storew)
+#undef FLUKE_DECOP_TRIPLE
+  kCount,
+};
+
+inline constexpr int kNumDecOps = static_cast<int>(DecOp::kCount);
+
+struct DecodedInstr {
+  // Direct-threading slot: the bulk-mode handler address for `op`, filled in
+  // by the threaded engine on the program's first threaded run (computed-goto
+  // label addresses are function-local, so the decoder cannot resolve them
+  // here). Bulk dispatch is then one dependent load -- `goto *d->handler` --
+  // instead of the op-byte fetch plus table lookup, which is two; that chain
+  // is the critical path of every dispatch. Step mode keeps indexing its own
+  // table by `op`.
+  const void* handler = nullptr;
+  // Taken-edge cache, filled by Link() on entries that carry an in-range
+  // control transfer (jumps, conditional branches, and the fused pairs and
+  // triples ending in one): the TARGET block's handler address and batched
+  // cycle charge. The taken back-edge of a hot loop is the interpreter's
+  // loop-carried dependency; with these two fields it reads only the branch
+  // entry itself -- not imm, then the target entry -- before redirecting.
+  // Values duplicate what the target entry holds, so dispatch semantics are
+  // unchanged.
+  const void* tgt_handler = nullptr;
+  uint64_t tgt_cycles = 0;
+  DecOp op = DecOp::kEnd;
+  uint8_t a = 0;
+  uint8_t b = 0;
+  uint8_t c = 0;
+  uint32_t imm = 0;
+  // Cycles consumed from this instruction through the end of its straight-
+  // line block, inclusive. At a block head this is the batched charge for
+  // the whole block; at an interior instruction it is exactly the amount to
+  // un-charge when a load/store faults mid-block (the faulting instruction
+  // and the unexecuted tail).
+  uint64_t block_cycles = 0;
+};
+
+// Static cycle cost of one instruction -- must mirror the interpreter's
+// per-instruction charges exactly (interp.cc's switch loop is the reference
+// semantics; tests/interp_dispatch_test.cc holds the two together).
+uint64_t InstrCost(Op op, uint32_t imm);
+
+class DecodedProgram {
+ public:
+  // Decodes `size` instructions at `code`. The resulting table has size + 1
+  // entries; the last is the kEnd sentinel.
+  DecodedProgram(const Instr* code, uint32_t size);
+
+  const DecodedInstr* code() const { return code_.data(); }
+  uint32_t size() const { return size_; }  // excludes the sentinel
+
+  // One-time direct-threading linkage (see DecodedInstr::handler and
+  // ::tgt_handler). Called by the threaded engine with its bulk dispatch
+  // table, indexed by DecOp, the first time this program runs threaded;
+  // idempotent thereafter because the engine's table is a function-local
+  // constant.
+  void Link(const void* const* bulk_table);
+  bool linked() const { return linked_; }
+
+ private:
+  std::vector<DecodedInstr> code_;
+  uint32_t size_;
+  bool linked_ = false;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_UVM_PREDECODE_H_

@@ -14,6 +14,16 @@ ProgramRef ProgramRegistry::Find(const std::string& name) const {
   return it == by_name_.end() ? nullptr : it->second;
 }
 
+DecodedProgram& Program::Decoded(bool* fresh) const {
+  if (decoded_ == nullptr) {
+    decoded_ = std::make_unique<DecodedProgram>(code_.data(), size());
+    if (fresh != nullptr) {
+      *fresh = true;
+    }
+  }
+  return *decoded_;
+}
+
 Assembler::Label Assembler::NewLabel() {
   label_targets_.push_back(-1);
   return static_cast<Label>(label_targets_.size() - 1);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/uvm/instr.h"
+#include "src/uvm/predecode.h"
 
 namespace fluke {
 
@@ -37,9 +38,22 @@ class Program {
   const Instr* code() const { return code_.data(); }
   uint32_t size() const { return static_cast<uint32_t>(code_.size()); }
 
+  // Decoded side-table for the threaded-dispatch interpreter, built lazily
+  // on first use and shared by every thread running this program (the code
+  // is immutable, so the cache never invalidates). When `fresh` is non-null
+  // it is set to true only if this call performed the build -- callers use
+  // it to count predecodes; it is left untouched on a cache hit. The result
+  // is non-const because the engine links handler addresses into the cached
+  // table on first run (DecodedProgram::Link); the instruction fields
+  // themselves never change after the build.
+  DecodedProgram& Decoded(bool* fresh = nullptr) const;
+
  private:
   std::string name_;
   std::vector<Instr> code_;
+  // Lazy per-program cache. The simulator is single-threaded (one kernel
+  // event loop), so no synchronisation is needed around the build.
+  mutable std::unique_ptr<DecodedProgram> decoded_;
 };
 
 using ProgramRef = std::shared_ptr<const Program>;

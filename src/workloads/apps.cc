@@ -188,7 +188,7 @@ AppResult RunFlukeperf(const KernelConfig& cfg, const FlukeperfParams& p) {
     pa.Jmp(loop);
     probe_space->program = pa.Build();
     Thread* probe = k.CreateThread(probe_space.get(), nullptr, /*priority=*/7);
-    probe->latency_probe = true;
+    k.SetLatencyProbe(probe, true);
     k.StartThread(probe);
   }
 

@@ -92,7 +92,7 @@ TEST_P(SchedTest, ProbePlumbingRecordsLatencies) {
   }
   a.Halt();
   Thread* t = w.Spawn(a.Build(), 7);
-  t->latency_probe = true;
+  w.kernel.SetLatencyProbe(t, true);
   w.RunAll(100 * kNsPerMs);
   EXPECT_EQ(w.kernel.stats.probe_runs, 5u);
   // Idle system: wake-to-run latency is just dispatch cost (< 20 us).
@@ -114,7 +114,7 @@ TEST_P(SchedTest, KernelOpDelaysTickInNpOnly) {
   p.Halt();
   Thread* searcher = w.Spawn(s.Build(), 3);
   Thread* probe = w.Spawn(p.Build(), 7);
-  probe->latency_probe = true;
+  w.kernel.SetLatencyProbe(probe, true);
   (void)searcher;
   w.RunAll(200 * kNsPerMs);
   ASSERT_EQ(w.kernel.stats.probe_runs, 1u);
