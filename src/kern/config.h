@@ -20,6 +20,30 @@
 
 namespace fluke {
 
+// Deterministic fault-injection plan (src/kern/faultinject.h). All knobs
+// key off virtual-time-deterministic opportunity counters, so the same plan
+// replays the exact same fault schedule on every run, in either interpreter
+// engine. The injector is constructed disarmed; hosts call
+// Kernel::finj.Arm() once setup (which must never be failed) is complete.
+struct FaultPlan {
+  static constexpr uint64_t kNever = ~0ull;
+  bool enabled = false;
+  uint64_t seed = 1;
+  // Clamp every user burst to one instruction so each instruction retires
+  // at its own dispatch boundary (the atomicity audit sweeps these).
+  bool single_step = false;
+  // Forced extract-destroy-recreate at this dispatch boundary (0-based).
+  uint64_t extract_at = kNever;
+  // Freeze the whole kernel (Kernel::crashed()) at this dispatch boundary.
+  uint64_t crash_at = kNever;
+  // Resource faults: fail every Nth opportunity (0 = off) and/or a seeded
+  // permille of opportunities.
+  uint32_t fail_frame_every = 0;
+  uint32_t fail_frame_permille = 0;
+  uint32_t fail_handle_every = 0;
+  uint32_t fail_connect_every = 0;
+};
+
 enum class ExecModel : int {
   kProcess = 0,   // one kernel stack (coroutine frame) per thread
   kInterrupt = 1, // one kernel stack per CPU; frames destroyed on block
@@ -52,6 +76,9 @@ struct KernelConfig {
   // exists for that A/B check and for debugging. No effect when the
   // computed-goto engine is not compiled in (FLUKE_INTERP_COMPUTED_GOTO).
   bool enable_threaded_interp = true;
+  // Deterministic fault injection; inert unless fault_plan.enabled and the
+  // injector is armed (tests arm it after host-side setup).
+  FaultPlan fault_plan;
 
   bool Valid() const {
     if (preempt == PreemptMode::kFull && model == ExecModel::kInterrupt) {

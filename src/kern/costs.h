@@ -61,6 +61,9 @@ struct CostModel {
   uint32_t pte_install = 150;
   uint32_t fault_msg_build = 400;       // building/delivering the exception IPC
   uint32_t zero_fill = 900;             // kernel zero-fill of a fresh frame
+  // Backoff charged per bounded retry when frame allocation reports
+  // transient exhaustion (fault injection or a genuinely full pool).
+  uint32_t oom_backoff = 600;
 
   // --- Full-preemption (FP) locking ---
   uint32_t fp_lock = 20;    // blocking-mutex acquire, uncontended

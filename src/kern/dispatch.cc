@@ -25,7 +25,7 @@
 namespace fluke {
 
 void Kernel::Run(Time until) {
-  while (clock.now() < until) {
+  while (!crashed_ && clock.now() < until) {
     events.RunDue(clock.now());
     DispatchIrqs();
     Thread* t = PickNext();
@@ -40,6 +40,21 @@ void Kernel::Run(Time until) {
       }
       clock.AdvanceTo(next);
       continue;
+    }
+    if (finj.armed()) {
+      // Every pick of a runnable thread is one dispatch boundary: the
+      // injection points the extraction sweep and crash-restart tests index.
+      const uint64_t boundary = finj.NoteDispatch();
+      if (finj.ShouldCrash(boundary)) {
+        // Freeze the machine with the picked thread back in its schedule
+        // slot; recovery is a checkpoint reload into a fresh kernel.
+        runq_[t->priority].PushFront(t);
+        crashed_ = true;
+        return;
+      }
+      if (finj.ShouldExtract(boundary)) {
+        t = RecreateThreadForAudit(t);
+      }
     }
     Time horizon = until;
     if (!events.empty()) {
@@ -143,6 +158,22 @@ void Kernel::RunThread(Thread* t, Time horizon) {
       // (Run() then fires whatever is due there before re-picking it).
       clock.AdvanceTo(horizon);
     } else {
+      // Cap one uninterrupted interpreter burst at 2^31 cycles (about two
+      // virtual seconds). A budget-capped thread simply re-enters the
+      // dispatch loop and is re-picked with the clock advanced, so long
+      // quiescent horizons still complete; the bound is what lets the
+      // threaded engine keep cycles and retired instructions in one packed
+      // 64-bit accumulator with no cross-word carries (see predecode.h).
+      constexpr uint64_t kMaxBurstCycles = 1ull << 31;
+      if (budget > kMaxBurstCycles) {
+        budget = kMaxBurstCycles;
+      }
+      if (finj.single_step() && budget > 1) {
+        // Atomicity-audit mode: one instruction per burst, so every
+        // instruction retires at its own dispatch boundary.
+        budget = 1;
+      }
+      finj.Note(FaultHook::kInterpBoundary);
       const RunResult r =
           RunUser(*t->program, &t->regs, t->space, budget, interp_opts_);
       clock.Advance(r.cycles * kNsPerCycle);
@@ -156,6 +187,11 @@ void Kernel::RunThread(Thread* t, Time horizon) {
           HandleUserFault(t, r.fault_addr, r.fault_is_write);
           break;
         case UserEvent::kHalt:
+          if (t->forced_restart) {
+            // A thread rebuilt by forced extraction ran to completion: one
+            // passed restart audit (the oracle compares its final state).
+            ++stats.restart_audits;
+          }
           ThreadExit(t, t->regs.gpr[kRegB]);
           break;
         case UserEvent::kBreak:
@@ -184,6 +220,7 @@ void Kernel::RunThread(Thread* t, Time horizon) {
 
 void Kernel::EnterSyscall(Thread* t) {
   ++stats.syscalls;
+  finj.Note(FaultHook::kSyscallEntry);
   if (t->restart_pending) {
     ++stats.syscall_restarts;
     trace.Record(clock.now(), TraceKind::kSyscallRestart, t->id(), t->regs.gpr[kRegA]);
@@ -284,13 +321,19 @@ void Kernel::HandleOpOutcome(Thread* t) {
       MakeRunnable(t);
       break;
     default:
-      assert(false && "unexpected op status at suspension");
+      // A handler suspended with a status only terminal co_returns may
+      // carry. Recoverable: roll the operation back to its committed
+      // restart point and let the thread retry from user mode.
+      Panic("unexpected op status at suspension");
+      CancelOpQueuesOnly(t);
+      MakeRunnable(t);
       break;
   }
 }
 
 void Kernel::HandleUserFault(Thread* t, uint32_t addr, bool is_write) {
   ++stats.user_faults;
+  finj.Note(FaultHook::kPageFault);
   Charge(costs.fault_enter);
   ChargeFpLocks(2);  // pmap + mapping-hierarchy locks
   const Time t0 = clock.now();
@@ -304,9 +347,20 @@ void Kernel::HandleUserFault(Thread* t, uint32_t addr, bool is_write) {
     }
     Charge(cost);
     ++stats.soft_faults;
+    t->oom_retries = 0;
     trace.Record(clock.now(), TraceKind::kSoftFault, t->id(), addr, is_write);
     stats.remedy_soft_ns += clock.now() - t0;
     return;  // PC is still at the faulting instruction: it simply retries
+  }
+
+  if (r.out_of_frames && t->oom_retries < kOomRetryLimit) {
+    // Transient frame exhaustion (injected or a genuinely full pool): back
+    // off and retry. PC is still at the faulting instruction, so returning
+    // re-runs it; the retry budget is reset on any successful resolve.
+    ++t->oom_retries;
+    ++stats.oom_backoffs;
+    Charge(costs.oom_backoff);
+    return;
   }
 
   Port* keeper = t->space->keeper;

@@ -1,0 +1,141 @@
+// Deterministic fault injection ("chaos kernel").
+//
+// The paper's central interface claim (section 3, Table 3) is that every
+// kernel operation is interruptible and restartable: a thread's complete
+// user-visible state can be extracted promptly and correctly at any instant.
+// This subsystem turns that claim into an enforced invariant by injecting
+// faults at well-defined opportunity points and requiring runs to converge
+// bit-identically (the atomicity audit, src/workloads/audit.h) or to recover
+// through ordinary Status error paths.
+//
+// Determinism contract: every decision keys off opportunity counters that
+// advance with kernel events in virtual time, never off host time or host
+// addresses. The same FaultPlan therefore replays the exact same fault
+// schedule on every run, under either interpreter engine and with the TLB
+// on or off. The injector's own RNG (SplitMix64 from plan.seed) is separate
+// from the kernel RNG so arming a plan does not perturb workloads.
+//
+// Three fault classes:
+//   * forced extraction  -- extract_at picks a dispatch boundary; the picked
+//     thread is stopped, its state extracted, the thread destroyed and
+//     re-created from that state (Kernel::RecreateThreadForAudit).
+//   * resource faults    -- frame allocation (via PhysAllocHook), handle
+//     allocation, and port connection fail deterministically and surface as
+//     clean error Status, exercising retry/backoff paths.
+//   * crash-restart      -- crash_at freezes the whole kernel at a boundary
+//     (Kernel::crashed()); hosts reload from a checkpoint image.
+//
+// The injector is constructed disarmed so host-side setup (space/thread
+// creation, program loading, checkpoint restore) is never failed; call
+// Arm() at the point where injection should begin.
+
+#ifndef SRC_KERN_FAULTINJECT_H_
+#define SRC_KERN_FAULTINJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kern/config.h"
+#include "src/kern/stats.h"
+#include "src/mem/phys.h"
+
+namespace fluke {
+
+// Opportunity classes, in digest order. kDispatch is the boundary clock the
+// extraction/crash knobs index.
+enum class FaultHook : int {
+  kDispatch = 0,     // a runnable thread picked by the dispatcher
+  kSyscallEntry,     // fresh syscall entries and restarts
+  kIpcChunk,         // one bounded IPC copy chunk
+  kPageFault,        // user-instruction fault resolution attempts
+  kFrameAlloc,       // physical frame allocation
+  kHandleAlloc,      // handle-table slot allocation (object_create)
+  kPortConnect,      // client->port connection
+  kInterpBoundary,   // one interpreter burst (RunUser call)
+  kCount,
+};
+
+const char* FaultHookName(FaultHook h);
+
+// Bounded-retry limit for transient frame exhaustion before the fault is
+// escalated (keeper delivery or thread kill).
+inline constexpr uint32_t kOomRetryLimit = 64;
+
+class FaultInjector final : public PhysAllocHook {
+ public:
+  // Latches the plan and the stats sink. Leaves the injector disarmed.
+  void Configure(const FaultPlan& plan, KernelStats* stats);
+
+  void Arm() { armed_ = plan_.enabled; }
+  void Disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+  // True when armed with a single-step plan: the dispatcher clamps user
+  // bursts to one instruction so every instruction is its own boundary.
+  bool single_step() const { return armed_ && plan_.single_step; }
+
+  // Counts an opportunity with no injection decision attached.
+  void Note(FaultHook h) {
+    if (armed_) {
+      ++opportunities_[static_cast<int>(h)];
+    }
+  }
+
+  // Counts a dispatch boundary and returns its 0-based index. Only call
+  // when armed.
+  uint64_t NoteDispatch() {
+    return opportunities_[static_cast<int>(FaultHook::kDispatch)]++;
+  }
+  bool ShouldExtract(uint64_t boundary);
+  bool ShouldCrash(uint64_t boundary);
+
+  // Resource-fault deciders; each consumes one opportunity.
+  bool ShouldFailFrameAlloc() override;  // PhysAllocHook
+  bool FailHandleAlloc();
+  bool FailConnect();
+
+  uint64_t opportunities(FaultHook h) const {
+    return opportunities_[static_cast<int>(h)];
+  }
+  uint64_t dispatch_boundaries() const {
+    return opportunities(FaultHook::kDispatch);
+  }
+  uint64_t injected() const { return injected_; }
+
+  // FNV-1a digest of the opportunity counters plus the (hook, opportunity)
+  // injection schedule: two runs with equal digests saw the same
+  // opportunity stream and injected the same faults at the same points.
+  uint64_t ScheduleDigest() const;
+  // Human-readable schedule, one "hook@opportunity" per line (capped).
+  std::string ScheduleSummary() const;
+
+ private:
+  struct Injection {
+    FaultHook hook;
+    uint64_t opportunity;
+  };
+  static constexpr size_t kMaxScheduleLog = 4096;
+
+  uint64_t NextRand();
+  void RecordInjection(FaultHook h, uint64_t opportunity);
+  bool EveryNth(FaultHook h, uint32_t every, uint32_t permille);
+
+  FaultPlan plan_;
+  KernelStats* stats_ = nullptr;
+  bool armed_ = false;
+  uint64_t rng_ = 0;
+  uint64_t injected_ = 0;
+  uint64_t opportunities_[static_cast<int>(FaultHook::kCount)] = {};
+  std::vector<Injection> schedule_;
+};
+
+// Parses a comma-separated fault-plan spec, e.g.
+//   "seed=7,step,extract=12,frame-every=3,frame-permille=50,handle-every=4,
+//    connect-every=2,crash=100"
+// Any recognised key implies enabled=true. Returns false with *err set on
+// an unknown key or malformed value.
+bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* err);
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_FAULTINJECT_H_

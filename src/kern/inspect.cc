@@ -104,7 +104,22 @@ std::string DumpKernel(const Kernel& k) {
                 static_cast<unsigned long long>(k.stats.soft_faults),
                 static_cast<unsigned long long>(k.stats.hard_faults),
                 static_cast<unsigned long long>(k.stats.kernel_preemptions));
-  return std::string(line) + DumpThreads(k) + DumpSpaces(k);
+  std::string out(line);
+  if (k.stats.faults_injected + k.stats.extractions_forced + k.stats.restart_audits +
+          k.stats.oom_backoffs + k.stats.panics !=
+      0) {
+    std::snprintf(line, sizeof(line),
+                  "CHAOS faults_injected=%llu extractions_forced=%llu restart_audits=%llu "
+                  "oom_backoffs=%llu panics=%llu user_instrs=%llu\n",
+                  static_cast<unsigned long long>(k.stats.faults_injected),
+                  static_cast<unsigned long long>(k.stats.extractions_forced),
+                  static_cast<unsigned long long>(k.stats.restart_audits),
+                  static_cast<unsigned long long>(k.stats.oom_backoffs),
+                  static_cast<unsigned long long>(k.stats.panics),
+                  static_cast<unsigned long long>(k.stats.user_instructions));
+    out += line;
+  }
+  return out + DumpThreads(k) + DumpSpaces(k);
 }
 
 }  // namespace fluke

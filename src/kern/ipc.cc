@@ -213,6 +213,7 @@ KTask TransferData(SysCtx& ctx, Thread* sender, Thread* recver) {
   };
 
   while (sreg.gpr[kRegD] > 0 && rreg.gpr[kRegDI] > 0) {
+    k.finj.Note(FaultHook::kIpcChunk);
     const uint32_t src = sreg.gpr[kRegC];
     const uint32_t dst = rreg.gpr[kRegSI];
     uint32_t words = std::min(sreg.gpr[kRegD], rreg.gpr[kRegDI]);
@@ -466,6 +467,11 @@ KTask DoConnect(SysCtx& ctx) {
       co_return KStatus::kBadHandle;
     }
     k.Charge(k.costs.ipc_connect);
+    if (k.finj.FailConnect()) {
+      // Injected connection-resource failure: surfaces to the client as
+      // kFlukeErrNoMemory, a clean retryable error.
+      co_return KStatus::kNoMemory;
+    }
     Thread* server = port->servers.Dequeue();
     if (server == nullptr && port->member_of != nullptr) {
       server = port->member_of->servers.Dequeue();
@@ -749,6 +755,8 @@ uint32_t ToUserError(KStatus s) {
       return kFlukeErrInterrupted;
     case KStatus::kDead:
       return kFlukeErrDead;
+    case KStatus::kNoMemory:
+      return kFlukeErrNoMemory;
     default:
       return kFlukeErrBadArgument;
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/base/log.h"
 #include "src/kern/ipc.h"
@@ -18,7 +20,23 @@ Kernel::Kernel(const KernelConfig& config, ProgramRegistry* program_registry)
   interp_opts_.threaded = cfg.enable_threaded_interp;
   interp_opts_.block_charges = &stats.interp_block_charges;
   interp_opts_.predecodes = &stats.interp_predecodes;
+  interp_opts_.instructions = &stats.user_instructions;
+  finj.Configure(cfg.fault_plan, &stats);
+  if (cfg.fault_plan.enabled) {
+    // Frame-allocation veto; left uninstalled otherwise so the disabled
+    // path costs one null check in PhysMemory::Alloc.
+    phys.SetAllocHook(&finj);
+  }
   timer.Start(cfg.tick_ns);
+}
+
+bool Kernel::Panic(const char* what) {
+  ++stats.panics;
+  if (panic_handler_ && panic_handler_(what)) {
+    return true;
+  }
+  std::fprintf(stderr, "kernel panic: %s\n", what);
+  std::abort();
 }
 
 Kernel::~Kernel() {
@@ -181,7 +199,13 @@ bool Kernel::PreemptPending(const Thread* t) const {
 }
 
 void Kernel::CancelOp(Thread* t) {
-  assert(t->run_state != ThreadRun::kRunning && "cannot cancel a thread on-CPU");
+  if (t->run_state == ThreadRun::kRunning) {
+    // On-CPU state lives in machine registers; there is nothing coherent to
+    // roll back from outside. Recoverable: the caller's operation simply
+    // does not happen.
+    Panic("cancel of a thread on-CPU");
+    return;
+  }
   if (t->waiting_on != nullptr) {
     t->waiting_on->Remove(t);
   }
@@ -254,7 +278,7 @@ void Kernel::InterruptThread(Thread* t) {
   MakeRunnable(t);
 }
 
-void Kernel::StopThread(Thread* t) {
+KStatus Kernel::StopThread(Thread* t) {
   switch (t->run_state) {
     case ThreadRun::kRunnable:
       runq_[t->priority].Remove(t);
@@ -270,15 +294,77 @@ void Kernel::StopThread(Thread* t) {
     case ThreadRun::kDead:
       break;
     case ThreadRun::kRunning:
-      assert(false && "cannot stop a thread on-CPU");
-      break;
+      Panic("stop of a thread on-CPU");
+      return KStatus::kBadArgument;
   }
+  return KStatus::kOk;
 }
 
 void Kernel::ResumeThread(Thread* t) {
   if (t->run_state == ThreadRun::kStopped || t->run_state == ThreadRun::kEmbryo) {
     MakeRunnable(t);
   }
+}
+
+// Forced extract-destroy-recreate at a dispatch boundary (the atomicity
+// audit's injection). The successor must be indistinguishable from the
+// original for everything the golden run can observe: registers, handle
+// slot, schedule position, pending-restart flag, probe/latency bookkeeping,
+// and virtual time (this function charges nothing).
+Thread* Kernel::RecreateThreadForAudit(Thread* t) {
+  Space* sp = t->space;
+  ProgramRef prog = t->program;
+  const Handle old_h = t->self_handle;
+  const int prio = t->priority;
+  const bool was_probe = t->latency_probe;
+  const bool was_legacy = t->legacy;
+  const Time wake = t->wake_time;
+  const uint32_t slice = t->slice_ticks;
+  const uint32_t oom = t->oom_retries;
+  Cpu& cpu = cur_cpu();
+  const bool was_last = cpu.last == t;
+
+  ThreadState st;
+  if (!GetThreadState(t, &st)) {
+    Panic("audit extraction of a thread on-CPU");
+    return t;
+  }
+  // An FP-preempted runnable may hold a retained kernel activation; rolling
+  // it back is the legal (restart-counting) path. A thread with no retained
+  // op is between operations: recreation must be fully transparent, so its
+  // restart flag is preserved as-is.
+  if (t->op.valid()) {
+    CancelOpQueuesOnly(t);
+  }
+  const bool restart = t->restart_pending;
+
+  // The thread was just popped by PickNext: runnable but unlinked. Mark it
+  // stopped so DestroyThread does not try to unlink it again.
+  t->run_state = ThreadRun::kStopped;
+  sp->Uninstall(old_h);  // free the self slot; Install reuses it (LIFO)
+  DestroyThread(t);
+
+  Thread* nt = CreateThread(sp, std::move(prog), prio);
+  assert(nt->self_handle == old_h && "recreated thread must reuse the self slot");
+  nt->regs = st.regs;
+  nt->slice_ticks = slice;
+  nt->wake_time = wake;
+  nt->legacy = was_legacy;
+  nt->restart_pending = restart;
+  nt->oom_retries = oom;
+  nt->forced_restart = true;
+  nt->run_state = ThreadRun::kRunnable;
+  if (was_probe) {
+    SetLatencyProbe(nt, true);
+  }
+  if (was_last) {
+    // The dispatcher is about to run the successor in the old thread's
+    // place; it must not be charged a context switch the golden run did
+    // not pay.
+    cpu.last = nt;
+  }
+  ++stats.extractions_forced;
+  return nt;
 }
 
 void Kernel::ThreadExit(Thread* t, uint32_t code) {
@@ -563,6 +649,9 @@ bool Kernel::RunUntilThreadDone(Thread* t, Time max_time) {
     if (t->run_state == ThreadRun::kDead || t->run_state == ThreadRun::kStopped) {
       return true;
     }
+    if (crashed_) {
+      return false;  // Run() no longer advances the clock
+    }
     Run(std::min(deadline, clock.now() + 10 * kNsPerMs));
   }
   return t->run_state == ThreadRun::kDead || t->run_state == ThreadRun::kStopped;
@@ -582,6 +671,9 @@ bool Kernel::RunUntilQuiescent(Time max_time) {
     }
     if (!busy) {
       return true;
+    }
+    if (crashed_) {
+      return false;  // Run() no longer advances the clock
     }
     Run(std::min(deadline, clock.now() + 10 * kNsPerMs));
   }
@@ -631,6 +723,13 @@ KTask ResolveFault(SysCtx& ctx, Space* space, uint32_t addr, bool is_write, Faul
   k.stats.rollback_ns += rollback_ns;
 
   SoftFaultResult r = space->TryResolveSoft(addr, is_write);
+  // Transient frame exhaustion (injected or a genuinely full pool) is not
+  // an error yet: back off a bounded number of times and retry the resolve.
+  for (uint32_t tries = 0; !r.resolved && r.out_of_frames && tries < kOomRetryLimit; ++tries) {
+    ++k.stats.oom_backoffs;
+    co_await Work(ctx, k.costs.oom_backoff);
+    r = space->TryResolveSoft(addr, is_write);
+  }
   if (r.resolved) {
     uint64_t cost = k.costs.soft_fault_walk_per_level * static_cast<uint64_t>(r.levels_walked + 1) +
                     k.costs.pte_install;
@@ -651,7 +750,7 @@ KTask ResolveFault(SysCtx& ctx, Space* space, uint32_t addr, bool is_write, Faul
   }
 
   if (space->keeper == nullptr || !space->keeper->alive()) {
-    co_return KStatus::kNoPager;
+    co_return r.out_of_frames ? KStatus::kNoMemory : KStatus::kNoPager;
   }
   if (count_ipc) {
     // Hard-fault remedy time is metered at reply (CompleteFaultWait); the

@@ -14,6 +14,7 @@
 #define SRC_KERN_KERNEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "src/hal/irq.h"
 #include "src/kern/config.h"
 #include "src/kern/costs.h"
+#include "src/kern/faultinject.h"
 #include "src/kern/objects.h"
 #include "src/kern/space.h"
 #include "src/uvm/interp.h"
@@ -101,10 +103,34 @@ class Kernel {
   // Breaks a thread out of a long/multi-stage wait: the pending operation
   // completes with kFlukeErrInterrupted.
   void InterruptThread(Thread* t);
-  void StopThread(Thread* t);    // rollback + suspend
+  // Rollback + suspend. Fails (recoverable panic + kBadArgument) for a
+  // thread currently executing on a CPU: on-CPU state lives in machine
+  // registers and cannot be rolled back from outside.
+  KStatus StopThread(Thread* t);
   void ResumeThread(Thread* t);  // stopped -> runnable
   void DestroyThread(Thread* t);
   void DestroyObject(KernelObject* obj);
+
+  // Forced extract-destroy-recreate (the atomicity audit's injection):
+  // `t` must be the thread the dispatcher just picked (runnable, unlinked).
+  // Extracts its state, destroys it, creates a successor in the same handle
+  // slot with identical schedule-relevant fields, and returns the
+  // successor, ready to run in the old thread's place. The audit oracle
+  // requires the successor to finish bit-identically to the original.
+  Thread* RecreateThreadForAudit(Thread* t);
+
+  // Recoverable-panic hook: invoked on invariant violations that used to be
+  // assert() aborts. A handler returning true suppresses the abort and lets
+  // the caller take its error path; tests install one to exercise those
+  // paths. Returns true when intercepted.
+  using PanicHandler = std::function<bool(const char*)>;
+  void SetPanicHandler(PanicHandler h) { panic_handler_ = std::move(h); }
+  bool Panic(const char* what);
+
+  // True after an injected crash (FaultPlan::crash_at): the kernel froze at
+  // a dispatch boundary and Run() refuses to continue. Hosts model recovery
+  // by reloading a checkpoint image into a fresh kernel.
+  bool crashed() const { return crashed_; }
 
   // -------------------------------------------------------------------------
   // Handler interface (used by syscalls.cc / ipc.cc / dispatch.cc).
@@ -207,6 +233,9 @@ class Kernel {
   KernelStats stats;
   TraceBuffer trace;
   Rng rng;
+  // Deterministic fault injection (cfg.fault_plan). Constructed disarmed;
+  // hosts call finj.Arm() once setup is complete.
+  FaultInjector finj;
   ProgramRegistry* programs = nullptr;
 
   // IRQ wait queues (irq_wait syscall) and sleepers.
@@ -267,7 +296,9 @@ class Kernel {
   uint32_t ticks_seen_ = 0;
   uint64_t last_timer_raises_ = 0;
   bool rotate_pending_ = false;
+  bool crashed_ = false;
   uint64_t blocked_frame_bytes_ = 0;
+  PanicHandler panic_handler_;
 };
 
 // ---------------------------------------------------------------------------

@@ -118,6 +118,12 @@ struct Thread final : public KernelObject {
   Time fault_deliver_time = 0;   // when the exception IPC was delivered
   bool fault_from_exception_send = false;  // fault-wait is a user exception IPC
   bool restart_pending = false;  // stat: next syscall entry is a restart
+  // Bounded-retry count for transient frame exhaustion on the user fault
+  // path (reset on every successful resolve).
+  uint32_t oom_retries = 0;
+  // Set on threads re-created by a forced extraction (fault injection);
+  // completion of such a thread counts as a passed restart audit.
+  bool forced_restart = false;
 
   // --- IPC connection (stored in the TCB, paper section 4.3) ---
   Thread* ipc_peer = nullptr;      // connected peer thread

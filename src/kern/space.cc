@@ -216,7 +216,8 @@ SoftFaultResult Space::TryResolveSoft(uint32_t vaddr, bool want_write) {
           // new reference would not honor the break-before-write contract.
           // Privatize the source page first, then install its own frame.
           if (!cur.space->EnsurePrivateFrame(cur.addr)) {
-            return r;  // frame exhaustion: stays a hard fault
+            r.out_of_frames = true;  // retryable frame exhaustion
+            return r;
           }
           pte = cur.space->FindPte(cur.addr);
         }
@@ -249,6 +250,7 @@ SoftFaultResult Space::TryResolveSoft(uint32_t vaddr, bool want_write) {
         // kernel zero-fill.
         FrameId f = ProvidePage(vaddr, kProtReadWrite);
         if (f == kInvalidFrame) {
+          r.out_of_frames = true;  // retryable frame exhaustion
           return r;
         }
         if ((kProtReadWrite & want) != want) {

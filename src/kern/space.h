@@ -45,6 +45,9 @@ struct SoftFaultResult {
   bool resolved = false;
   int levels_walked = 0;   // mapping-hierarchy depth traversed
   bool zero_filled = false;  // satisfied from the kernel anon range
+  // Resolution failed only because frame allocation failed (injected or a
+  // genuinely full pool); retrying after backoff may succeed.
+  bool out_of_frames = false;
 };
 
 class Space final : public KernelObject, public MemoryBus {

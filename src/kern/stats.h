@@ -63,6 +63,20 @@ struct KernelStats {
   uint64_t interp_block_charges = 0;  // whole-block batched cycle charges
   uint64_t interp_predecodes = 0;     // programs decoded into side-tables
 
+  // Retired user instructions. Unlike the interp_* counters this is a
+  // semantic count -- both engines retire the same instructions in the same
+  // order -- so it must be bit-identical between threaded and switch runs
+  // (and TLB on/off runs) of the same workload; the chaos tests compare it.
+  uint64_t user_instructions = 0;
+
+  // Fault-injection accounting (src/kern/faultinject.h); all zero unless a
+  // FaultPlan is armed. Surfaced through DumpKernel's CHAOS line.
+  uint64_t faults_injected = 0;     // resource faults the injector forced
+  uint64_t extractions_forced = 0;  // forced extract-destroy-recreate events
+  uint64_t restart_audits = 0;      // recreated threads that ran to completion
+  uint64_t oom_backoffs = 0;        // bounded retries after frame exhaustion
+  uint64_t panics = 0;              // recoverable panics the hook intercepted
+
   // IPC copy-on-write page lending (non-preemptive configs only): full pages
   // transferred by remapping the sender's frame instead of copying 4 KiB.
   // Purely a host-side optimization -- the virtual-time charges are

@@ -150,6 +150,12 @@ KTask SysObjCreate(SysCtx& ctx) {
   Thread* t = ctx.thread;
   KLockGuard lock(ctx);
   k.Charge(k.costs.object_create);
+  if (k.finj.FailHandleAlloc()) {
+    // Injected handle-table allocation failure: clean retryable error
+    // before any object is constructed.
+    k.Finish(t, kFlukeErrNoMemory);
+    co_return KStatus::kOk;
+  }
   const auto type = static_cast<ObjType>(t->op_aux);
   std::shared_ptr<KernelObject> obj;
   switch (type) {

@@ -18,6 +18,9 @@ PhysMemory::~PhysMemory() {
 }
 
 FrameId PhysMemory::Alloc() {
+  if (alloc_hook_ != nullptr && alloc_hook_->ShouldFailFrameAlloc()) {
+    return kInvalidFrame;
+  }
   FrameId f;
   if (!free_list_.empty()) {
     f = free_list_.back();

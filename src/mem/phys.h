@@ -28,6 +28,16 @@ namespace fluke {
 using FrameId = uint32_t;
 inline constexpr FrameId kInvalidFrame = 0;
 
+// Veto point for fault injection: a hook may force Alloc() to report
+// exhaustion (kInvalidFrame) even when frames remain. Declared here, not in
+// kern/, so mem/ stays free of kernel dependencies; the kernel's
+// FaultInjector implements it.
+class PhysAllocHook {
+ public:
+  virtual ~PhysAllocHook() = default;
+  virtual bool ShouldFailFrameAlloc() = 0;
+};
+
 class PhysMemory {
  public:
   explicit PhysMemory(uint32_t max_frames = 64 * 1024)  // default 256 MiB
@@ -49,6 +59,8 @@ class PhysMemory {
   uint8_t* Data(FrameId f) { return frame_data_[f]; }
   const uint8_t* Data(FrameId f) const { return frame_data_[f]; }
 
+  void SetAllocHook(PhysAllocHook* hook) { alloc_hook_ = hook; }
+
   uint32_t refcount(FrameId f) const { return refcounts_[f]; }
   uint32_t allocated_frames() const { return allocated_; }
   uint64_t allocated_bytes() const { return static_cast<uint64_t>(allocated_) * kPageSize; }
@@ -58,6 +70,7 @@ class PhysMemory {
   static constexpr size_t kSlabAlign = 2 * 1024 * 1024;  // hugepage boundary
 
   uint32_t max_frames_;
+  PhysAllocHook* alloc_hook_ = nullptr;
   uint32_t allocated_ = 0;
   std::vector<uint8_t*> frame_data_;  // frame id -> host page (stable)
   std::vector<void*> slabs_;          // owned slab allocations

@@ -40,13 +40,14 @@ using interp_internal::RunUserSwitch;
 //            instruction at a time with all the reference checks.
 //
 // The mode is re-chosen at every block boundary (NEXT_BLOCK). A mid-block
-// fault in bulk mode un-charges `d->block_cycles` -- the faulting
-// instruction plus the unexecuted tail -- leaving exactly the switch loop's
-// cycle count. The sentinel entry and decode-time target validation replace
+// fault in bulk mode un-charges `d->block_acct` -- the faulting
+// instruction plus the unexecuted tail, cycles and retires both -- leaving
+// exactly the switch loop's counts. The sentinel entry and decode-time target validation replace
 // the per-instruction PC bounds check.
 RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
                           MemoryBus* bus, uint64_t budget_cycles,
-                          uint64_t* block_charge_counter) {
+                          uint64_t* block_charge_counter,
+                          uint64_t* instr_counter) {
   RunResult result;
   // __restrict: the register file is only ever accessed through `r` in this
   // function -- no decoded entry, TLB tag or user-memory frame overlaps it.
@@ -57,8 +58,18 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
   const DecodedInstr* const code = prog.code();
   const uint32_t code_size = prog.size();
   uint32_t pc = regs->pc;
-  uint64_t cycles = 0;
   uint64_t block_charges = 0;
+  // Packed running account (predecode.h layout): cycles in the low word,
+  // retired instructions in the high word, kept in the same batched
+  // discipline as the old cycle counter -- bulk mode adds the block's packed
+  // charge up front and subtracts the unexecuted remainder on a mid-block
+  // fault; step mode charges per retire. One accumulator instead of two
+  // keeps bulk block entry at a single 64-bit add, the cost the engine was
+  // tuned at before the retire count existed. Componentwise arithmetic is
+  // exact: the caller bounds the burst far below 2^32 cycles, and a
+  // mid-block un-charge subtracts a suffix of what block entry just added,
+  // so neither half can carry or borrow across bit 32.
+  uint64_t acct = 0;
 
   MiniTlb tlb(bus);
 
@@ -134,8 +145,9 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
 #define NEXT_BLOCK(target)                                        \
   do {                                                            \
     d = code + (target);                                          \
-    if (FLUKE_LIKELY(cycles + d->block_cycles < budget_cycles)) { \
-      cycles += d->block_cycles;                                  \
+    const uint64_t na = acct + d->block_acct;                     \
+    if (FLUKE_LIKELY((na & kAcctCycleMask) < budget_cycles)) {    \
+      acct = na;                                                  \
       ++block_charges;                                            \
       goto* d->handler;                                           \
     }                                                             \
@@ -149,8 +161,9 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
 // imm field in parallel -- the next handler needs it, but the jump doesn't.
 #define NEXT_BLOCK_TGT(target)                                  \
   do {                                                          \
-    if (FLUKE_LIKELY(cycles + d->tgt_cycles < budget_cycles)) { \
-      cycles += d->tgt_cycles;                                  \
+    const uint64_t na = acct + d->tgt_acct;                     \
+    if (FLUKE_LIKELY((na & kAcctCycleMask) < budget_cycles)) {  \
+      acct = na;                                                \
       ++block_charges;                                          \
       const void* h = d->tgt_handler;                           \
       d = code + (target);                                      \
@@ -182,7 +195,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
 // The switch loop's `while (cycles < budget_cycles)`, at step-handler entry.
 #define STEP_GUARD()                     \
   do {                                   \
-    if (cycles >= budget_cycles) {       \
+    if ((acct & kAcctCycleMask) >= budget_cycles) { \
       result.event = UserEvent::kBudget; \
       goto exit_at_d;                    \
     }                                    \
@@ -199,7 +212,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
   s_##name:                       \
   STEP_GUARD();                   \
   __VA_ARGS__;                    \
-  cycles += (cost);               \
+  acct += kAcctInstr + (cost);    \
   STEP_NEXT()
 
 // Conditional branch with an in-range (or sentinel) taken-target. Both arms
@@ -212,7 +225,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
   NEXT_BLOCK(FALLTHROUGH_IDX);  \
   s_##name:                     \
   STEP_GUARD();                 \
-  cycles += kCostBranch;        \
+  acct += kAcctInstr + kCostBranch; \
   if (cond) {                   \
     NEXT_BLOCK(d->imm);         \
   }                             \
@@ -232,11 +245,12 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
   NEXT_BLOCK(FALLTHROUGH_IDX);                                             \
   s_##name:                                                                \
   STEP_GUARD();                                                            \
-  cycles += kCostBranch;                                                   \
+  acct += kAcctInstr + kCostBranch;                                        \
   if (cond) {                                                              \
     pc = d->imm;                                                           \
-    result.event =                                                         \
-        cycles < budget_cycles ? UserEvent::kBadPc : UserEvent::kBudget;   \
+    result.event = (acct & kAcctCycleMask) < budget_cycles                 \
+                       ? UserEvent::kBadPc                                 \
+                       : UserEvent::kBudget;                               \
     goto commit;                                                           \
   }                                                                        \
   NEXT_BLOCK(FALLTHROUGH_IDX)
@@ -296,7 +310,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       }                                                       \
     }                                                         \
     if (!bus->ReadWord(addr, &v, &result.fault_addr)) {       \
-      cycles -= d->block_cycles;                              \
+      acct -= d->block_acct;                                  \
       result.event = UserEvent::kFault;                       \
       result.fault_is_write = false;                          \
       goto exit_at_d;                                         \
@@ -322,7 +336,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       }                                                       \
     }                                                         \
     if (!bus->WriteWord(addr, r[d->a], &result.fault_addr)) { \
-      cycles -= d->block_cycles;                              \
+      acct -= d->block_acct;                                  \
       result.event = UserEvent::kFault;                       \
       result.fault_is_write = true;                           \
       goto exit_at_d;                                         \
@@ -369,7 +383,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       }
     }
     if (!bus->ReadWord(addr, &v, &result.fault_addr)) {
-      cycles -= d->block_cycles;
+      acct -= d->block_acct;
       result.event = UserEvent::kFault;
       result.fault_is_write = false;
       goto exit_at_d;
@@ -390,7 +404,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       }
     }
     if (!bus->WriteWord(addr, r[d->a], &result.fault_addr)) {
-      cycles -= d->block_cycles;
+      acct -= d->block_acct;
       result.event = UserEvent::kFault;
       result.fault_is_write = true;
       goto exit_at_d;
@@ -410,7 +424,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
     if (!bus->ReadByte(addr, &v, &result.fault_addr)) {
       // Un-charge the faulting instruction plus the unexecuted block tail;
       // what remains is exactly the switch loop's cycle count at the fault.
-      cycles -= d->block_cycles;
+      acct -= d->block_acct;
       result.event = UserEvent::kFault;
       result.fault_is_write = false;
       goto exit_at_d;
@@ -424,7 +438,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
     uint8_t* base = tlb.ReadBase(addr >> kPageShift);
     if (base != nullptr) {
       r[d->a] = base[addr & kPageMask];
-      cycles += kCostMem;
+      acct += kAcctInstr + kCostMem;
       STEP_NEXT();
     }
     uint8_t v = 0;
@@ -434,7 +448,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       goto exit_at_d;
     }
     r[d->a] = v;
-    cycles += kCostMem;
+    acct += kAcctInstr + kCostMem;
     STEP_NEXT();
   }
   b_storeb: {
@@ -445,7 +459,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       BULK_NEXT();
     }
     if (!bus->WriteByte(addr, static_cast<uint8_t>(r[d->a]), &result.fault_addr)) {
-      cycles -= d->block_cycles;
+      acct -= d->block_acct;
       result.event = UserEvent::kFault;
       result.fault_is_write = true;
       goto exit_at_d;
@@ -458,7 +472,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
     uint8_t* base = tlb.WriteBase(addr >> kPageShift);
     if (base != nullptr) {
       base[addr & kPageMask] = static_cast<uint8_t>(r[d->a]);
-      cycles += kCostMem;
+      acct += kAcctInstr + kCostMem;
       STEP_NEXT();
     }
     if (!bus->WriteByte(addr, static_cast<uint8_t>(r[d->a]), &result.fault_addr)) {
@@ -466,7 +480,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       result.fault_is_write = true;
       goto exit_at_d;
     }
-    cycles += kCostMem;
+    acct += kAcctInstr + kCostMem;
     STEP_NEXT();
   }
   b_loadw: {
@@ -482,7 +496,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       }
     }
     if (!bus->ReadWord(addr, &v, &result.fault_addr)) {
-      cycles -= d->block_cycles;
+      acct -= d->block_acct;
       result.event = UserEvent::kFault;
       result.fault_is_write = false;
       goto exit_at_d;
@@ -500,7 +514,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       if (base != nullptr) {
         std::memcpy(&v, base + off, 4);
         r[d->a] = v;
-        cycles += kCostMem;
+        acct += kAcctInstr + kCostMem;
         STEP_NEXT();
       }
     }
@@ -510,7 +524,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       goto exit_at_d;
     }
     r[d->a] = v;
-    cycles += kCostMem;
+    acct += kAcctInstr + kCostMem;
     STEP_NEXT();
   }
   b_storew: {
@@ -524,7 +538,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       }
     }
     if (!bus->WriteWord(addr, r[d->a], &result.fault_addr)) {
-      cycles -= d->block_cycles;
+      acct -= d->block_acct;
       result.event = UserEvent::kFault;
       result.fault_is_write = true;
       goto exit_at_d;
@@ -539,7 +553,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       uint8_t* base = tlb.WriteBase(addr >> kPageShift);
       if (base != nullptr) {
         std::memcpy(base + off, &r[d->a], 4);
-        cycles += kCostMem;
+        acct += kAcctInstr + kCostMem;
         STEP_NEXT();
       }
     }
@@ -548,7 +562,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
       result.fault_is_write = true;
       goto exit_at_d;
     }
-    cycles += kCostMem;
+    acct += kAcctInstr + kCostMem;
     STEP_NEXT();
   }
 
@@ -556,7 +570,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
     NEXT_BLOCK_TGT(d->imm);  // kCostBranch pre-charged with the block
   s_jmp:
     STEP_GUARD();
-    cycles += kCostBranch;
+    acct += kAcctInstr + kCostBranch;
     NEXT_BLOCK(d->imm);
 
     BRANCH_PAIR(beq, COND_beq(d));
@@ -572,9 +586,10 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
     goto commit;
   s_jmpout:
     STEP_GUARD();
-    cycles += kCostBranch;
+    acct += kAcctInstr + kCostBranch;
     pc = d->imm;
-    result.event = cycles < budget_cycles ? UserEvent::kBadPc : UserEvent::kBudget;
+    result.event = (acct & kAcctCycleMask) < budget_cycles ? UserEvent::kBadPc
+                                                           : UserEvent::kBudget;
     goto commit;
 
     BRANCH_OUT_PAIR(beqout, COND_beq(d));
@@ -587,7 +602,7 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
     goto exit_at_d;
   s_halt:
     STEP_GUARD();
-    cycles += kCostAlu;
+    acct += kAcctInstr + kCostAlu;
     result.event = UserEvent::kHalt;
     goto exit_at_d;
 
@@ -648,9 +663,12 @@ RunResult RunUserThreaded(DecodedProgram& prog, UserRegisters* regs,
 
 commit:
   regs->pc = pc;
-  result.cycles = cycles;
+  result.cycles = acct & kAcctCycleMask;
   if (block_charge_counter != nullptr) {
     *block_charge_counter += block_charges;
+  }
+  if (instr_counter != nullptr) {
+    *instr_counter += acct >> 32;
   }
   return result;
 }
@@ -670,12 +688,13 @@ RunResult RunUser(const Program& program, UserRegisters* regs, MemoryBus* bus,
     if (fresh && opts.predecodes != nullptr) {
       ++*opts.predecodes;
     }
-    return RunUserThreaded(decoded, regs, bus, budget_cycles, opts.block_charges);
+    return RunUserThreaded(decoded, regs, bus, budget_cycles, opts.block_charges,
+                           opts.instructions);
   }
 #else
   (void)opts;
 #endif
-  return RunUserSwitch(program, regs, bus, budget_cycles);
+  return RunUserSwitch(program, regs, bus, budget_cycles, opts.instructions);
 }
 
 }  // namespace fluke

@@ -75,6 +75,11 @@ struct InterpOptions {
   bool threaded = true;
   uint64_t* block_charges = nullptr;  // += 1 per whole-block cycle charge
   uint64_t* predecodes = nullptr;     // += 1 per program decode performed
+  // += 1 per retired instruction. A semantic count, not an engine artifact:
+  // both engines must produce identical values for the same run (an
+  // instruction whose effect did not happen -- a faulting access, a
+  // syscall/break trap re-executed on resume -- does not count).
+  uint64_t* instructions = nullptr;
 };
 
 // True when the computed-goto engine was compiled in (GCC/Clang with the

@@ -14,6 +14,7 @@
 
 #include "src/uvm/interp.h"
 #include "src/uvm/minitlb.h"
+#include "src/uvm/predecode.h"  // kAcctInstr / kAcctCycleMask packing
 
 namespace fluke {
 namespace interp_internal {
@@ -22,20 +23,30 @@ namespace interp_internal {
 // the per-instruction Program::At/RunResult accesses) and writes them back
 // at every exit.
 RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
-                        MemoryBus* bus, uint64_t budget_cycles) {
+                        MemoryBus* bus, uint64_t budget_cycles,
+                        uint64_t* instr_counter) {
   RunResult result;
   uint32_t* r = regs->gpr;
   const Instr* code = program.code();
   const uint32_t code_size = program.size();
   uint32_t pc = regs->pc;
-  uint64_t cycles = 0;
+  // Packed account (predecode.h layout): cycles in the low word, retired
+  // instructions in the high word. Retired means everything that executed,
+  // including Halt; not the trap ops (syscall/break) or a faulting access,
+  // whose PC stays put and which re-execute on resume. One accumulator
+  // instead of two keeps the per-instruction bookkeeping at a single add --
+  // each case charges kAcctInstr plus its cycle cost in one constant. The
+  // halves cannot interact: the kernel caps a burst at 2^31 cycles and every
+  // per-instruction cost is far below 2^31, so the cycle half stays under
+  // 2^32.
+  uint64_t acct = 0;
 
   MiniTlb tlb(bus);
 
-  // Every exit funnels through done: so pc/cycles locals are committed on
-  // all paths. The PC is NOT advanced past a faulting load/store, a syscall,
-  // a halt or a breakpoint -- the kernel decides how to resume.
-  while (cycles < budget_cycles) {
+  // Every exit funnels through done: so the pc/account locals are committed
+  // on all paths. The PC is NOT advanced past a faulting load/store, a
+  // syscall, a halt or a breakpoint -- the kernel decides how to resume.
+  while ((acct & kAcctCycleMask) < budget_cycles) {
     if (pc >= code_size) {
       result.event = UserEvent::kBadPc;
       goto done;
@@ -44,62 +55,62 @@ RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
       const Instr* in = &code[pc];
       switch (in->op) {
         case Op::kHalt:
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           result.event = UserEvent::kHalt;
           goto done;
         case Op::kNop:
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           break;
         case Op::kMovImm:
           r[in->a] = in->imm;
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           break;
         case Op::kMov:
           r[in->a] = r[in->b];
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           break;
         case Op::kAdd:
           r[in->a] = r[in->b] + r[in->c];
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           break;
         case Op::kSub:
           r[in->a] = r[in->b] - r[in->c];
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           break;
         case Op::kMul:
           r[in->a] = r[in->b] * r[in->c];
-          cycles += kCostAlu * 3;
+          acct += kAcctInstr + kCostAlu * 3;
           break;
         case Op::kAnd:
           r[in->a] = r[in->b] & r[in->c];
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           break;
         case Op::kOr:
           r[in->a] = r[in->b] | r[in->c];
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           break;
         case Op::kXor:
           r[in->a] = r[in->b] ^ r[in->c];
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           break;
         case Op::kShl:
           r[in->a] = r[in->b] << (r[in->c] & 31);
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           break;
         case Op::kShr:
           r[in->a] = r[in->b] >> (r[in->c] & 31);
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           break;
         case Op::kAddImm:
           r[in->a] = r[in->b] + in->imm;
-          cycles += kCostAlu;
+          acct += kAcctInstr + kCostAlu;
           break;
         case Op::kLoadB: {
           const uint32_t addr = r[in->b] + in->imm;
           uint8_t* base = tlb.ReadBase(addr >> kPageShift);
           if (base != nullptr) {
             r[in->a] = base[addr & kPageMask];
-            cycles += kCostMem;
+            acct += kAcctInstr + kCostMem;
             break;
           }
           uint8_t v = 0;
@@ -109,7 +120,7 @@ RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
             goto done;  // PC stays on the faulting instruction
           }
           r[in->a] = v;
-          cycles += kCostMem;
+          acct += kAcctInstr + kCostMem;
           break;
         }
         case Op::kStoreB: {
@@ -117,7 +128,7 @@ RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
           uint8_t* base = tlb.WriteBase(addr >> kPageShift);
           if (base != nullptr) {
             base[addr & kPageMask] = static_cast<uint8_t>(r[in->a]);
-            cycles += kCostMem;
+            acct += kAcctInstr + kCostMem;
             break;
           }
           if (!bus->WriteByte(addr, static_cast<uint8_t>(r[in->a]), &result.fault_addr)) {
@@ -125,7 +136,7 @@ RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
             result.fault_is_write = true;
             goto done;
           }
-          cycles += kCostMem;
+          acct += kAcctInstr + kCostMem;
           break;
         }
         case Op::kLoadW: {
@@ -137,7 +148,7 @@ RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
             if (base != nullptr) {
               std::memcpy(&v, base + off, 4);
               r[in->a] = v;
-              cycles += kCostMem;
+              acct += kAcctInstr + kCostMem;
               break;
             }
           }
@@ -147,7 +158,7 @@ RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
             goto done;
           }
           r[in->a] = v;
-          cycles += kCostMem;
+          acct += kAcctInstr + kCostMem;
           break;
         }
         case Op::kStoreW: {
@@ -157,7 +168,7 @@ RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
             uint8_t* base = tlb.WriteBase(addr >> kPageShift);
             if (base != nullptr) {
               std::memcpy(base + off, &r[in->a], 4);
-              cycles += kCostMem;
+              acct += kAcctInstr + kCostMem;
               break;
             }
           }
@@ -166,36 +177,36 @@ RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
             result.fault_is_write = true;
             goto done;
           }
-          cycles += kCostMem;
+          acct += kAcctInstr + kCostMem;
           break;
         }
         case Op::kJmp:
           pc = in->imm;
-          cycles += kCostBranch;
+          acct += kAcctInstr + kCostBranch;
           continue;  // pc already set
         case Op::kBeq:
-          cycles += kCostBranch;
+          acct += kAcctInstr + kCostBranch;
           if (r[in->a] == r[in->b]) {
             pc = in->imm;
             continue;
           }
           break;
         case Op::kBne:
-          cycles += kCostBranch;
+          acct += kAcctInstr + kCostBranch;
           if (r[in->a] != r[in->b]) {
             pc = in->imm;
             continue;
           }
           break;
         case Op::kBlt:
-          cycles += kCostBranch;
+          acct += kAcctInstr + kCostBranch;
           if (r[in->a] < r[in->b]) {
             pc = in->imm;
             continue;
           }
           break;
         case Op::kBge:
-          cycles += kCostBranch;
+          acct += kAcctInstr + kCostBranch;
           if (r[in->a] >= r[in->b]) {
             pc = in->imm;
             continue;
@@ -207,20 +218,23 @@ RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
           result.event = UserEvent::kSyscall;
           goto done;
         case Op::kCompute:
-          cycles += in->imm;
+          acct += kAcctInstr + in->imm;
           break;
         case Op::kBreak:
           result.event = UserEvent::kBreak;
           goto done;
       }
     }
-    ++pc;
+    ++pc;  // every fall-through case above charged its own retire
   }
   result.event = UserEvent::kBudget;
 
 done:
   regs->pc = pc;
-  result.cycles = cycles;
+  result.cycles = acct & kAcctCycleMask;
+  if (instr_counter != nullptr) {
+    *instr_counter += acct >> 32;
+  }
   return result;
 }
 

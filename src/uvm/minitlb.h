@@ -140,7 +140,8 @@ struct MiniTlb {
 // interp.cc carries interpreter-specific codegen flags that would otherwise
 // skew it.
 RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
-                        MemoryBus* bus, uint64_t budget_cycles);
+                        MemoryBus* bus, uint64_t budget_cycles,
+                        uint64_t* instr_counter = nullptr);
 
 }  // namespace interp_internal
 }  // namespace fluke

@@ -1,5 +1,6 @@
 #include "src/uvm/predecode.h"
 
+#include <cassert>
 #include <cstddef>
 
 namespace fluke {
@@ -121,7 +122,7 @@ void DecodedProgram::Link(const void* const* bulk_table) {
     }
     const uint32_t target = code_[i + slot].imm;
     code_[i].tgt_handler = code_[target].handler;
-    code_[i].tgt_cycles = code_[target].block_cycles;
+    code_[i].tgt_acct = code_[target].block_acct;
   }
   linked_ = true;
 }
@@ -220,18 +221,31 @@ DecodedProgram::DecodedProgram(const Instr* code, uint32_t size) : size_(size) {
     }
   }
 
-  // Backward scan: each entry's block_cycles is its own cost plus the rest
-  // of its straight-line block. The sentinel (and every block-ending
-  // instruction) contributes only its own cost. Runs after fusion, which is
-  // safe because IsBlockEnd is false for every fused op -- a fused first op
-  // is by construction not a block end, so the suffix sum still extends
-  // through the pair to the true block end.
+  // Backward scan: each entry's block_acct is its own packed charge plus the
+  // rest of its straight-line block. The sentinel (and every block-ending
+  // instruction) contributes only its own. Runs after fusion, which is safe
+  // because IsBlockEnd is false for every fused op -- a fused first op is by
+  // construction not a block end, so the suffix sum still extends through
+  // the pair to the true block end. The two packed halves follow different
+  // authorities: the cycle half charges the DECODED cost, while the retire
+  // half counts RAW ops (a fused entry's components each count one;
+  // Syscall/Break count zero because the trap re-executes on resume) -- and
+  // the DECODED op decides block extent for both. Componentwise addition of
+  // the packed words is exact: both per-block sums are far below 2^32.
   for (uint32_t i = size; i-- > 0;) {
     DecodedInstr& d = code_[i];
-    d.block_cycles = InstrCost(code[i].op, code[i].imm);
+    const uint32_t retires =
+        (code[i].op == Op::kSyscall || code[i].op == Op::kBreak) ? 0u : 1u;
+    uint64_t cyc = InstrCost(code[i].op, code[i].imm);
+    uint32_t ret = retires;
     if (!IsBlockEnd(d.op)) {
-      d.block_cycles += code_[i + 1].block_cycles;
+      cyc += code_[i + 1].block_cycles();
+      ret += code_[i + 1].block_instrs();
     }
+    // The packed layout holds as long as no block's cycle sum reaches 2^32
+    // (a Compute immediate is the only way to approach it).
+    assert(cyc <= kAcctCycleMask && "block cycle sum overflows packed accounting");
+    d.block_acct = PackAcct(ret, cyc);
   }
 }
 

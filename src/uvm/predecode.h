@@ -148,26 +148,50 @@ struct DecodedInstr {
   const void* handler = nullptr;
   // Taken-edge cache, filled by Link() on entries that carry an in-range
   // control transfer (jumps, conditional branches, and the fused pairs and
-  // triples ending in one): the TARGET block's handler address and batched
-  // cycle charge. The taken back-edge of a hot loop is the interpreter's
+  // triples ending in one): the TARGET block's handler address and packed
+  // charge. The taken back-edge of a hot loop is the interpreter's
   // loop-carried dependency; with these two fields it reads only the branch
   // entry itself -- not imm, then the target entry -- before redirecting.
   // Values duplicate what the target entry holds, so dispatch semantics are
   // unchanged.
   const void* tgt_handler = nullptr;
-  uint64_t tgt_cycles = 0;
+  uint64_t tgt_acct = 0;
   DecOp op = DecOp::kEnd;
   uint8_t a = 0;
   uint8_t b = 0;
   uint8_t c = 0;
   uint32_t imm = 0;
-  // Cycles consumed from this instruction through the end of its straight-
-  // line block, inclusive. At a block head this is the batched charge for
-  // the whole block; at an interior instruction it is exactly the amount to
-  // un-charge when a load/store faults mid-block (the faulting instruction
-  // and the unexecuted tail).
-  uint64_t block_cycles = 0;
+  // Packed block accounting: cycles in the low word, retired instructions in
+  // the high word (kAcctInstr / kAcctCycleMask below). Both halves cover
+  // this instruction through the end of its straight-line block, inclusive.
+  // At a block head this is the batched charge for the whole block; at an
+  // interior instruction it is exactly the amount to un-charge when a
+  // load/store faults mid-block (the faulting instruction and the unexecuted
+  // tail). The retire half counts raw program instructions, not decoded
+  // entries -- fused pairs/triples contribute their component count, and
+  // Syscall/Break contribute zero (the trap re-executes on resume).
+  //
+  // One packed word instead of two fields is deliberate: the threaded
+  // engine's block entry is then a single 64-bit add -- the same
+  // instruction count as charging cycles alone -- and the entry stays at
+  // the 40 bytes the hot loop was tuned at. The halves never interact: a
+  // block is one straight-line run of a single program, so both sums are
+  // far below 2^32 and componentwise add/subtract cannot carry or borrow
+  // across bit 32 (the engine's running total is bounded by the dispatch
+  // burst, which Kernel::RunThread caps well under 2^32 cycles).
+  uint64_t block_acct = 0;
+
+  uint32_t block_cycles() const { return static_cast<uint32_t>(block_acct); }
+  uint32_t block_instrs() const { return static_cast<uint32_t>(block_acct >> 32); }
 };
+
+// Packed-accounting layout helpers (DecodedInstr::block_acct, ::tgt_acct,
+// and the threaded engine's running accumulator all share it).
+inline constexpr uint64_t kAcctInstr = 1ull << 32;      // one retired instruction
+inline constexpr uint64_t kAcctCycleMask = kAcctInstr - 1;
+inline constexpr uint64_t PackAcct(uint32_t instrs, uint64_t cycles) {
+  return (static_cast<uint64_t>(instrs) << 32) | cycles;
+}
 
 // Static cycle cost of one instruction -- must mirror the interpreter's
 // per-instruction charges exactly (interp.cc's switch loop is the reference

@@ -110,22 +110,40 @@ CheckpointImage CaptureSpace(Kernel& k, Space& space) {
 RestoreResult RestoreSpace(Kernel& k, const CheckpointImage& img,
                            const ProgramRegistry& programs, bool start) {
   RestoreResult r;
+  auto fail = [&r](std::string why) {
+    r.ok = false;
+    r.error = std::move(why);
+    return r;
+  };
   r.space = k.CreateSpace(img.space_name);
   r.space->SetAnonRange(img.anon_base, img.anon_size);
   r.space->program = img.program_name.empty() ? nullptr : programs.Find(img.program_name);
 
-  // Memory first (threads may be blocked mid-operation on it).
+  // Memory first (threads may be blocked mid-operation on it). Frame
+  // allocation may fail transiently (injected exhaustion, a scavenger
+  // catching up); retry a bounded number of times, then give up cleanly.
   for (const auto& pi : img.pages) {
-    FrameId f = r.space->ProvidePage(pi.vaddr, pi.prot);
-    assert(f != kInvalidFrame);
+    FrameId f = kInvalidFrame;
+    for (uint32_t tries = 0; f == kInvalidFrame && tries <= kOomRetryLimit; ++tries) {
+      if (tries != 0) {
+        ++k.stats.oom_backoffs;
+        k.Charge(k.costs.oom_backoff);
+      }
+      f = r.space->ProvidePage(pi.vaddr, pi.prot);
+    }
+    if (f == kInvalidFrame) {
+      return fail("out of frames restoring page");
+    }
     std::memcpy(k.phys.Data(f), pi.data.data(), kPageSize);
   }
 
   // Recreate the handle table strictly in slot order, so every handle
   // immediate baked into the program remains valid. CreateSpace already
   // filled the space-self slot; the image's slot 1 must agree.
-  assert(!img.objects.empty() &&
-         img.objects[0].kind == CheckpointImage::ObjKind::kSpaceSelf);
+  if (img.objects.empty() ||
+      img.objects[0].kind != CheckpointImage::ObjKind::kSpaceSelf) {
+    return fail("image slot 1 is not the space-self slot");
+  }
   r.threads.resize(img.threads.size(), nullptr);
   // Deferred mutex-owner fixups (the owner thread's slot may come later).
   std::vector<std::pair<Mutex*, int>> owner_fixups;
@@ -133,19 +151,23 @@ RestoreResult RestoreSpace(Kernel& k, const CheckpointImage& img,
     const auto& oi = img.objects[i];
     switch (oi.kind) {
       case CheckpointImage::ObjKind::kSpaceSelf:
-        assert(false && "duplicate space-self slot");
-        break;
+        return fail("duplicate space-self slot");
       case CheckpointImage::ObjKind::kThreadSelf: {
-        assert(oi.thread_index >= 0 &&
-               static_cast<size_t>(oi.thread_index) < img.threads.size());
+        if (oi.thread_index < 0 ||
+            static_cast<size_t>(oi.thread_index) >= img.threads.size() ||
+            r.threads[oi.thread_index] != nullptr) {
+          return fail("thread-self slot references a missing or duplicate thread");
+        }
         const auto& ti = img.threads[oi.thread_index];
         ProgramRef prog =
             ti.program_name.empty() ? nullptr : programs.Find(ti.program_name);
         Thread* t = k.CreateThread(r.space.get(), prog);  // installs the self slot
-        assert(t->self_handle == i + 1);
-        const bool ok = k.SetThreadState(t, ti.state);
-        assert(ok);
-        (void)ok;
+        if (t->self_handle != i + 1) {
+          return fail("handle-slot drift while restoring threads");
+        }
+        if (!k.SetThreadState(t, ti.state)) {
+          return fail("restored thread rejected its state");
+        }
         r.threads[oi.thread_index] = t;
         break;
       }

@@ -69,7 +69,14 @@ CheckpointImage CaptureSpace(Kernel& k, Space& space);
 // Recreates the image in `k` (which may be a different kernel -- migration).
 // Programs are resolved by name through `programs`. Threads are created
 // stopped; `start` resumes those that were runnable.
+//
+// A malformed image (one DeserializeCheckpoint would reject) or frame
+// exhaustion that persists past a bounded retry surfaces as ok=false with
+// `error` set -- never an abort. On failure the partially-restored space is
+// left in `k` but no thread of it has been started.
 struct RestoreResult {
+  bool ok = true;
+  std::string error;
   std::shared_ptr<Space> space;
   std::vector<Thread*> threads;
 };

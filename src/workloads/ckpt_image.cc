@@ -1,10 +1,34 @@
 #include "src/workloads/ckpt_image.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace fluke {
 
 namespace {
+
+// Reflected CRC-32 (IEEE 802.3 polynomial), table built on first use. Guards
+// the whole stream: structural fields AND page contents, which the parser's
+// bounds checks alone cannot vouch for.
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  static uint32_t table[256];
+  static bool ready = false;
+  if (!ready) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int b = 0; b < 8; ++b) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    ready = true;
+  }
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 void PutU32(std::vector<uint8_t>* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -57,6 +81,7 @@ class Reader {
     return false;
   }
   bool AtEnd() const { return pos_ == b_.size(); }
+  size_t pos() const { return pos_; }
 
  private:
   const std::vector<uint8_t>& b_;
@@ -115,6 +140,7 @@ std::vector<uint8_t> SerializeCheckpoint(const CheckpointImage& img) {
     PutU32(&out, o.mutex_locked ? 1 : 0);
     PutU32(&out, static_cast<uint32_t>(o.mutex_owner_thread));
   }
+  PutU32(&out, Crc32(out.data(), out.size()));
   return out;
 }
 
@@ -136,6 +162,9 @@ bool DeserializeCheckpoint(const std::vector<uint8_t>& bytes, CheckpointImage* o
       !r.U32(&out->anon_size)) {
     return false;
   }
+  if ((out->anon_base & kPageMask) != 0 || (out->anon_size & kPageMask) != 0) {
+    return r.Fail("unaligned anonymous range");
+  }
 
   uint32_t n = 0;
   if (!r.U32(&n) || n > 100000) {
@@ -154,12 +183,18 @@ bool DeserializeCheckpoint(const std::vector<uint8_t>& bytes, CheckpointImage* o
     return r.Fail("bad page count");
   }
   out->pages.resize(n);
-  for (auto& p : out->pages) {
+  for (size_t i = 0; i < out->pages.size(); ++i) {
+    auto& p = out->pages[i];
     if (!r.U32(&p.vaddr) || !r.U32(&p.prot) || !r.Bytes(&p.data, kPageSize)) {
       return false;
     }
     if ((p.vaddr & kPageMask) != 0) {
       return r.Fail("unaligned page address");
+    }
+    // Strictly increasing: catches duplicates (which would double-provide a
+    // page at restore) and keeps restored layouts deterministic.
+    if (i > 0 && p.vaddr <= out->pages[i - 1].vaddr) {
+      return r.Fail("pages out of order");
     }
   }
 
@@ -179,14 +214,64 @@ bool DeserializeCheckpoint(const std::vector<uint8_t>& bytes, CheckpointImage* o
     o.thread_index = static_cast<int>(tidx);
     o.mutex_locked = locked != 0;
     o.mutex_owner_thread = static_cast<int>(owner);
-    // Cross-checks the restorer relies on.
-    if (o.kind == CheckpointImage::ObjKind::kThreadSelf &&
-        (o.thread_index < 0 || static_cast<size_t>(o.thread_index) >= out->threads.size())) {
-      return r.Fail("thread-self slot references a missing thread");
-    }
+  }
+
+  // CRC trailer: everything before it must hash to it. Verified after the
+  // structural parse (which is robust on its own) so magic/version/layout
+  // errors report specifically, but before the image is handed to a caller.
+  const size_t payload_end = r.pos();
+  uint32_t crc_stored = 0;
+  if (!r.U32(&crc_stored)) {
+    return false;
   }
   if (!r.AtEnd()) {
     return r.Fail("trailing bytes");
+  }
+  if (Crc32(bytes.data(), payload_end) != crc_stored) {
+    return r.Fail("checksum mismatch");
+  }
+
+  // Cross-checks the restorer relies on (RestoreSpace re-verifies and takes
+  // an error return, but a well-formed stream never trips them).
+  std::vector<bool> thread_claimed(out->threads.size(), false);
+  for (size_t i = 0; i < out->objects.size(); ++i) {
+    const auto& o = out->objects[i];
+    switch (o.kind) {
+      case CheckpointImage::ObjKind::kSpaceSelf:
+        if (i != 0) {
+          return r.Fail("space-self outside slot 1");
+        }
+        break;
+      case CheckpointImage::ObjKind::kThreadSelf:
+        if (o.thread_index < 0 ||
+            static_cast<size_t>(o.thread_index) >= out->threads.size()) {
+          return r.Fail("thread-self slot references a missing thread");
+        }
+        if (thread_claimed[static_cast<size_t>(o.thread_index)]) {
+          return r.Fail("two slots claim one thread");
+        }
+        thread_claimed[static_cast<size_t>(o.thread_index)] = true;
+        break;
+      case CheckpointImage::ObjKind::kMutex:
+        if (o.mutex_locked && o.mutex_owner_thread != -1 &&
+            (o.mutex_owner_thread < 0 ||
+             static_cast<size_t>(o.mutex_owner_thread) >= out->threads.size())) {
+          return r.Fail("mutex owner out of range");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (!out->objects.empty() &&
+      out->objects[0].kind != CheckpointImage::ObjKind::kSpaceSelf) {
+    return r.Fail("slot 1 is not the space-self slot");
+  }
+  if (!out->threads.empty() &&
+      (out->objects.empty() ||
+       std::find(thread_claimed.begin(), thread_claimed.end(), false) !=
+           thread_claimed.end())) {
+    return r.Fail("thread without a self slot");
   }
   return true;
 }

@@ -4,6 +4,12 @@
 // migration manager can ship a frozen task over a wire or park it on disk.
 // The format is versioned and validated on load; pages are stored sparsely
 // (only mapped pages travel).
+//
+// Version 2 appends a CRC32 trailer over the whole payload and the loader
+// cross-validates the structures the restorer relies on (slot 1 is the
+// space-self slot, mutex owners and thread-self indices are in range and
+// unique, page addresses are strictly increasing). Any single corrupted
+// byte anywhere in the stream is rejected; never crashes on hostile input.
 
 #ifndef SRC_WORKLOADS_CKPT_IMAGE_H_
 #define SRC_WORKLOADS_CKPT_IMAGE_H_
@@ -17,7 +23,7 @@
 namespace fluke {
 
 inline constexpr uint32_t kCkptMagic = 0x464C4B31;  // "FLK1"
-inline constexpr uint32_t kCkptVersion = 1;
+inline constexpr uint32_t kCkptVersion = 2;  // v2: CRC32 trailer + semantic checks
 
 // Serializes `img` to bytes.
 std::vector<uint8_t> SerializeCheckpoint(const CheckpointImage& img);

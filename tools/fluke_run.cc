@@ -13,6 +13,13 @@
 //   --stats                       print kernel statistics at exit
 //   --trace                       dump the kernel event trace at exit
 //   --ps                          dump thread/space state at exit
+//   --fault-plan=SPEC             arm deterministic fault injection, e.g.
+//                                 "seed=7,frame-every=3,crash=100" (see
+//                                 src/kern/faultinject.h for the key list)
+//   --audit                       run the built-in atomicity audit (forced
+//                                 extraction at every dispatch boundary)
+//                                 instead of programs; exits 4 and dumps the
+//                                 diverging kernel if any boundary fails
 //
 // Example program (echo.fasm):
 //   start:
@@ -30,6 +37,7 @@
 #include "src/kern/kernel.h"
 #include "src/kern/inspect.h"
 #include "src/uvm/asmparse.h"
+#include "src/workloads/audit.h"
 #include "src/workloads/pager.h"
 
 namespace fluke {
@@ -39,6 +47,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: fluke_run [--model=process|interrupt] [--preempt=np|pp|fp]\n"
                "                 [--anon=BYTES] [--max-ms=N] [--paged] [--stats] [--trace] [--ps]\n"
+               "                 [--fault-plan=SPEC] [--audit]\n"
                "                 program.fasm [more.fasm ...]\n");
   return 2;
 }
@@ -51,6 +60,7 @@ int Main(int argc, char** argv) {
   bool stats = false;
   bool trace = false;
   bool ps = false;
+  bool audit = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -77,6 +87,14 @@ int Main(int argc, char** argv) {
       trace = true;
     } else if (arg == "--ps") {
       ps = true;
+    } else if (arg == "--audit") {
+      audit = true;
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      std::string err;
+      if (!ParseFaultPlan(arg.substr(13), &cfg.fault_plan, &err)) {
+        std::fprintf(stderr, "fluke_run: bad --fault-plan: %s\n", err.c_str());
+        return 2;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "fluke_run: unknown option '%s'\n", arg.c_str());
       return Usage();
@@ -84,12 +102,35 @@ int Main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (files.empty()) {
+  if (files.empty() && !audit) {
     return Usage();
   }
   if (!cfg.Valid()) {
     std::fprintf(stderr, "fluke_run: --preempt=fp requires --model=process\n");
     return 2;
+  }
+
+  if (audit) {
+    // The atomicity audit: golden run, then a forced extract-destroy-
+    // recreate at every dispatch boundary, requiring bit-identical
+    // completion. A divergence is a kernel atomicity bug: exit 4 and dump
+    // the diverging kernel so the failing boundary can be replayed with
+    // --fault-plan=step,extract=N.
+    constexpr uint32_t kAuditAnonBase = 0x10000;
+    const AuditResult r = RunAtomicityAudit(cfg, BuildAuditProgram(kAuditAnonBase),
+                                            kAuditAnonBase, 16 * 1024 * 1024);
+    if (!r.ok) {
+      std::fprintf(stderr, "fluke_run: atomicity audit FAILED [%s]: %s\n",
+                   cfg.Label().c_str(), r.error.c_str());
+      std::fputs(r.divergent_dump.c_str(), stderr);
+      return 4;
+    }
+    std::fprintf(stderr,
+                 "fluke_run: atomicity audit passed [%s]: %llu/%llu boundaries "
+                 "bit-identical\n",
+                 cfg.Label().c_str(), static_cast<unsigned long long>(r.audited),
+                 static_cast<unsigned long long>(r.boundaries));
+    return 0;
   }
 
   Kernel kernel(cfg);
@@ -124,6 +165,8 @@ int Main(int argc, char** argv) {
     kernel.StartThread(t);
     threads.push_back(t);
   }
+  // Injection begins only now: boot-loader setup is never failed.
+  kernel.finj.Arm();
 
   // Run until every program thread finishes (daemons like the pager run
   // forever) or the virtual-time budget expires.
@@ -136,6 +179,10 @@ int Main(int argc, char** argv) {
   std::fputs(kernel.console.output().c_str(), stdout);
 
   int rc = 0;
+  if (kernel.crashed()) {
+    std::fprintf(stderr, "fluke_run: kernel froze at injected crash boundary %llu\n",
+                 static_cast<unsigned long long>(cfg.fault_plan.crash_at));
+  }
   for (size_t i = 0; i < threads.size(); ++i) {
     if (threads[i]->run_state != ThreadRun::kDead) {
       std::fprintf(stderr, "fluke_run: %s: thread still %s at the time budget\n",
