@@ -108,10 +108,15 @@ void BM_BulkTransferMB(benchmark::State& state) {
   // Warm the buffers.
   k.Run(k.clock.now() + 10 * kNsPerMs);
 
+  uint64_t entries = 0;
   for (auto _ : state) {
+    const uint64_t before = k.stats.syscalls;
     k.Run(k.clock.now() + 3 * kNsPerMs);  // ~1 MiB of virtual copy time
+    entries += k.stats.syscalls - before;
   }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * (1 << 20));
+  // One client send + one server receive entry per completed 1 MiB message:
+  // report bytes actually moved, not the iteration count's nominal rate.
+  state.SetBytesProcessed(static_cast<int64_t>(entries / 2) * (1 << 20));
 }
 BENCHMARK(BM_BulkTransferMB);
 
@@ -211,21 +216,38 @@ BENCHMARK(BM_InterpAluLoop)->Arg(0)->Arg(1);
 void BM_HardFaultRoundTrip(benchmark::State& state) {
   KernelConfig cfg;
   Kernel k(cfg);
+  // The walker wraps over a fixed window instead of marching forever: the
+  // old unbounded walk left the 64 MiB managed range after enough
+  // iterations, killed both child and manager on the unbacked address, and
+  // the reported rate was iterations of a dead kernel, not fault round
+  // trips. Between iterations the window is forgotten on both sides so
+  // every touch stays a HARD fault (manager round trip), never a soft
+  // re-walk of an already-provided page.
+  constexpr uint32_t kWalkPages = 64;
   ManagedSetup m = BuildManagedSpace(k, 64 << 20, "bm");
   k.StartThread(m.manager_thread);
   Assembler a("walker");
-  // Touch one byte per page, forever (every touch is a fresh hard fault).
-  const auto loop = a.NewLabel();
+  const auto outer = a.NewLabel();
+  a.Bind(outer);
   a.MovImm(kRegB, 0);
+  a.MovImm(kRegD, kWalkPages * kPageSize);
+  const auto loop = a.NewLabel();
   a.Bind(loop);
   a.LoadB(kRegC, kRegB, 0);
   a.AddImm(kRegB, kRegB, kPageSize);
-  a.Jmp(loop);
+  a.Blt(kRegB, kRegD, loop);
+  a.Jmp(outer);
   m.child_space->program = a.Build();
   k.StartThread(k.CreateThread(m.child_space.get()));
 
   uint64_t faults = 0;
   for (auto _ : state) {
+    state.PauseTiming();
+    for (uint32_t p = 0; p < kWalkPages; ++p) {
+      m.child_space->UnmapPage(p * kPageSize);
+      m.manager_space->UnmapPage(kPagerBackingBase + p * kPageSize);
+    }
+    state.ResumeTiming();
     const uint64_t before = k.stats.hard_faults;
     k.Run(k.clock.now() + 2 * kNsPerMs);
     faults += k.stats.hard_faults - before;

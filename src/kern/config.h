@@ -76,6 +76,14 @@ struct KernelConfig {
   // exists for that A/B check and for debugging. No effect when the
   // computed-goto engine is not compiled in (FLUKE_INTERP_COMPUTED_GOTO).
   bool enable_threaded_interp = true;
+  // Syscall/IPC fast paths (src/kern/dispatch.cc): trivial syscalls and the
+  // reliable-IPC direct-handoff send run outside the coroutine machinery
+  // when instrumentation is disarmed, charging the identical virtual-time
+  // costs. Pure host-side dispatch swap: results are bit-identical either
+  // way (tested by tests/fastpath_equivalence_test.cc); off exists for that
+  // A/B check and for debugging. Self-disables while a FaultPlan is armed
+  // or the trace buffer is enabled.
+  bool fast_path = true;
   // Deterministic fault injection; inert unless fault_plan.enabled and the
   // injector is armed (tests arm it after host-side setup).
   FaultPlan fault_plan;

@@ -25,6 +25,20 @@
 namespace fluke {
 
 void Kernel::Run(Time until) {
+  // One check, hoisted out of the dispatch loop: when no instrumentation is
+  // live (no armed fault injector, no enabled trace buffer), the
+  // Instrumented=false loop runs -- compiled with no hook code at all, and
+  // with the syscall/IPC fast paths eligible. Arming happens only from host
+  // code between Run() calls, so the choice is stable for the whole call.
+  if (InstrumentationLive()) {
+    RunLoop<true>(until);
+  } else {
+    RunLoop<false>(until);
+  }
+}
+
+template <bool Instrumented>
+void Kernel::RunLoop(Time until) {
   while (!crashed_ && clock.now() < until) {
     events.RunDue(clock.now());
     DispatchIrqs();
@@ -41,26 +55,29 @@ void Kernel::Run(Time until) {
       clock.AdvanceTo(next);
       continue;
     }
-    if (finj.armed()) {
-      // Every pick of a runnable thread is one dispatch boundary: the
-      // injection points the extraction sweep and crash-restart tests index.
-      const uint64_t boundary = finj.NoteDispatch();
-      if (finj.ShouldCrash(boundary)) {
-        // Freeze the machine with the picked thread back in its schedule
-        // slot; recovery is a checkpoint reload into a fresh kernel.
-        runq_[t->priority].PushFront(t);
-        crashed_ = true;
-        return;
-      }
-      if (finj.ShouldExtract(boundary)) {
-        t = RecreateThreadForAudit(t);
+    if constexpr (Instrumented) {
+      if (finj.armed()) {
+        // Every pick of a runnable thread is one dispatch boundary: the
+        // injection points the extraction sweep and crash-restart tests
+        // index.
+        const uint64_t boundary = finj.NoteDispatch();
+        if (finj.ShouldCrash(boundary)) {
+          // Freeze the machine with the picked thread back in its schedule
+          // slot; recovery is a checkpoint reload into a fresh kernel.
+          runq_[t->priority].PushFront(t);
+          crashed_ = true;
+          return;
+        }
+        if (finj.ShouldExtract(boundary)) {
+          t = RecreateThreadForAudit(t);
+        }
       }
     }
     Time horizon = until;
     if (!events.empty()) {
       horizon = std::min(horizon, events.NextDeadline());
     }
-    RunThread(t, horizon);
+    RunThreadT<Instrumented>(t, horizon);
     if (cfg.num_cpus > 1) {
       active_cpu_ = (active_cpu_ + 1) % cfg.num_cpus;
     }
@@ -120,11 +137,23 @@ void Kernel::DispatchIrqs() {
 }
 
 void Kernel::RunThread(Thread* t, Time horizon) {
+  // Non-template entrypoint (white-box tests): dispatch per call.
+  if (InstrumentationLive()) {
+    RunThreadT<true>(t, horizon);
+  } else {
+    RunThreadT<false>(t, horizon);
+  }
+}
+
+template <bool Instrumented>
+void Kernel::RunThreadT(Thread* t, Time horizon) {
   Cpu& cpu = cur_cpu();
   if (cpu.last != t) {
     ++stats.context_switches;
-    trace.Record(clock.now(), TraceKind::kContextSwitch, t->id(),
-                 cpu.last != nullptr ? static_cast<uint32_t>(cpu.last->id()) : 0);
+    if constexpr (Instrumented) {
+      trace.Record(clock.now(), TraceKind::kContextSwitch, t->id(),
+                   cpu.last != nullptr ? static_cast<uint32_t>(cpu.last->id()) : 0);
+    }
     uint64_t cost = costs.ctx_switch;
     if (cfg.model == ExecModel::kProcess) {
       // Saving/restoring the kernel-mode register state the interrupt model
@@ -143,7 +172,7 @@ void Kernel::RunThread(Thread* t, Time horizon) {
   if (t->op.valid()) {
     // Retained kernel activation (process model): resume mid-handler.
     ResumeOp(t);
-    HandleOpOutcome(t);
+    HandleOpOutcomeT<Instrumented>(t);
   } else if (t->program == nullptr) {
     ThreadExit(t, 0xBAD0);  // no code to run
   } else {
@@ -168,12 +197,14 @@ void Kernel::RunThread(Thread* t, Time horizon) {
       if (budget > kMaxBurstCycles) {
         budget = kMaxBurstCycles;
       }
-      if (finj.single_step() && budget > 1) {
-        // Atomicity-audit mode: one instruction per burst, so every
-        // instruction retires at its own dispatch boundary.
-        budget = 1;
+      if constexpr (Instrumented) {
+        if (finj.single_step() && budget > 1) {
+          // Atomicity-audit mode: one instruction per burst, so every
+          // instruction retires at its own dispatch boundary.
+          budget = 1;
+        }
+        finj.Note(FaultHook::kInterpBoundary);
       }
-      finj.Note(FaultHook::kInterpBoundary);
       const RunResult r =
           RunUser(*t->program, &t->regs, t->space, budget, interp_opts_);
       clock.Advance(r.cycles * kNsPerCycle);
@@ -181,10 +212,10 @@ void Kernel::RunThread(Thread* t, Time horizon) {
         case UserEvent::kBudget:
           break;  // horizon reached; requeue below
         case UserEvent::kSyscall:
-          EnterSyscall(t);
+          EnterSyscallT<Instrumented>(t);
           break;
         case UserEvent::kFault:
-          HandleUserFault(t, r.fault_addr, r.fault_is_write);
+          HandleUserFaultT<Instrumented>(t, r.fault_addr, r.fault_is_write);
           break;
         case UserEvent::kHalt:
           if (t->forced_restart) {
@@ -219,14 +250,29 @@ void Kernel::RunThread(Thread* t, Time horizon) {
 }
 
 void Kernel::EnterSyscall(Thread* t) {
+  if (InstrumentationLive()) {
+    EnterSyscallT<true>(t);
+  } else {
+    EnterSyscallT<false>(t);
+  }
+}
+
+template <bool Instrumented>
+void Kernel::EnterSyscallT(Thread* t) {
   ++stats.syscalls;
-  finj.Note(FaultHook::kSyscallEntry);
+  if constexpr (Instrumented) {
+    finj.Note(FaultHook::kSyscallEntry);
+  }
   if (t->restart_pending) {
     ++stats.syscall_restarts;
-    trace.Record(clock.now(), TraceKind::kSyscallRestart, t->id(), t->regs.gpr[kRegA]);
+    if constexpr (Instrumented) {
+      trace.Record(clock.now(), TraceKind::kSyscallRestart, t->id(), t->regs.gpr[kRegA]);
+    }
     t->restart_pending = false;
   } else {
-    trace.Record(clock.now(), TraceKind::kSyscallEnter, t->id(), t->regs.gpr[kRegA]);
+    if constexpr (Instrumented) {
+      trace.Record(clock.now(), TraceKind::kSyscallEnter, t->id(), t->regs.gpr[kRegA]);
+    }
   }
   uint64_t entry = costs.syscall_entry;
   if (cfg.model == ExecModel::kInterrupt) {
@@ -244,18 +290,31 @@ void Kernel::EnterSyscall(Thread* t) {
     return;
   }
 
-  const SyscallDef* def = GetSyscall(sys);
+  // Flattened dispatch: one bounds check and one indexed load, no lazy-init
+  // vector behind a function call.
+  const SyscallDef* def = sys < kSysCount ? syscalls_by_num_[sys] : nullptr;
   if (def == nullptr || def->handler == nullptr) {
     Finish(t, kFlukeErrBadArgument);
     Charge(costs.syscall_exit);
     return;
+  }
+  if constexpr (!Instrumented) {
+    // Fast path: complete the syscall outside the coroutine machinery. A
+    // fast handler either performs the whole operation -- identical
+    // registers, virtual-time charges and frame accounting -- and returns
+    // true, or touches nothing and falls through to the engine below. Only
+    // consulted with instrumentation disarmed, so every hook the slow path
+    // would have skipped is provably absent rather than skipped.
+    if (cfg.fast_path && def->fast != nullptr && def->fast(*this, t, *def)) {
+      return;
+    }
   }
   t->op_sys = sys;
   t->op_aux = def->aux;
   SetFrameAccounting(this, t);
   t->op = def->handler(t->ctx);
   ResumeOp(t);
-  HandleOpOutcome(t);
+  HandleOpOutcomeT<Instrumented>(t);
 }
 
 void Kernel::ResumeOp(Thread* t) {
@@ -275,10 +334,21 @@ void Kernel::UncountBlockedBytes(Thread* t) {
 }
 
 void Kernel::HandleOpOutcome(Thread* t) {
+  if (InstrumentationLive()) {
+    HandleOpOutcomeT<true>(t);
+  } else {
+    HandleOpOutcomeT<false>(t);
+  }
+}
+
+template <bool Instrumented>
+void Kernel::HandleOpOutcomeT(Thread* t) {
   if (t->op.valid() && t->op.done()) {
     // The operation completed (co_return): result registers are final.
-    trace.Record(clock.now(), TraceKind::kSyscallExit, t->id(), t->op_sys,
-                 t->regs.gpr[kRegA]);
+    if constexpr (Instrumented) {
+      trace.Record(clock.now(), TraceKind::kSyscallExit, t->id(), t->op_sys,
+                   t->regs.gpr[kRegA]);
+    }
     SetFrameAccounting(this, t);
     t->op.Reset();
     t->resume_point = {};
@@ -292,8 +362,10 @@ void Kernel::HandleOpOutcome(Thread* t) {
 
   switch (t->op_status) {
     case KStatus::kBlocked:
-      trace.Record(clock.now(), TraceKind::kBlock, t->id(), t->op_sys,
-                   static_cast<uint32_t>(t->block_kind));
+      if constexpr (Instrumented) {
+        trace.Record(clock.now(), TraceKind::kBlock, t->id(), t->op_sys,
+                     static_cast<uint32_t>(t->block_kind));
+      }
       if (cfg.model == ExecModel::kInterrupt) {
         // Unwind the per-CPU stack: RAII in the frame releases any kernel
         // state; the committed registers are the continuation.
@@ -311,7 +383,9 @@ void Kernel::HandleOpOutcome(Thread* t) {
       break;
     case KStatus::kPreempted:
       ++stats.kernel_preemptions;
-      trace.Record(clock.now(), TraceKind::kPreempt, t->id(), t->op_sys);
+      if constexpr (Instrumented) {
+        trace.Record(clock.now(), TraceKind::kPreempt, t->id(), t->op_sys);
+      }
       if (cfg.model == ExecModel::kInterrupt) {
         SetFrameAccounting(this, t);
         t->op.Reset();
@@ -332,8 +406,19 @@ void Kernel::HandleOpOutcome(Thread* t) {
 }
 
 void Kernel::HandleUserFault(Thread* t, uint32_t addr, bool is_write) {
+  if (InstrumentationLive()) {
+    HandleUserFaultT<true>(t, addr, is_write);
+  } else {
+    HandleUserFaultT<false>(t, addr, is_write);
+  }
+}
+
+template <bool Instrumented>
+void Kernel::HandleUserFaultT(Thread* t, uint32_t addr, bool is_write) {
   ++stats.user_faults;
-  finj.Note(FaultHook::kPageFault);
+  if constexpr (Instrumented) {
+    finj.Note(FaultHook::kPageFault);
+  }
   Charge(costs.fault_enter);
   ChargeFpLocks(2);  // pmap + mapping-hierarchy locks
   const Time t0 = clock.now();
@@ -348,7 +433,9 @@ void Kernel::HandleUserFault(Thread* t, uint32_t addr, bool is_write) {
     Charge(cost);
     ++stats.soft_faults;
     t->oom_retries = 0;
-    trace.Record(clock.now(), TraceKind::kSoftFault, t->id(), addr, is_write);
+    if constexpr (Instrumented) {
+      trace.Record(clock.now(), TraceKind::kSoftFault, t->id(), addr, is_write);
+    }
     stats.remedy_soft_ns += clock.now() - t0;
     return;  // PC is still at the faulting instruction: it simply retries
   }
@@ -369,7 +456,9 @@ void Kernel::HandleUserFault(Thread* t, uint32_t addr, bool is_write) {
     return;
   }
   ++stats.hard_faults;
-  trace.Record(clock.now(), TraceKind::kHardFault, t->id(), addr, is_write);
+  if constexpr (Instrumented) {
+    trace.Record(clock.now(), TraceKind::kHardFault, t->id(), addr, is_write);
+  }
   Charge(costs.fault_msg_build);
   KernelMsg msg;
   msg.words[kFaultMsgKind] = kFaultKindPage;

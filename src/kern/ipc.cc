@@ -6,6 +6,7 @@
 
 #include "src/kern/kernel.h"
 #include "src/kern/space.h"
+#include "src/kern/syscall_table.h"
 
 namespace fluke {
 
@@ -1003,6 +1004,181 @@ KTask SysIpcServerDisconnect(SysCtx& ctx) {
   IpcDisconnect(k, t);
   k.Finish(t, kFlukeOk);
   co_return KStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Direct-handoff fast path for the six reliable-IPC send entrypoints.
+//
+// When the receiver is already blocked in its receive stage -- the steady
+// state of an RPC round trip -- the whole send collapses to: copy the
+// message, complete the blocked peer, and either finish or block in the
+// receive stage of a *SendOverReceive successor. No coroutine frames are
+// created; their sizes are probed once and charged through AccountFrame* so
+// Table 7 stays bit-identical. Every virtual-time charge below is a line-
+// for-line transcription of the path SysIpcEngine/DoSendPhase/TransferData/
+// DoReceivePhase would take under the same gates, so the schedule digest,
+// stats and final state are unchanged (tests/fastpath_equivalence_test.cc).
+//
+// Gates (checked before ANY mutation; declining falls back to the engine):
+//  * not PreemptMode::kFull -- FP charges lock costs and its work quanta may
+//    suspend mid-transfer;
+//  * transfer shorter than one chunk AND one preemption interval, so the
+//    slow path's chunk loop would run without preemption-point charges;
+//  * whole message fits the receiver's buffer (sender's stage completes,
+//    never blocks mid-message);
+//  * both buffers word-aligned and fully translated with sufficient rights
+//    (the slow path's memcpy route; translation itself only touches the
+//    TLB, which is host-side state).
+// ---------------------------------------------------------------------------
+
+bool FastIpcSend(Kernel& k, Thread* t, const SyscallDef& def) {
+  if (k.cfg.preempt == PreemptMode::kFull) {
+    return false;
+  }
+  const uint32_t sys = def.num;
+  if ((sys == kSysIpcServerAckSend || sys == kSysIpcServerAckSendOverReceive) &&
+      t->exception_victim != nullptr) {
+    return false;  // ack must complete the pending exception reply
+  }
+  if (t->ipc_alerted) {
+    return false;  // a successor receive stage must surface the alert
+  }
+  Thread* peer = t->ipc_peer;
+  if (peer == nullptr || !peer->alive() || !BlockedInIpc(peer) ||
+      IpcStance(peer) != IpcStance_kReceiving || peer->regs.gpr[kRegDI] == 0) {
+    return false;
+  }
+  const uint32_t d = t->regs.gpr[kRegD];
+  if (d > peer->regs.gpr[kRegDI] || d > kChunkWords ||
+      4ull * d > k.cfg.preempt_chunk_bytes) {
+    return false;
+  }
+
+  // Pre-validate the copy: simulate TransferData's chunking (message fits
+  // one chunk's worth of words but may still split on page boundaries) and
+  // require every piece to translate. 2 KiB crosses at most one page
+  // boundary per side, so four chunks always suffice.
+  struct ChunkPlan {
+    uint8_t* sp;
+    uint8_t* dp;
+    uint32_t words;
+  };
+  ChunkPlan plan[4];
+  int nchunks = 0;
+  if (d > 0) {
+    uint32_t src = t->regs.gpr[kRegC];
+    uint32_t dst = peer->regs.gpr[kRegSI];
+    if (((src | dst) & 3u) != 0) {
+      return false;  // misaligned: the word loop's fidelity isn't worth it
+    }
+    uint32_t rem = d;
+    uint32_t di = peer->regs.gpr[kRegDI];
+    while (rem > 0) {
+      uint32_t words = std::min(rem, di);
+      words = std::min(words, kChunkWords);
+      words = std::min(words, WordsToPageEnd(src));
+      words = std::min(words, WordsToPageEnd(dst));
+      if (words == 0 || nchunks == 4) {
+        return false;
+      }
+      const uint32_t bytes = 4 * words;
+      const Span ss =
+          t->space->TranslateSpan(src, kPageSize - (src & kPageMask), kProtRead);
+      if (ss.len < bytes) {
+        return false;
+      }
+      const Span ds =
+          peer->space->TranslateSpan(dst, kPageSize - (dst & kPageMask), kProtWrite);
+      if (ds.len < bytes) {
+        return false;
+      }
+      plan[nchunks++] = ChunkPlan{ss.ptr, ds.ptr, words};
+      src += bytes;
+      dst += bytes;
+      rem -= words;
+      di -= words;
+    }
+  }
+
+  // Frame sizes the slow path would allocate, probed once (host-side; the
+  // probe suppresses accounting).
+  static const size_t f_engine = ProbeFrameSize(SysIpcEngine);
+  static const size_t f_send = ProbeFrameSize(DoSendPhase);
+  static const size_t f_recv = ProbeFrameSize(DoReceivePhase);
+  static const size_t f_transfer = [] {
+    FrameProbeScope probe;
+    SysCtx dummy;
+    { KTask task = TransferData(dummy, nullptr, nullptr); }  // never resumed
+    return probe.bytes();
+  }();
+
+  // --- Committed: from here on, replicate the slow path exactly. ---
+  t->op_sys = sys;
+  t->op_aux = def.aux;
+  k.AccountFrameAlloc(t, f_engine);   // t->op = SysIpcEngine(ctx)
+  k.Charge(k.costs.short_body);       // engine prologue (KLockGuard free !FP)
+  k.AccountFrameAlloc(t, f_send);     // co_await DoSendPhase(ctx)
+  if (d == 0) {
+    // Zero-length send: pure message boundary for the blocked receiver.
+    k.CompleteBlockedOp(peer, kFlukeOk);
+  } else {
+    k.AccountFrameAlloc(t, f_transfer);  // co_await TransferData(ctx, t, peer)
+    for (int c = 0; c < nchunks; ++c) {
+      std::memcpy(plan[c].dp, plan[c].sp, 4 * plan[c].words);
+      k.Charge(k.costs.ipc_chunk_setup + 2ull * plan[c].words * k.costs.ipc_per_word);
+      t->regs.gpr[kRegC] += 4 * plan[c].words;
+      t->regs.gpr[kRegD] -= plan[c].words;
+      peer->regs.gpr[kRegSI] += 4 * plan[c].words;
+      peer->regs.gpr[kRegDI] -= plan[c].words;
+    }
+    // Final commit (D == 0): SettleBlockedPeerAtCommit completes the blocked
+    // receiver at the message boundary.
+    k.CompleteBlockedOp(peer, kFlukeOk);
+    k.AccountFrameFree(t, f_transfer);
+  }
+  k.AccountFrameFree(t, f_send);  // DoSendPhase co_returned kOk
+
+  bool disconnect = false;
+  const uint32_t succ = SendSuccessor(sys, &disconnect);  // never disconnects here
+  (void)disconnect;
+  if (succ == 0) {
+    k.Charge(k.costs.ipc_finish);
+    k.Finish(t, kFlukeOk);
+    k.AccountFrameFree(t, f_engine);  // HandleOpOutcome: op.Reset()
+  } else {
+    t->regs.gpr[kRegA] = succ;        // commit the stage transition
+    k.AccountFrameAlloc(t, f_recv);   // co_await DoReceivePhase(ctx)
+    if (t->regs.gpr[kRegDI] == 0) {
+      // Degenerate receive: zero-length buffer completes immediately.
+      k.AccountFrameFree(t, f_recv);
+      k.Charge(k.costs.ipc_finish);
+      k.Finish(t, kFlukeOk);
+      k.AccountFrameFree(t, f_engine);
+    } else {
+      // The peer (just completed) can't feed us: block at the committed
+      // restart point, exactly like `co_await Block(ctx, nullptr)`.
+      t->block_kind = BlockKind::kIpcWait;
+      k.Charge(k.costs.wait_enqueue);
+      k.CommitFastBlock(t);
+      if (k.cfg.model == ExecModel::kInterrupt) {
+        // op.Reset() destruction order: child frame first, then engine.
+        k.AccountFrameFree(t, f_recv);
+        k.AccountFrameFree(t, f_engine);
+      }
+      ++k.stats.ipc_fast_handoffs;
+      ++k.stats.syscall_fast_entries;
+      return true;
+    }
+  }
+  // Completed without blocking: the dispatcher's syscall-exit charge.
+  uint64_t exit = k.costs.syscall_exit;
+  if (k.cfg.model == ExecModel::kInterrupt) {
+    exit += k.costs.interrupt_exit_extra;
+  }
+  k.Charge(exit);
+  ++k.stats.ipc_fast_handoffs;
+  ++k.stats.syscall_fast_entries;
+  return true;
 }
 
 }  // namespace fluke

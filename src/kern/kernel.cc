@@ -7,6 +7,7 @@
 
 #include "src/base/log.h"
 #include "src/kern/ipc.h"
+#include "src/kern/syscall_table.h"
 
 namespace fluke {
 
@@ -21,6 +22,7 @@ Kernel::Kernel(const KernelConfig& config, ProgramRegistry* program_registry)
   interp_opts_.block_charges = &stats.interp_block_charges;
   interp_opts_.predecodes = &stats.interp_predecodes;
   interp_opts_.instructions = &stats.user_instructions;
+  syscalls_by_num_ = SyscallsByNum();
   finj.Configure(cfg.fault_plan, &stats);
   if (cfg.fault_plan.enabled) {
     // Frame-allocation veto; left uninstalled otherwise so the disabled
@@ -215,9 +217,22 @@ void Kernel::CancelOp(Thread* t) {
   }
   UncountBlockedBytes(t);
   if (t->op.valid()) {
+    // `t` is usually NOT the running thread here (peer completion, external
+    // cancellation): attribute the frame destruction to `t`, then restore
+    // the running handler's attribution so its own frame events that follow
+    // this call are not charged to the cancelled thread.
+    Kernel* saved_k = nullptr;
+    Thread* saved_t = nullptr;
+    GetFrameAccounting(&saved_k, &saved_t);
     SetFrameAccounting(this, t);
     t->op.Reset();
+    SetFrameAccounting(saved_k, saved_t);
+  } else if (t->frameless_block) {
+    // Fast-path bare block: no real frame, but the synthetic kstack bytes
+    // are live (Table 7); release them exactly as op.Reset() would have.
+    AccountFrameFree(t, t->kstack_bytes);
   }
+  t->frameless_block = false;
   t->resume_point = {};
   t->block_kind = BlockKind::kNone;
   t->restart_pending = true;
@@ -535,13 +550,39 @@ void Kernel::DestroyObject(KernelObject* obj) {
 void Kernel::CancelOpQueuesOnly(Thread* t, bool counts_as_restart) {
   UncountBlockedBytes(t);
   if (t->op.valid()) {
+    // See CancelOp: restore the running handler's attribution afterwards.
+    Kernel* saved_k = nullptr;
+    Thread* saved_t = nullptr;
+    GetFrameAccounting(&saved_k, &saved_t);
     SetFrameAccounting(this, t);
     t->op.Reset();
+    SetFrameAccounting(saved_k, saved_t);
+  } else if (t->frameless_block) {
+    // Fast-path bare block (see CancelOp): release the synthetic bytes.
+    AccountFrameFree(t, t->kstack_bytes);
   }
+  t->frameless_block = false;
   t->resume_point = {};
   t->block_kind = BlockKind::kNone;
   if (counts_as_restart) {
     t->restart_pending = true;
+  }
+}
+
+void Kernel::CommitFastBlock(Thread* t) {
+  // Mirror of HandleOpOutcome's kBlocked arm for a fast-path bare block.
+  // The caller (ipc.cc) has already charged wait_enqueue and set
+  // block_kind; in the interrupt model it also frees the synthetic frame
+  // bytes itself in op.Reset()'s destruction order.
+  t->op_status = KStatus::kBlocked;
+  t->run_state = ThreadRun::kBlocked;
+  if (cfg.model == ExecModel::kProcess) {
+    blocked_frame_bytes_ += t->kstack_bytes;
+    t->blocked_bytes_counted = true;
+    if (blocked_frame_bytes_ > stats.blocked_frame_bytes_peak) {
+      stats.blocked_frame_bytes_peak = blocked_frame_bytes_;
+    }
+    t->frameless_block = true;
   }
 }
 

@@ -36,6 +36,8 @@
 
 namespace fluke {
 
+struct SyscallDef;
+
 struct Cpu {
   int id = 0;
   Thread* current = nullptr;
@@ -268,9 +270,37 @@ class Kernel {
   void DispatchIrqs();
   void UncountBlockedBytes(Thread* t);
 
+  // True while any hot-path instrumentation must fire (an armed fault
+  // injector or an enabled trace buffer). Run() checks this once and
+  // selects the Instrumented=false dispatch loop otherwise, whose compiled
+  // body contains no hook code at all -- the zero-cost-when-disarmed rule
+  // (DESIGN.md). The fast-path handlers are likewise only consulted on the
+  // uninstrumented loop, so arming a FaultPlan forces the slow path.
+  bool InstrumentationLive() const { return finj.armed() || trace.enabled(); }
+
+  // Applies the execution model to a fast-path bare block (ipc.cc): the
+  // thread blocks with synthetically accounted kstack bytes and no retained
+  // frame. Mirrors HandleOpOutcome's kBlocked arm bit-for-bit.
+  void CommitFastBlock(Thread* t);
+
   uint64_t NextObjId() { return next_obj_id_++; }
 
  private:
+  // Templated hot-path twins of the dispatcher entrypoints above
+  // (dispatch.cc). The public names dispatch on InstrumentationLive() so
+  // white-box tests keep their behavior; Run() hoists the check out of the
+  // loop entirely.
+  template <bool Instrumented>
+  void RunLoop(Time until);
+  template <bool Instrumented>
+  void RunThreadT(Thread* t, Time horizon);
+  template <bool Instrumented>
+  void EnterSyscallT(Thread* t);
+  template <bool Instrumented>
+  void HandleOpOutcomeT(Thread* t);
+  template <bool Instrumented>
+  void HandleUserFaultT(Thread* t, uint32_t addr, bool is_write);
+
   void DetachFromIpc(Thread* t);
 
   static constexpr int kNumPrio = 8;
@@ -282,6 +312,10 @@ class Kernel {
   // flag and the stats-counter pointers are fixed for the kernel's lifetime,
   // so RunThread doesn't reassemble them on every timeslice.
   InterpOptions interp_opts_;
+  // Flat by-number syscall dispatch table (syscall_table.cc), cached at
+  // construction so EnterSyscall indexes it with no function call or lazy
+  // initialization on the hot path.
+  const SyscallDef* const* syscalls_by_num_ = nullptr;
   std::vector<Cpu> cpus_;
   int active_cpu_ = 0;
 

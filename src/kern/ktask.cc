@@ -18,6 +18,7 @@ namespace fluke {
 namespace {
 Kernel* g_acct_kernel = nullptr;
 Thread* g_acct_thread = nullptr;
+size_t* g_frame_probe = nullptr;  // live FrameProbeScope target, or null
 }  // namespace
 
 void SetFrameAccounting(Kernel* k, Thread* t) {
@@ -25,7 +26,39 @@ void SetFrameAccounting(Kernel* k, Thread* t) {
   g_acct_thread = t;
 }
 
+void GetFrameAccounting(Kernel** k, Thread** t) {
+  *k = g_acct_kernel;
+  *t = g_acct_thread;
+}
+
+FrameProbeScope::FrameProbeScope()
+    : saved_kernel_(g_acct_kernel), saved_thread_(g_acct_thread), saved_probe_(g_frame_probe) {
+  g_acct_kernel = nullptr;  // a probe allocation must never hit Table 7
+  g_acct_thread = nullptr;
+  g_frame_probe = &bytes_;
+}
+
+FrameProbeScope::~FrameProbeScope() {
+  g_acct_kernel = saved_kernel_;
+  g_acct_thread = saved_thread_;
+  g_frame_probe = saved_probe_;
+}
+
+size_t ProbeFrameSize(KTask (*fn)(SysCtx&)) {
+  FrameProbeScope probe;
+  SysCtx dummy;
+  {
+    // initial_suspend is suspend_always: this allocates the frame without
+    // running the body, and the temporary's destructor frees it.
+    KTask t = fn(dummy);
+  }
+  return probe.bytes();
+}
+
 void* KTask::promise_type::operator new(std::size_t n) {
+  if (g_frame_probe != nullptr) {
+    *g_frame_probe = n;
+  }
   if (g_acct_kernel != nullptr) {
     g_acct_kernel->AccountFrameAlloc(g_acct_thread, n);
   }

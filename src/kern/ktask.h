@@ -158,6 +158,38 @@ struct WorkAwaiter {
 // attributed. Called by the dispatcher around spawn/resume/destroy.
 void SetFrameAccounting(Kernel* k, Thread* t);
 
+// Reads the current attribution pair, so code that destroys ANOTHER
+// thread's frames mid-dispatch (peer completion/cancellation) can restore
+// the running thread's attribution afterwards instead of leaving frame
+// events of the still-running handler charged to the completed peer.
+void GetFrameAccounting(Kernel** k, Thread** t);
+
+// Frame-size probing for the fast-path dispatch (dispatch.cc/ipc.cc): the
+// bytes a handler's coroutine frame would occupy, discovered by creating
+// the initially-suspended frame once (the body never runs) and destroying
+// it. While a scope is live, frame accounting is suppressed and every
+// promise allocation records its size into the scope instead, so probing
+// never perturbs Table 7. Fast handlers charge the probed sizes through
+// AccountFrameAlloc/Free synthetically, keeping frame stats bit-identical
+// to the slow path without paying for real allocations.
+class FrameProbeScope {
+ public:
+  FrameProbeScope();
+  ~FrameProbeScope();
+  FrameProbeScope(const FrameProbeScope&) = delete;
+  FrameProbeScope& operator=(const FrameProbeScope&) = delete;
+  size_t bytes() const { return bytes_; }
+
+ private:
+  size_t bytes_ = 0;
+  Kernel* saved_kernel_;
+  Thread* saved_thread_;
+  size_t* saved_probe_;
+};
+
+// Probes the frame size of a plain SysCtx handler (see FrameProbeScope).
+size_t ProbeFrameSize(KTask (*fn)(SysCtx&));
+
 // An explicit preemption point (partial-preemption configurations). The
 // handler must have committed restart state: in the interrupt model the
 // frame is destroyed and the thread restarts from its registers.

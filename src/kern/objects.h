@@ -145,6 +145,10 @@ struct Thread final : public KernelObject {
   uint64_t kstack_bytes = 0;  // live coroutine-frame bytes
   uint64_t kstack_bytes_peak = 0;
   bool blocked_bytes_counted = false;
+  // Process-model fast-path block (ipc.cc): the thread is blocked with
+  // kstack_bytes accounted synthetically but no real retained frame, so
+  // cancellation must release the bytes itself instead of via op.Reset().
+  bool frameless_block = false;
 
   bool HasRetainedFrame() const { return op.valid(); }
 };

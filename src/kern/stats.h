@@ -85,6 +85,15 @@ struct KernelStats {
   // and TLB-disabled runs.
   uint64_t ipc_page_lends = 0;
 
+  // Fast-path dispatch accounting (src/kern/dispatch.cc). Like the tlb_*
+  // and interp_* counters these are host-side observability only, and are
+  // the only counters (with those) allowed to differ between fast_path
+  // on/off runs of the same workload -- every semantic counter above, and
+  // all virtual-time results, must be bit-identical (tested by
+  // tests/fastpath_equivalence_test.cc).
+  uint64_t syscall_fast_entries = 0;  // syscalls completed by a fast handler
+  uint64_t ipc_fast_handoffs = 0;     // direct-handoff sends to a blocked receiver
+
   // Rollback accounting (Table 3): virtual time of work discarded and
   // redone because an operation rolled back to its last commit point, and
   // virtual time spent remedying faults.

@@ -143,6 +143,27 @@ std::vector<SyscallDef> BuildTable() {
   add(kSysIpcReplyWaitReceive, SysCat::kMultiStage, SysIpcEngine);
   add(kSysIpcExceptionSend, SysCat::kMultiStage, SysIpcEngine);
 
+  // Fast-path wiring (dispatch.cc consults `fast` only when instrumentation
+  // is disarmed): every trivial syscall completes through FastTrivial; the
+  // six reliable-IPC send entrypoints may take the direct-handoff path.
+  for (auto& d : defs) {
+    if (d.cat == SysCat::kTrivial) {
+      d.fast = FastTrivial;
+    }
+    switch (d.num) {
+      case kSysIpcClientSend:
+      case kSysIpcClientSendOverReceive:
+      case kSysIpcServerSend:
+      case kSysIpcServerSendOverReceive:
+      case kSysIpcServerAckSend:
+      case kSysIpcServerAckSendOverReceive:
+        d.fast = FastIpcSend;
+        break;
+      default:
+        break;
+    }
+  }
+
   return defs;
 }
 
@@ -153,7 +174,7 @@ const std::vector<SyscallDef>& AllSyscalls() {
   return kTable;
 }
 
-const SyscallDef* GetSyscall(uint32_t num) {
+const SyscallDef* const* SyscallsByNum() {
   static const std::vector<const SyscallDef*> kByNum = [] {
     std::vector<const SyscallDef*> v(kSysCount, nullptr);
     for (const auto& d : AllSyscalls()) {
@@ -161,10 +182,14 @@ const SyscallDef* GetSyscall(uint32_t num) {
     }
     return v;
   }();
-  if (num >= kByNum.size()) {
+  return kByNum.data();
+}
+
+const SyscallDef* GetSyscall(uint32_t num) {
+  if (num >= kSysCount) {
     return nullptr;
   }
-  return kByNum[num];
+  return SyscallsByNum()[num];
 }
 
 }  // namespace fluke

@@ -16,6 +16,8 @@
 
 namespace fluke {
 
+class Kernel;
+
 struct SyscallDef {
   uint32_t num = 0;
   const char* name = "";
@@ -27,13 +29,28 @@ struct SyscallDef {
   // 54 common object operations).
   uint32_t aux = 0;
   KTask (*handler)(SysCtx&) = nullptr;
+  // Optional fast-path handler, consulted only when instrumentation is
+  // disarmed (dispatch.cc). Either performs the complete syscall -- same
+  // registers, charges and frame accounting as `handler`, bit-identical
+  // final state -- and returns true, or mutates nothing and returns false
+  // (the dispatcher then runs `handler` normally).
+  bool (*fast)(Kernel& k, Thread* t, const SyscallDef& def) = nullptr;
 };
 
 // Returns the definition for `num`, or null for an invalid entrypoint.
 const SyscallDef* GetSyscall(uint32_t num);
 
+// Flat by-number dispatch table of kSysCount entries (null holes for
+// unassigned numbers): the hot path indexes this directly.
+const SyscallDef* const* SyscallsByNum();
+
 // The complete registry, ordered by entrypoint number.
 const std::vector<SyscallDef>& AllSyscalls();
+
+// Fast-path handlers (SyscallDef::fast): trivial syscalls (syscalls.cc) and
+// the reliable-IPC direct-handoff send (ipc.cc).
+bool FastTrivial(Kernel& k, Thread* t, const SyscallDef& def);
+bool FastIpcSend(Kernel& k, Thread* t, const SyscallDef& def);
 
 }  // namespace fluke
 

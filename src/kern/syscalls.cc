@@ -127,6 +127,63 @@ KTask SysRandomGet(SysCtx& ctx) {
   co_return KStatus::kOk;
 }
 
+// Fast-path twin of the eight trivial handlers above: performs the same
+// register effects, the same charges (trivial_body here; the dispatcher
+// already charged syscall_entry) and the same frame accounting -- the frame
+// the slow path would have allocated is probed once per entrypoint and
+// accounted synthetically so Table 7 stays bit-identical -- without creating
+// a coroutine. Safe in every configuration: trivial handlers never block,
+// never fault and take no locks.
+bool FastTrivial(Kernel& k, Thread* t, const SyscallDef& def) {
+  static size_t frame_bytes[kSysCount] = {};
+  size_t& fsz = frame_bytes[def.num];
+  if (fsz == 0) {
+    fsz = ProbeFrameSize(def.handler);
+  }
+  t->op_sys = def.num;
+  t->op_aux = def.aux;
+  k.AccountFrameAlloc(t, fsz);
+  k.Charge(k.costs.trivial_body);
+  switch (def.num) {
+    case kSysNull:
+      k.Finish(t, kFlukeOk);
+      break;
+    case kSysThreadSelf:
+      k.FinishWith(t, kFlukeOk, t->self_handle);
+      break;
+    case kSysSpaceSelf:
+      k.FinishWith(t, kFlukeOk, t->space->self_handle);
+      break;
+    case kSysClockGet:
+      k.FinishWith(t, kFlukeOk, static_cast<uint32_t>(k.clock.now() / kNsPerUs));
+      break;
+    case kSysCpuId:
+      k.FinishWith(t, kFlukeOk, static_cast<uint32_t>(k.cur_cpu().id));
+      break;
+    case kSysPageSize:
+      k.FinishWith(t, kFlukeOk, kPageSize);
+      break;
+    case kSysApiVersion:
+      k.FinishWith(t, kFlukeOk, 19990222);
+      break;
+    case kSysRandomGet:
+      k.FinishWith(t, kFlukeOk, k.rng.Next32());
+      break;
+    default:
+      // Not a trivial entrypoint; decline before any state was touched.
+      k.AccountFrameFree(t, fsz);
+      return false;
+  }
+  k.AccountFrameFree(t, fsz);
+  uint64_t exit = k.costs.syscall_exit;
+  if (k.cfg.model == ExecModel::kInterrupt) {
+    exit += k.costs.interrupt_exit_extra;
+  }
+  k.Charge(exit);
+  ++k.stats.syscall_fast_entries;
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Common object operations (54 short syscalls; the object type arrives via
 // the table's aux field in op_aux).

@@ -3,19 +3,42 @@
 
 Usage:
     tools/bench_report.py [--bench PATH] [--out PATH] [--min-time SECS]
+                          [--baseline BIN] [--label NAME]
+    tools/bench_report.py --check [REPORT.json] [--max-regress PCT]
 
 Runs bench/microbench (built by the normal cmake build) with JSON output and
 writes a compact report: one entry per benchmark with the items/sec or
 bytes/sec rate google-benchmark computed, so successive runs can be compared
 with a diff. Host-time numbers only -- virtual-time results live in the
 table benches, not here.
+
+Each run also appends a labelled snapshot of the rates to the report's
+`history` array (carried forward from the existing file), so the checked-in
+json accumulates one line per PR instead of losing the trend on overwrite.
+
+`--check` compares a fresh run against the checked-in report and exits
+nonzero only if a paper-relevant benchmark regressed by more than
+--max-regress percent (default 25): a coarse gate that catches real control-
+plane regressions without flaking on shared-runner noise.
 """
 
 import argparse
+import datetime
 import json
 import os
 import subprocess
 import sys
+
+# Benchmarks that stand in for paper-relevant hot paths; the CI perf-smoke
+# gate only fails on these. Matched by prefix so Arg variants are covered.
+PAPER_BENCHES = (
+    "BM_NullSyscall",
+    "BM_RpcRoundTrip",
+    "BM_BulkTransferMB",
+    "BM_UserMemLoop",
+    "BM_InterpAluLoop",
+    "BM_HardFaultRoundTrip",
+)
 
 
 def find_default_bench(repo_root):
@@ -58,6 +81,62 @@ def distill(raw):
     return out
 
 
+def rate_of(entry):
+    return entry.get("items_per_second") or entry.get("bytes_per_second")
+
+
+def default_label(repo_root):
+    try:
+        proc = subprocess.run(
+            ["git", "-C", repo_root, "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True,
+        )
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unlabelled"
+
+
+def load_existing(path):
+    if not os.path.isfile(path):
+        return {}
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return {}
+
+
+def check(report_path, bench, min_time, max_regress):
+    old = load_existing(report_path)
+    if not old.get("benchmarks"):
+        raise SystemExit(f"no checked-in report at {report_path}")
+    old_rates = {e["name"]: rate_of(e) for e in old["benchmarks"]}
+    new = distill(run_bench(bench, min_time))
+    failures = []
+    for e in new:
+        name = e["name"]
+        if not name.startswith(PAPER_BENCHES):
+            continue
+        old_rate = old_rates.get(name)
+        new_rate = rate_of(e)
+        if not old_rate or not new_rate:
+            continue
+        change = (new_rate / old_rate - 1.0) * 100.0
+        flag = ""
+        if change < -max_regress:
+            failures.append(name)
+            flag = "  <-- REGRESSION"
+        print(f"{name:40s} {change:+7.1f}%{flag}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{max_regress}% vs {report_path}: {', '.join(failures)}")
+        return 1
+    print(f"\nOK: no paper-relevant benchmark regressed more than {max_regress}%")
+    return 0
+
+
 def main():
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     ap = argparse.ArgumentParser(description=__doc__)
@@ -75,6 +154,26 @@ def main():
         "its results are recorded under 'baseline' with per-benchmark "
         "speedup ratios",
     )
+    ap.add_argument(
+        "--label",
+        default=None,
+        help="snapshot label for the history array (default: git short hash)",
+    )
+    ap.add_argument(
+        "--check",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="REPORT",
+        help="compare a fresh run against the checked-in report (default "
+        "--out) and fail on paper-relevant regressions; writes nothing",
+    )
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=25.0,
+        help="--check failure threshold, percent (default 25)",
+    )
     args = ap.parse_args()
 
     bench = args.bench or find_default_bench(repo_root)
@@ -84,7 +183,12 @@ def main():
             "  cmake -B build -S . && cmake --build build -j"
         )
 
+    if args.check is not None:
+        report_path = args.check or args.out
+        raise SystemExit(check(report_path, bench, args.min_time, args.max_regress))
+
     raw = run_bench(bench, args.min_time)
+    existing = load_existing(args.out)
     report = {
         "context": {
             k: raw.get("context", {}).get(k)
@@ -98,18 +202,33 @@ def main():
         report["baseline"] = base
         rates = {}
         for e in base:
-            rates[e["name"]] = e.get("items_per_second") or e.get("bytes_per_second")
+            rates[e["name"]] = rate_of(e)
         speedups = {}
         for e in report["benchmarks"]:
-            new_rate = e.get("items_per_second") or e.get("bytes_per_second")
+            new_rate = rate_of(e)
             old_rate = rates.get(e["name"])
             if new_rate and old_rate:
                 speedups[e["name"]] = round(new_rate / old_rate, 3)
         report["speedup_vs_baseline"] = speedups
+
+    # Accumulate the trend: carry the existing history forward and append
+    # this run as a labelled snapshot of just the headline rates.
+    history = list(existing.get("history", []))
+    snapshot = {
+        "label": args.label or default_label(repo_root),
+        "date": datetime.datetime.now().isoformat(timespec="seconds"),
+        "rates": {e["name"]: rate_of(e) for e in report["benchmarks"]},
+    }
+    if "speedup_vs_baseline" in report:
+        snapshot["speedup_vs_baseline"] = report["speedup_vs_baseline"]
+    history.append(snapshot)
+    report["history"] = history
+
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
-    print(f"wrote {args.out} ({len(report['benchmarks'])} benchmarks)")
+    print(f"wrote {args.out} ({len(report['benchmarks'])} benchmarks, "
+          f"{len(history)} history snapshots)")
 
 
 if __name__ == "__main__":

@@ -198,13 +198,16 @@ int Main(int argc, char** argv) {
     const KernelStats& s = kernel.stats;
     std::fprintf(stderr,
                  "[%s] virtual time %.3f ms | %llu syscalls (%llu restarts) | "
-                 "%llu context switches | faults: %llu soft, %llu hard\n",
+                 "%llu context switches | faults: %llu soft, %llu hard | "
+                 "fast path: %llu entries, %llu ipc handoffs\n",
                  cfg.Label().c_str(), static_cast<double>(kernel.clock.now()) / kNsPerMs,
                  static_cast<unsigned long long>(s.syscalls),
                  static_cast<unsigned long long>(s.syscall_restarts),
                  static_cast<unsigned long long>(s.context_switches),
                  static_cast<unsigned long long>(s.soft_faults),
-                 static_cast<unsigned long long>(s.hard_faults));
+                 static_cast<unsigned long long>(s.hard_faults),
+                 static_cast<unsigned long long>(s.syscall_fast_entries),
+                 static_cast<unsigned long long>(s.ipc_fast_handoffs));
   }
   if (trace) {
     std::fputs(kernel.trace.Dump().c_str(), stderr);
