@@ -77,6 +77,52 @@ void BM_RpcRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_RpcRoundTrip);
 
+// The RPC round trip with the tracer off (Arg 0) vs on (Arg 1). Arg 0 must
+// track BM_RpcRoundTrip exactly -- the disarmed dispatcher never reaches a
+// trace hook, so observability is free until enabled. Arg 1 measures the
+// real cost of span + flow capture on the instrumented slow path.
+void BM_TraceOverhead(benchmark::State& state) {
+  KernelConfig cfg;
+  Kernel k(cfg);
+  if (state.range(0) != 0) {
+    k.trace.SetCapacity(size_t{1} << 16);
+    k.trace.Enable();
+  }
+  auto cs = k.CreateSpace("cl");
+  auto ss = k.CreateSpace("sv");
+  cs->SetAnonRange(0x10000, 1 << 20);
+  ss->SetAnonRange(0x10000, 1 << 20);
+  auto port = k.NewPort(1);
+  const Handle sp = k.Install(ss.get(), port);
+  const Handle cr = k.Install(cs.get(), k.NewReference(port));
+
+  Assembler ca("client");
+  EmitSys(ca, kSysIpcClientConnect, cr);
+  const auto loop = ca.NewLabel();
+  ca.Bind(loop);
+  EmitSys(ca, kSysIpcClientSendOverReceive, kUlibKeep, 0x10000, 1, 0x10100, 1);
+  ca.Jmp(loop);
+  cs->program = ca.Build();
+  Assembler sa("server");
+  EmitSys(sa, kSysIpcWaitReceive, sp, 0, 0, 0x10000, 1);
+  const auto sloop = sa.NewLabel();
+  sa.Bind(sloop);
+  EmitSys(sa, kSysIpcServerAckSendOverReceive, 0, 0x10100, 1, 0x10000, 1);
+  sa.Jmp(sloop);
+  ss->program = sa.Build();
+  k.StartThread(k.CreateThread(ss.get()));
+  k.StartThread(k.CreateThread(cs.get()));
+
+  uint64_t switches = 0;
+  for (auto _ : state) {
+    const uint64_t before = k.stats.context_switches;
+    k.Run(k.clock.now() + 1 * kNsPerMs);
+    switches += k.stats.context_switches - before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(switches / 2));
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1);
+
 void BM_BulkTransferMB(benchmark::State& state) {
   KernelConfig cfg;
   Kernel k(cfg);

@@ -48,11 +48,24 @@ void Kernel::RunLoop(Time until) {
         return;  // nothing can ever happen again
       }
       const Time next = events.NextDeadline();
+      const Time target = next >= until ? until : next;
+      if constexpr (Instrumented) {
+        // Idle span on the synthetic tid 0 track: the profiler partitions
+        // the whole run's virtual time, so time with no runnable thread is
+        // attributed explicitly rather than to the last-run thread.
+        if (target > clock.now()) {
+          const uint64_t idle = trace.BeginSpan(clock.now(), TraceKind::kIdle, 0);
+          clock.AdvanceTo(target);
+          trace.EndSpan(clock.now(), TraceKind::kIdle, idle, 0);
+        } else {
+          clock.AdvanceTo(target);
+        }
+      } else {
+        clock.AdvanceTo(target);
+      }
       if (next >= until) {
-        clock.AdvanceTo(until);
         return;
       }
-      clock.AdvanceTo(next);
       continue;
     }
     if constexpr (Instrumented) {
@@ -64,12 +77,14 @@ void Kernel::RunLoop(Time until) {
         if (finj.ShouldCrash(boundary)) {
           // Freeze the machine with the picked thread back in its schedule
           // slot; recovery is a checkpoint reload into a fresh kernel.
+          trace.Record(clock.now(), TraceKind::kFaultInject, t->id(), 1);
           runq_[t->priority].PushFront(t);
           crashed_ = true;
           return;
         }
         if (finj.ShouldExtract(boundary)) {
           t = RecreateThreadForAudit(t);
+          trace.Record(clock.now(), TraceKind::kFaultInject, t->id(), 0);
         }
       }
     }
@@ -267,11 +282,24 @@ void Kernel::EnterSyscallT(Thread* t) {
     ++stats.syscall_restarts;
     if constexpr (Instrumented) {
       trace.Record(clock.now(), TraceKind::kSyscallRestart, t->id(), t->regs.gpr[kRegA]);
+      if (t->trace_sys_span == 0) {
+        // The rollback closed the previous epoch's span (CancelOp), so this
+        // re-entry is a fresh restart-epoch span; a block that kept its op
+        // open (interrupt-model wait) continues the original span instead,
+        // with the restart instant above visible inside it.
+        t->trace_sys_span =
+            trace.BeginSpan(clock.now(), TraceKind::kSyscallEnter, t->id(), t->regs.gpr[kRegA], 1);
+        t->trace_sys_t0 = clock.now();
+      }
     }
     t->restart_pending = false;
   } else {
     if constexpr (Instrumented) {
-      trace.Record(clock.now(), TraceKind::kSyscallEnter, t->id(), t->regs.gpr[kRegA]);
+      // The span begin IS the enter event (same kind/fields, phase kBegin).
+      TraceEndSysSpan(t, t->op_sys, 0xFFFFFFFFu);  // defensive: none should be open
+      t->trace_sys_span =
+          trace.BeginSpan(clock.now(), TraceKind::kSyscallEnter, t->id(), t->regs.gpr[kRegA], 0);
+      t->trace_sys_t0 = clock.now();
     }
   }
   uint64_t entry = costs.syscall_entry;
@@ -287,6 +315,9 @@ void Kernel::EnterSyscallT(Thread* t) {
   if (sys >= kPsysBase) {
     HandlePseudoSyscall(t, sys);
     Charge(costs.syscall_exit);
+    if constexpr (Instrumented) {
+      TraceEndSysSpan(t, sys, t->regs.gpr[kRegA]);
+    }
     return;
   }
 
@@ -296,6 +327,9 @@ void Kernel::EnterSyscallT(Thread* t) {
   if (def == nullptr || def->handler == nullptr) {
     Finish(t, kFlukeErrBadArgument);
     Charge(costs.syscall_exit);
+    if constexpr (Instrumented) {
+      TraceEndSysSpan(t, sys, kFlukeErrBadArgument);
+    }
     return;
   }
   if constexpr (!Instrumented) {
@@ -346,8 +380,7 @@ void Kernel::HandleOpOutcomeT(Thread* t) {
   if (t->op.valid() && t->op.done()) {
     // The operation completed (co_return): result registers are final.
     if constexpr (Instrumented) {
-      trace.Record(clock.now(), TraceKind::kSyscallExit, t->id(), t->op_sys,
-                   t->regs.gpr[kRegA]);
+      TraceEndSysSpan(t, t->op_sys, t->regs.gpr[kRegA]);
     }
     SetFrameAccounting(this, t);
     t->op.Reset();
@@ -363,8 +396,11 @@ void Kernel::HandleOpOutcomeT(Thread* t) {
   switch (t->op_status) {
     case KStatus::kBlocked:
       if constexpr (Instrumented) {
-        trace.Record(clock.now(), TraceKind::kBlock, t->id(), t->op_sys,
-                     static_cast<uint32_t>(t->block_kind));
+        // Block->wake span; ended by TraceEndBlockSpan (FinishWake,
+        // CompleteBlockedOp, or the cancellation paths).
+        t->trace_block_span = trace.BeginSpan(clock.now(), TraceKind::kBlock, t->id(), t->op_sys,
+                                              static_cast<uint32_t>(t->block_kind));
+        t->trace_block_t0 = clock.now();
       }
       if (cfg.model == ExecModel::kInterrupt) {
         // Unwind the per-CPU stack: RAII in the frame releases any kernel
@@ -422,6 +458,11 @@ void Kernel::HandleUserFaultT(Thread* t, uint32_t addr, bool is_write) {
   Charge(costs.fault_enter);
   ChargeFpLocks(2);  // pmap + mapping-hierarchy locks
   const Time t0 = clock.now();
+  if constexpr (Instrumented) {
+    TraceEndRemedySpan(t, 1);  // defensive: no remedy span should be open
+    t->trace_remedy_span =
+        trace.BeginSpan(clock.now(), TraceKind::kFaultRemedy, t->id(), addr, is_write);
+  }
 
   SoftFaultResult r = t->space->TryResolveSoft(addr, is_write);
   if (r.resolved) {
@@ -435,6 +476,11 @@ void Kernel::HandleUserFaultT(Thread* t, uint32_t addr, bool is_write) {
     t->oom_retries = 0;
     if constexpr (Instrumented) {
       trace.Record(clock.now(), TraceKind::kSoftFault, t->id(), addr, is_write);
+      if (t->trace_remedy_span != 0) {
+        trace.EndSpan(clock.now(), TraceKind::kFaultRemedy, t->trace_remedy_span, t->id(), addr,
+                      0);  // soft-resolved
+        t->trace_remedy_span = 0;
+      }
     }
     stats.remedy_soft_ns += clock.now() - t0;
     return;  // PC is still at the faulting instruction: it simply retries
@@ -447,6 +493,13 @@ void Kernel::HandleUserFaultT(Thread* t, uint32_t addr, bool is_write) {
     ++t->oom_retries;
     ++stats.oom_backoffs;
     Charge(costs.oom_backoff);
+    if constexpr (Instrumented) {
+      if (t->trace_remedy_span != 0) {
+        trace.EndSpan(clock.now(), TraceKind::kFaultRemedy, t->trace_remedy_span, t->id(), addr,
+                      4);  // oom backoff; the retry opens a fresh span
+        t->trace_remedy_span = 0;
+      }
+    }
     return;
   }
 

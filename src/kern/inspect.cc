@@ -122,4 +122,114 @@ std::string DumpKernel(const Kernel& k) {
   return out + DumpThreads(k) + DumpSpaces(k);
 }
 
+namespace {
+
+std::string HistJson(const LogHistogram& h) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"sum_ns\":%llu,\"max_ns\":%llu,\"avg_ns\":%llu,"
+                "\"p50_ns\":%llu,\"p95_ns\":%llu,\"buckets\":[",
+                static_cast<unsigned long long>(h.count), static_cast<unsigned long long>(h.sum),
+                static_cast<unsigned long long>(h.max), static_cast<unsigned long long>(h.Avg()),
+                static_cast<unsigned long long>(h.Percentile(0.50)),
+                static_cast<unsigned long long>(h.Percentile(0.95)));
+  std::string out(buf);
+  bool first = true;
+  for (int b = 0; b < LogHistogram::kBuckets; ++b) {
+    if (h.buckets[b] == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%s[%d,%llu]", first ? "" : ",", b,
+                  static_cast<unsigned long long>(h.buckets[b]));
+    out += buf;
+    first = false;
+  }
+  return out + "]}";
+}
+
+}  // namespace
+
+std::string StatsJson(const Kernel& k) {
+  const KernelStats& s = k.stats;
+  std::string out = "{\n";
+  char buf[160];
+  auto field = [&](const char* name, uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %llu,\n", name,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+
+  std::snprintf(buf, sizeof(buf), "  \"config\": \"%s\",\n", k.cfg.Label().c_str());
+  out += buf;
+  field("virtual_time_ns", k.clock.now());
+  field("context_switches", s.context_switches);
+  field("syscalls", s.syscalls);
+  field("syscall_restarts", s.syscall_restarts);
+  field("kernel_preemptions", s.kernel_preemptions);
+  field("soft_faults", s.soft_faults);
+  field("hard_faults", s.hard_faults);
+  field("user_faults", s.user_faults);
+  field("region_pages_scanned", s.region_pages_scanned);
+  field("syscall_faults", s.syscall_faults);
+  field("tlb_hits", s.tlb_hits);
+  field("tlb_misses", s.tlb_misses);
+  field("tlb_flushes", s.tlb_flushes);
+  field("interp_block_charges", s.interp_block_charges);
+  field("interp_predecodes", s.interp_predecodes);
+  field("user_instructions", s.user_instructions);
+  field("faults_injected", s.faults_injected);
+  field("extractions_forced", s.extractions_forced);
+  field("restart_audits", s.restart_audits);
+  field("oom_backoffs", s.oom_backoffs);
+  field("panics", s.panics);
+  field("ipc_page_lends", s.ipc_page_lends);
+  field("syscall_fast_entries", s.syscall_fast_entries);
+  field("ipc_fast_handoffs", s.ipc_fast_handoffs);
+  field("rollback_ns", s.rollback_ns);
+  field("remedy_soft_ns", s.remedy_soft_ns);
+  field("remedy_hard_ns", s.remedy_hard_ns);
+  field("frames_allocated", s.frames_allocated);
+  field("frame_bytes_allocated", s.frame_bytes_allocated);
+  field("frame_bytes_live", s.frame_bytes_live);
+  field("frame_bytes_live_peak", s.frame_bytes_live_peak);
+  field("blocked_frame_bytes_peak", s.blocked_frame_bytes_peak);
+  field("probe_runs", s.probe_runs);
+  field("probe_misses", s.probe_misses);
+  field("trace_events_recorded", k.trace.total_recorded());
+  field("trace_events_dropped", k.trace.dropped());
+
+  out += "  \"ipc_faults\": {\n";
+  static const char* kSides[2] = {"client", "server"};
+  static const char* kKinds[2] = {"soft", "hard"};
+  for (int side = 0; side < 2; ++side) {
+    for (int kind = 0; kind < 2; ++kind) {
+      const FaultClassStats& f = s.ipc_faults[side][kind];
+      std::snprintf(buf, sizeof(buf),
+                    "    \"%s_%s\": {\"count\":%llu,\"remedy_ns\":%llu,\"rollback_ns\":%llu}%s\n",
+                    kSides[side], kKinds[kind], static_cast<unsigned long long>(f.count),
+                    static_cast<unsigned long long>(f.remedy_ns),
+                    static_cast<unsigned long long>(f.rollback_ns),
+                    side == 1 && kind == 1 ? "" : ",");
+      out += buf;
+    }
+  }
+  out += "  },\n";
+
+  out += "  \"probe_hist\": " + HistJson(s.probe_hist) + ",\n";
+  out += "  \"block_hist\": " + HistJson(s.block_hist) + ",\n";
+  out += "  \"syscalls_hist\": {";
+  bool first = true;
+  for (uint32_t sys = 0; sys < kSysCount; ++sys) {
+    if (s.sys_time_hist[sys].empty()) {
+      continue;
+    }
+    out += first ? "\n" : ",\n";
+    out += std::string("    \"") + SysName(sys) + "\": " + HistJson(s.sys_time_hist[sys]);
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
 }  // namespace fluke

@@ -23,6 +23,12 @@ std::string DumpSpaces(const Kernel& k);
 // Everything, plus headline statistics.
 std::string DumpKernel(const Kernel& k);
 
+// Machine-readable KernelStats snapshot: every counter plus the latency
+// histograms (probe, block-duration, per-syscall virtual time), as one JSON
+// object. Exposed as `fluke_run --stats-json=FILE` and ingested by
+// tools/bench_report.py.
+std::string StatsJson(const Kernel& k);
+
 }  // namespace fluke
 
 #endif  // SRC_KERN_INSPECT_H_

@@ -178,6 +178,11 @@ KTask TransferData(SysCtx& ctx, Thread* sender, Thread* recver) {
   auto& rreg = recver->regs;
   uint32_t pp_bytes = 0;
   uint32_t buf[kChunkWords];
+  // Hoisted once: Record() checks enabled_ itself, but its arguments
+  // (clock read, thread id) would still be evaluated per chunk, which is
+  // measurable on the bulk-transfer hot loop. Tracing cannot be toggled
+  // mid-transfer -- it only changes between Run() calls.
+  const bool traced = k.trace.enabled();
 
   // Cached page translations for the copy loop. Chunks are 2 KiB but pages
   // are 4 KiB and large transfers walk each page twice, so re-deriving host
@@ -226,6 +231,9 @@ KTask TransferData(SysCtx& ctx, Thread* sender, Thread* recver) {
       // word so progress is guaranteed.
       words = 1;
     }
+    if (traced) {
+      k.trace.Record(k.clock.now(), TraceKind::kIpcChunk, ctx.thread->id(), words);
+    }
 
     // Page-lending path (non-preemptive configs only): when both sides are
     // page-aligned with a full page left, remap the sender's frame into the
@@ -243,6 +251,9 @@ KTask TransferData(SysCtx& ctx, Thread* sender, Thread* recver) {
         rreg.gpr[kRegDI] >= kPageSize / 4 &&
         recver->space->SharePageFrom(*sender->space, src, dst)) {
       ++k.stats.ipc_page_lends;
+      if (traced) {
+        k.trace.Record(k.clock.now(), TraceKind::kIpcPageLend, ctx.thread->id(), src);
+      }
       for (uint32_t c = 0; c < kPageSize / (4 * kChunkWords); ++c) {
         k.Charge(k.costs.ipc_chunk_setup + 2ull * kChunkWords * k.costs.ipc_per_word);
         sreg.gpr[kRegC] += 4 * kChunkWords;
@@ -471,6 +482,7 @@ KTask DoConnect(SysCtx& ctx) {
     if (k.finj.FailConnect()) {
       // Injected connection-resource failure: surfaces to the client as
       // kFlukeErrNoMemory, a clean retryable error.
+      k.trace.Record(k.clock.now(), TraceKind::kFaultInject, t->id(), 2);
       co_return KStatus::kNoMemory;
     }
     Thread* server = port->servers.Dequeue();
@@ -1113,6 +1125,10 @@ bool FastIpcSend(Kernel& k, Thread* t, const SyscallDef& def) {
   }();
 
   // --- Committed: from here on, replicate the slow path exactly. ---
+  // Unreachable while tracing is on (the trace forces the instrumented slow
+  // path), so this Record is always a no-op today; it documents the kind and
+  // keeps the event if the gating rule ever changes.
+  k.trace.Record(k.clock.now(), TraceKind::kIpcFastHandoff, t->id(), d);
   t->op_sys = sys;
   t->op_aux = def.aux;
   k.AccountFrameAlloc(t, f_engine);   // t->op = SysIpcEngine(ctx)

@@ -178,9 +178,75 @@ void Kernel::WakeAll(WaitQueue* q) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Trace-span helpers. All of these are no-ops while tracing is off: the
+// span-id fields are only ever set nonzero by an enabled trace buffer, and
+// the enabled() checks guard the instant fallbacks. Tracing forces the
+// instrumented dispatch loop, so none of this is reachable from the
+// zero-cost disarmed path anyway (see dispatch.cc).
+// ---------------------------------------------------------------------------
+
+void Kernel::TraceFlowTo(Thread* woken) {
+  if (!trace.enabled()) {
+    return;
+  }
+  Thread* from = cur_cpu().current;
+  if (from == nullptr || from == woken) {
+    return;  // device/timer wake: no causing thread to link from
+  }
+  trace.Flow(clock.now(), from->id(), woken->id());
+}
+
+void Kernel::TraceEndSysSpan(Thread* t, uint32_t sys, uint32_t result) {
+  if (t->trace_sys_span != 0) {
+    trace.EndSpan(clock.now(), TraceKind::kSyscallExit, t->trace_sys_span, t->id(), sys, result);
+    if (sys < kSysCount) {
+      stats.sys_time_hist[sys].Add(clock.now() - t->trace_sys_t0);
+    }
+    t->trace_sys_span = 0;
+  } else if (trace.enabled() && result != 0xFFFFFFFFu) {
+    // Tracing came on mid-operation: keep the exit visible as an instant.
+    trace.Record(clock.now(), TraceKind::kSyscallExit, t->id(), sys, result);
+  }
+}
+
+void Kernel::TraceEndBlockSpan(Thread* t, uint32_t how) {
+  if (t->trace_block_span != 0) {
+    trace.EndSpan(clock.now(), TraceKind::kWake, t->trace_block_span, t->id(), t->op_sys, how);
+    if (how == 0) {
+      stats.block_hist.Add(clock.now() - t->trace_block_t0);
+    }
+    t->trace_block_span = 0;
+  } else if (trace.enabled() && how == 0) {
+    trace.Record(clock.now(), TraceKind::kWake, t->id());
+  }
+}
+
+void Kernel::TraceEndRemedySpan(Thread* t, uint32_t how) {
+  if (t->trace_remedy_span != 0) {
+    trace.EndSpan(clock.now(), TraceKind::kFaultRemedy, t->trace_remedy_span, t->id(),
+                  t->fault_addr, how);
+    t->trace_remedy_span = 0;
+  }
+}
+
+void Kernel::CompleteBlockedOp(Thread* t, uint32_t err) {
+  if (trace.enabled()) {
+    TraceFlowTo(t);
+    TraceEndBlockSpan(t, 0);
+    TraceEndSysSpan(t, t->op_sys, err);
+  }
+  CancelOpQueuesOnly(t, /*counts_as_restart=*/false);
+  Finish(t, err);
+  MakeRunnable(t);
+}
+
 // Shared wake bookkeeping (free function so ipc.cc can reuse it).
 void FinishWake(Kernel* k, Thread* t) {
-  k->trace.Record(k->clock.now(), TraceKind::kWake, t->id());
+  if (k->trace.enabled()) {
+    k->TraceFlowTo(t);
+    k->TraceEndBlockSpan(t, 0);
+  }
   t->block_kind = BlockKind::kNone;
   if (k->cfg.model == ExecModel::kInterrupt && !t->op.valid()) {
     // The frame was destroyed at block time; the restart entrypoint in the
@@ -208,6 +274,12 @@ void Kernel::CancelOp(Thread* t) {
     Panic("cancel of a thread on-CPU");
     return;
   }
+  // Rollback closes the open spans innermost-first (block, remedy, then the
+  // syscall lifetime with the "cancelled" sentinel result); a restarted op
+  // opens a fresh restart-epoch span at its next entry.
+  TraceEndBlockSpan(t, 1);
+  TraceEndRemedySpan(t, 1);
+  TraceEndSysSpan(t, t->op_sys, 0xFFFFFFFFu);
   if (t->waiting_on != nullptr) {
     t->waiting_on->Remove(t);
   }
@@ -383,6 +455,9 @@ Thread* Kernel::RecreateThreadForAudit(Thread* t) {
 }
 
 void Kernel::ThreadExit(Thread* t, uint32_t code) {
+  TraceEndBlockSpan(t, 2);
+  TraceEndRemedySpan(t, 5);
+  TraceEndSysSpan(t, t->op_sys, 0xFFFFFFFFu);
   trace.Record(clock.now(), TraceKind::kThreadExit, t->id(), code);
   t->exit_code = code;
   DetachFromIpc(t);
@@ -439,6 +514,9 @@ void Kernel::DetachFromIpc(Thread* t) {
     Thread* v = t->exception_victim;
     t->exception_victim = nullptr;
     if (v->run_state == ThreadRun::kBlocked && v->block_kind == BlockKind::kFaultWait) {
+      TraceEndRemedySpan(v, 3);  // keeper died: remedy failed
+      TraceEndBlockSpan(v, 1);
+      TraceEndSysSpan(v, v->op_sys, kFlukeErrNoPager);
       v->block_kind = BlockKind::kNone;
       Finish(v, kFlukeErrNoPager);
       MakeRunnable(v);
@@ -548,6 +626,11 @@ void Kernel::DestroyObject(KernelObject* obj) {
 // Cancels a thread's retained frame without touching wait queues (the caller
 // already dequeued it).
 void Kernel::CancelOpQueuesOnly(Thread* t, bool counts_as_restart) {
+  // See CancelOp: close any spans still open (no-ops when the caller --
+  // e.g. CompleteBlockedOp -- already closed them with real results).
+  TraceEndBlockSpan(t, 1);
+  TraceEndRemedySpan(t, 1);
+  TraceEndSysSpan(t, t->op_sys, 0xFFFFFFFFu);
   UncountBlockedBytes(t);
   if (t->op.valid()) {
     // See CancelOp: restore the running handler's attribution afterwards.
@@ -623,10 +706,16 @@ void Kernel::CompleteFaultWait(Thread* victim) {
     fc.remedy_ns += remedy;
   }
   victim->fault_count_ipc = false;
+  TraceEndRemedySpan(victim, 2);  // hard-fault remedy: delivery -> reply
   if (victim->fault_from_exception_send) {
     // A user-initiated exception IPC completes when the keeper replies;
     // restarting it would re-send the exception.
     victim->fault_from_exception_send = false;
+    if (trace.enabled()) {
+      TraceFlowTo(victim);
+      TraceEndBlockSpan(victim, 0);
+      TraceEndSysSpan(victim, victim->op_sys, kFlukeOk);
+    }
     CancelOpQueuesOnly(victim, /*counts_as_restart=*/false);
     Finish(victim, kFlukeOk);
     MakeRunnable(victim);
@@ -762,6 +851,8 @@ KTask ResolveFault(SysCtx& ctx, Space* space, uint32_t addr, bool is_write, Faul
   k.ChargeFpLocks(2);  // pmap + mapping-hierarchy locks
   const Time t0 = k.clock.now();
   k.stats.rollback_ns += rollback_ns;
+  k.TraceEndRemedySpan(t, 1);  // defensive: no remedy span should be open
+  t->trace_remedy_span = k.trace.BeginSpan(t0, TraceKind::kFaultRemedy, t->id(), addr, is_write);
 
   SoftFaultResult r = space->TryResolveSoft(addr, is_write);
   // Transient frame exhaustion (injected or a genuinely full pool) is not
@@ -787,10 +878,20 @@ KTask ResolveFault(SysCtx& ctx, Space* space, uint32_t addr, bool is_write, Faul
       fc.remedy_ns += remedy;
       fc.rollback_ns += rollback_ns;
     }
+    if (t->trace_remedy_span != 0) {
+      k.trace.EndSpan(k.clock.now(), TraceKind::kFaultRemedy, t->trace_remedy_span, t->id(), addr,
+                      0);  // soft-resolved
+      t->trace_remedy_span = 0;
+    }
     co_return KStatus::kOk;
   }
 
   if (space->keeper == nullptr || !space->keeper->alive()) {
+    if (t->trace_remedy_span != 0) {
+      k.trace.EndSpan(k.clock.now(), TraceKind::kFaultRemedy, t->trace_remedy_span, t->id(), addr,
+                      r.out_of_frames ? 4u : 3u);  // unservable
+      t->trace_remedy_span = 0;
+    }
     co_return r.out_of_frames ? KStatus::kNoMemory : KStatus::kNoPager;
   }
   if (count_ipc) {

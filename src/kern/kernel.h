@@ -194,11 +194,16 @@ class Kernel {
 
   // Completes a blocked (already-dequeued) thread's operation on its behalf
   // by mutating its state -- "continuation recognition" -- and wakes it.
-  void CompleteBlockedOp(Thread* t, uint32_t err) {
-    CancelOpQueuesOnly(t, /*counts_as_restart=*/false);
-    Finish(t, err);
-    MakeRunnable(t);
-  }
+  // Such a thread never reaches HandleOpOutcome's completion arm, so this is
+  // also where its trace spans close (flow link + block/syscall span ends).
+  void CompleteBlockedOp(Thread* t, uint32_t err);
+
+  // Trace-span helpers (all no-ops while tracing is off; see trace.h).
+  // Result/how code 0xFFFFFFFF marks a span ended by cancellation.
+  void TraceFlowTo(Thread* woken);                 // causal link: current -> woken
+  void TraceEndSysSpan(Thread* t, uint32_t sys, uint32_t result);
+  void TraceEndBlockSpan(Thread* t, uint32_t how);  // 0=woken 1=cancelled 2=exit
+  void TraceEndRemedySpan(Thread* t, uint32_t how);
 
   // Delivers a kernel-synthesized message (page fault, alert, oneway send)
   // to a port, waking a server if one is waiting.

@@ -150,6 +150,15 @@ struct Thread final : public KernelObject {
   // cancellation must release the bytes itself instead of via op.Reset().
   bool frameless_block = false;
 
+  // --- Open trace spans (host-side observability; see src/kern/trace.h).
+  //     Nonzero only while the trace buffer is enabled; invisible to
+  //     DumpKernel and the equivalence sweeps. ---
+  uint64_t trace_sys_span = 0;     // syscall-lifetime span
+  uint64_t trace_block_span = 0;   // block->wake span
+  uint64_t trace_remedy_span = 0;  // fault-remedy span (open across hard faults)
+  Time trace_sys_t0 = 0;           // span start times, for the histograms
+  Time trace_block_t0 = 0;
+
   bool HasRetainedFrame() const { return op.valid(); }
 };
 

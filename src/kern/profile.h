@@ -1,0 +1,58 @@
+// Virtual-time profiler over the trace span stream.
+//
+// BuildProfile() folds a TraceBuffer snapshot into a flat profile: every
+// nanosecond of the run's virtual time is attributed to exactly one class
+// -- "sys:<name>" while a syscall span is open on the running thread,
+// "fault:soft"/"fault:hard" remedy time, "idle" while no thread is
+// runnable, "user" for plain user execution, "boot" before the first
+// event -- so the per-class cpu_ns totals sum exactly to the run's total
+// virtual time (tested). Block->wake and fault-remedy span durations are
+// tallied per class alongside (they overlap cpu time of *other* threads,
+// so they are reported separately, not summed into the partition).
+//
+// TraceDigest() is a deterministic FNV-1a hash over every field of every
+// event in order. Tracing forces the instrumented slow path, so the digest
+// must be bit-identical across both interpreter engines and fast-path
+// on/off for the same workload and configuration -- the cross-engine
+// determinism tests assert exactly that.
+
+#ifndef SRC_KERN_PROFILE_H_
+#define SRC_KERN_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kern/trace.h"
+
+namespace fluke {
+
+struct ProfileRow {
+  std::string key;
+  Time cpu_ns = 0;      // partition: time this class was executing
+  Time blocked_ns = 0;  // block->wake span time attributed to the class
+  Time remedy_ns = 0;   // fault-remedy span time
+  uint64_t count = 0;   // completed spans (syscalls / remedies)
+  uint64_t restarts = 0;
+};
+
+struct ProfileReport {
+  std::vector<ProfileRow> rows;  // sorted by cpu_ns, descending
+  Time total_ns = 0;             // the run's total virtual time (end_ns)
+  Time accounted_ns = 0;         // sum of rows[].cpu_ns; == total_ns
+  uint64_t events = 0;
+  uint64_t dropped = 0;  // ring truncation (profile covers the tail only)
+};
+
+ProfileReport BuildProfile(const std::vector<TraceEvent>& events, Time end_ns,
+                           uint64_t dropped = 0);
+
+// Sorted fixed-width table (one row per class, totals line last).
+std::string RenderProfile(const ProfileReport& p);
+
+// FNV-1a 64-bit digest over the full event stream (all fields, in order).
+uint64_t TraceDigest(const std::vector<TraceEvent>& events);
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_PROFILE_H_

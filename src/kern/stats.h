@@ -2,23 +2,85 @@
 //
 // These counters feed every reproduced table: context switches and syscall
 // counts sanity-check Table 5 runs; rollback/remedy accounting produces
-// Table 3; latency samples produce Table 6; kernel-stack byte tracking
+// Table 3; latency histograms produce Table 6; kernel-stack byte tracking
 // produces Table 7.
 
 #ifndef SRC_KERN_STATS_H_
 #define SRC_KERN_STATS_H_
 
-#include <algorithm>
+#include <bit>
 #include <cstdint>
-#include <vector>
 
+#include "src/api/abi.h"
 #include "src/hal/clock.h"
 
 namespace fluke {
 
-struct LatencySample {
-  Time when;
-  Time latency;
+// Fixed-footprint log2 latency histogram of virtual-time durations (ns).
+// Bucket b holds values v with bit_width(v) == b, i.e. [2^(b-1), 2^b);
+// bucket 0 holds v == 0. Exact sum/count/max ride along so means and
+// maxima are exact; percentiles are bucket-resolution (within 2x), which
+// is all Table 6 needs. Replaces the old unbounded probe_latencies vector:
+// memory is constant no matter how long the run.
+struct LogHistogram {
+  static constexpr int kBuckets = 32;
+
+  uint64_t buckets[kBuckets] = {};
+  uint64_t count = 0;
+  Time sum = 0;
+  Time max = 0;
+
+  static int BucketOf(Time v) {
+    const int b = std::bit_width(static_cast<uint64_t>(v));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  // Inclusive upper bound of bucket b (saturating for the overflow bucket).
+  static Time BucketUpper(int b) {
+    if (b <= 0) {
+      return 0;
+    }
+    if (b >= kBuckets - 1) {
+      return ~static_cast<Time>(0);
+    }
+    return (static_cast<Time>(1) << b) - 1;
+  }
+
+  void Add(Time v) {
+    ++buckets[BucketOf(v)];
+    ++count;
+    sum += v;
+    if (v > max) {
+      max = v;
+    }
+  }
+
+  bool empty() const { return count == 0; }
+  Time Avg() const { return count == 0 ? 0 : sum / count; }
+  Time Max() const { return max; }
+
+  // Value at quantile p in [0, 1], resolved to its bucket's upper bound
+  // (clamped to the exact max, so Percentile(1.0) == Max()).
+  Time Percentile(double p) const {
+    if (count == 0) {
+      return 0;
+    }
+    uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count) + 0.5);
+    if (target < 1) {
+      target = 1;
+    }
+    if (target > count) {
+      target = count;
+    }
+    uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cum += buckets[b];
+      if (cum >= target) {
+        const Time upper = BucketUpper(b);
+        return upper < max ? upper : max;
+      }
+    }
+    return max;
+  }
 };
 
 // Table 3 accounting: IPC faults classified by which side of the transfer
@@ -112,34 +174,32 @@ struct KernelStats {
   // per-thread kernel-stack cost. Always zero in the interrupt model.
   uint64_t blocked_frame_bytes_peak = 0;
 
-  // Preemption-latency probe (Table 6).
-  std::vector<LatencySample> probe_latencies;
+  // Preemption-latency probe (Table 6). Semantic: recorded whenever the
+  // probe thread runs, tracing on or off, so it participates in the
+  // equivalence sweeps like probe_runs/probe_misses always have.
+  LogHistogram probe_hist;
   uint64_t probe_runs = 0;
   uint64_t probe_misses = 0;
 
+  // Trace-derived latency histograms: per-syscall-number virtual-time
+  // (syscall entry to completion) and block duration (block to wake).
+  // These mutate ONLY while the trace buffer is enabled -- tracing forces
+  // the slow path, so like the trace stream itself they must be
+  // bit-identical across both interpreter engines and fast-path on/off,
+  // and exactly zero in a disarmed run (tests/trace_test.cc asserts both).
+  LogHistogram sys_time_hist[kSysCount];
+  LogHistogram block_hist;
+
   void RecordProbe(Time when, Time latency) {
-    probe_latencies.push_back({when, latency});
+    (void)when;
+    probe_hist.Add(latency);
     ++probe_runs;
   }
 
-  Time ProbeAvg() const {
-    if (probe_latencies.empty()) {
-      return 0;
-    }
-    Time sum = 0;
-    for (const auto& s : probe_latencies) {
-      sum += s.latency;
-    }
-    return sum / probe_latencies.size();
-  }
-
-  Time ProbeMax() const {
-    Time mx = 0;
-    for (const auto& s : probe_latencies) {
-      mx = std::max(mx, s.latency);
-    }
-    return mx;
-  }
+  Time ProbeAvg() const { return probe_hist.Avg(); }
+  Time ProbeMax() const { return probe_hist.Max(); }
+  Time ProbeP50() const { return probe_hist.Percentile(0.50); }
+  Time ProbeP95() const { return probe_hist.Percentile(0.95); }
 };
 
 }  // namespace fluke

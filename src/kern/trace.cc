@@ -28,8 +28,54 @@ const char* TraceKindName(TraceKind k) {
       return "preempt";
     case TraceKind::kThreadExit:
       return "thread-exit";
+    case TraceKind::kIpcChunk:
+      return "ipc-chunk";
+    case TraceKind::kIpcPageLend:
+      return "page-lend";
+    case TraceKind::kIpcFastHandoff:
+      return "fast-handoff";
+    case TraceKind::kFaultInject:
+      return "fault-inject";
+    case TraceKind::kCheckpoint:
+      return "checkpoint";
+    case TraceKind::kFaultRemedy:
+      return "fault-remedy";
+    case TraceKind::kIdle:
+      return "idle";
+    case TraceKind::kIpcFlow:
+      return "ipc-flow";
   }
   return "?";
+}
+
+namespace {
+const char* PhaseTag(TracePhase p) {
+  switch (p) {
+    case TracePhase::kInstant:
+      return " ";
+    case TracePhase::kBegin:
+      return "B";
+    case TracePhase::kEnd:
+      return "E";
+    case TracePhase::kFlowOut:
+      return ">";
+    case TracePhase::kFlowIn:
+      return "<";
+  }
+  return "?";
+}
+}  // namespace
+
+void TraceBuffer::SetCapacity(size_t capacity) {
+  size_t cap = 2;
+  while (cap < capacity) {
+    cap <<= 1;
+  }
+  capacity_ = cap;
+  mask_ = cap - 1;
+  events_.clear();
+  events_.reserve(cap);
+  next_ = 0;
 }
 
 std::vector<TraceEvent> TraceBuffer::Snapshot() const {
@@ -38,7 +84,7 @@ std::vector<TraceEvent> TraceBuffer::Snapshot() const {
   if (next_ <= events_.size()) {
     out = events_;
   } else {
-    const size_t head = next_ % capacity_;
+    const size_t head = next_ & mask_;
     out.insert(out.end(), events_.begin() + static_cast<long>(head), events_.end());
     out.insert(out.end(), events_.begin(), events_.begin() + static_cast<long>(head));
   }
@@ -48,21 +94,27 @@ std::vector<TraceEvent> TraceBuffer::Snapshot() const {
 std::string TraceBuffer::Dump() const {
   std::string out;
   char line[160];
+  if (dropped() > 0) {
+    std::snprintf(line, sizeof(line), "... %llu earlier events dropped by the ring ...\n",
+                  static_cast<unsigned long long>(dropped()));
+    out += line;
+  }
   for (const TraceEvent& e : Snapshot()) {
     const char* detail = "";
     switch (e.kind) {
       case TraceKind::kSyscallEnter:
       case TraceKind::kSyscallExit:
       case TraceKind::kSyscallRestart:
+      case TraceKind::kBlock:
         detail = SysName(e.a);
         break;
       default:
         break;
     }
-    std::snprintf(line, sizeof(line), "%12.3fus t%-4llu %-12s a=0x%x b=0x%x %s\n",
+    std::snprintf(line, sizeof(line), "%12.3fus t%-4llu %s %-12s a=0x%x b=0x%x %s\n",
                   static_cast<double>(e.when) / kNsPerUs,
-                  static_cast<unsigned long long>(e.thread_id), TraceKindName(e.kind), e.a, e.b,
-                  detail);
+                  static_cast<unsigned long long>(e.thread_id), PhaseTag(e.phase),
+                  TraceKindName(e.kind), e.a, e.b, detail);
     out += line;
   }
   return out;

@@ -1,0 +1,195 @@
+#include "src/kern/trace_export.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+#include "src/api/abi.h"
+#include "src/kern/kernel.h"
+
+namespace fluke {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string SliceName(const TraceEvent& e) {
+  switch (e.kind) {
+    case TraceKind::kSyscallEnter:
+      return e.b == 1 ? std::string(SysName(e.a)) + " (restart)" : std::string(SysName(e.a));
+    case TraceKind::kBlock:
+      return std::string("block: ") + SysName(e.a);
+    default:
+      return TraceKindName(e.kind);
+  }
+}
+
+struct OpenSpan {
+  uint64_t id;
+  std::string name;
+};
+
+// One exported line; callers join with commas.
+void Line(std::vector<std::string>* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void Line(std::vector<std::string>* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out->push_back(buf);
+}
+
+double Us(Time ns) { return static_cast<double>(ns) / kNsPerUs; }
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
+                              const std::vector<std::pair<uint64_t, std::string>>& thread_names,
+                              uint64_t dropped, Time end_ns) {
+  std::vector<std::string> lines;
+  lines.reserve(events.size() + thread_names.size() + 8);
+
+  Line(&lines,
+       "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"fluke\"}}");
+  Line(&lines,
+       "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+       "\"args\":{\"name\":\"kernel/idle\"}}");
+  for (const auto& [tid, name] : thread_names) {
+    Line(&lines,
+         "{\"ph\":\"M\",\"pid\":1,\"tid\":%llu,\"name\":\"thread_name\","
+         "\"args\":{\"name\":\"%s\"}}",
+         static_cast<unsigned long long>(tid), JsonEscape(name).c_str());
+  }
+  if (dropped > 0) {
+    Line(&lines,
+         "{\"ph\":\"M\",\"pid\":1,\"name\":\"fluke_ring\","
+         "\"args\":{\"dropped_events\":%llu}}",
+         static_cast<unsigned long long>(dropped));
+  }
+
+  // Per-tid stacks of open B slices, for sanitization: an E whose B was
+  // dropped by the ring is skipped, and any B still open at the end of the
+  // stream is closed at end_ns.
+  std::unordered_map<uint64_t, std::vector<OpenSpan>> open;
+  Time last_ts = 0;
+
+  for (const TraceEvent& e : events) {
+    last_ts = e.when;
+    const unsigned long long tid = e.thread_id;
+    switch (e.phase) {
+      case TracePhase::kBegin: {
+        const std::string name = SliceName(e);
+        Line(&lines,
+             "{\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":%llu,\"cat\":\"kernel\","
+             "\"name\":\"%s\",\"args\":{\"a\":%u,\"b\":%u,\"span\":%llu}}",
+             Us(e.when), tid, JsonEscape(name).c_str(), e.a, e.b,
+             static_cast<unsigned long long>(e.span_id));
+        open[e.thread_id].push_back(OpenSpan{e.span_id, name});
+        break;
+      }
+      case TracePhase::kEnd: {
+        auto& stack = open[e.thread_id];
+        size_t depth = stack.size();
+        while (depth > 0 && stack[depth - 1].id != e.span_id) {
+          --depth;
+        }
+        if (depth == 0) {
+          break;  // the matching B was dropped by the ring: skip
+        }
+        // Close anything the stream left open above the match (it lost its
+        // own E to the ring), then the match itself.
+        while (stack.size() >= depth) {
+          Line(&lines,
+               "{\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":%llu,\"cat\":\"kernel\","
+               "\"name\":\"%s\",\"args\":{\"a\":%u,\"b\":%u}}",
+               Us(e.when), tid, JsonEscape(stack.back().name).c_str(), e.a, e.b);
+          stack.pop_back();
+        }
+        break;
+      }
+      case TracePhase::kFlowOut:
+        Line(&lines,
+             "{\"ph\":\"s\",\"ts\":%.3f,\"pid\":1,\"tid\":%llu,\"cat\":\"flow\","
+             "\"name\":\"handoff\",\"id\":%llu}",
+             Us(e.when), tid, static_cast<unsigned long long>(e.span_id));
+        break;
+      case TracePhase::kFlowIn:
+        Line(&lines,
+             "{\"ph\":\"f\",\"bp\":\"e\",\"ts\":%.3f,\"pid\":1,\"tid\":%llu,\"cat\":\"flow\","
+             "\"name\":\"handoff\",\"id\":%llu}",
+             Us(e.when), tid, static_cast<unsigned long long>(e.span_id));
+        break;
+      case TracePhase::kInstant:
+        Line(&lines,
+             "{\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%llu,\"cat\":\"kernel\","
+             "\"name\":\"%s\",\"args\":{\"a\":%u,\"b\":%u}}",
+             Us(e.when), tid, TraceKindName(e.kind), e.a, e.b);
+        break;
+    }
+  }
+
+  // Close spans still open at the end of the snapshot so every B has an E.
+  const Time close_at = end_ns >= last_ts ? end_ns : last_ts;
+  for (auto& [tid, stack] : open) {
+    while (!stack.empty()) {
+      Line(&lines,
+           "{\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":%llu,\"cat\":\"kernel\","
+           "\"name\":\"%s\",\"args\":{\"open_at_end\":1}}",
+           Us(close_at), static_cast<unsigned long long>(tid),
+           JsonEscape(stack.back().name).c_str());
+      stack.pop_back();
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size()) {
+      out += ',';
+    }
+    out += '\n';
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string ExportChromeTrace(const Kernel& k) {
+  std::vector<std::pair<uint64_t, std::string>> names;
+  for (const auto& t : k.threads()) {
+    std::string name = t->program != nullptr ? t->program->name() : "thread";
+    name += "#" + std::to_string(t->id());
+    names.emplace_back(t->id(), std::move(name));
+  }
+  return ExportChromeTrace(k.trace.Snapshot(), names, k.trace.dropped(), k.clock.now());
+}
+
+}  // namespace fluke

@@ -1,0 +1,47 @@
+// Chrome/Perfetto trace_event JSON export.
+//
+// Converts a TraceBuffer snapshot into the Chrome trace_event JSON format
+// (the "JSON Array Format" with a traceEvents wrapper), loadable directly
+// in ui.perfetto.dev or chrome://tracing:
+//
+//   * virtual nanoseconds -> trace microseconds (ts is a double, so the
+//     sub-microsecond part survives),
+//   * kernel threads -> tids (tid 0 is the synthetic idle/kernel track),
+//   * spans -> "B"/"E" duration slices (named by syscall where known),
+//   * flows -> "s"/"f" flow events binding to the enclosing slices,
+//   * instants -> "i" thread-scoped instant events.
+//
+// The writer sanitizes the stream for viewers: an E whose B was dropped by
+// the ring is skipped, and spans still open at the end of the snapshot are
+// closed at the final timestamp. The number of ring-dropped events is
+// reported as process metadata.
+
+#ifndef SRC_KERN_TRACE_EXPORT_H_
+#define SRC_KERN_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/kern/trace.h"
+
+namespace fluke {
+
+class Kernel;
+
+// Low-level entry point: export an explicit event stream. `thread_names`
+// maps tids to display names (tid 0 is always named internally);
+// `dropped` is TraceBuffer::dropped(); `end_ns` is the timestamp used to
+// close still-open spans (use the final virtual time of the run).
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
+                              const std::vector<std::pair<uint64_t, std::string>>& thread_names,
+                              uint64_t dropped, Time end_ns);
+
+// Convenience: snapshot `k.trace`, name the tracks after the kernel's
+// threads (program name + thread id), and close open spans at k.clock.now().
+std::string ExportChromeTrace(const Kernel& k);
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_TRACE_EXPORT_H_

@@ -9,6 +9,8 @@
 namespace fluke {
 
 CheckpointImage CaptureSpace(Kernel& k, Space& space) {
+  k.trace.Record(k.clock.now(), TraceKind::kCheckpoint, 0,
+                 static_cast<uint32_t>(space.id()), 0);
   CheckpointImage img;
   img.space_name = space.name();
   img.program_name = space.program != nullptr ? space.program->name() : "";
@@ -116,6 +118,8 @@ RestoreResult RestoreSpace(Kernel& k, const CheckpointImage& img,
     return r;
   };
   r.space = k.CreateSpace(img.space_name);
+  k.trace.Record(k.clock.now(), TraceKind::kCheckpoint, 0,
+                 static_cast<uint32_t>(r.space->id()), 1);
   r.space->SetAnonRange(img.anon_base, img.anon_size);
   r.space->program = img.program_name.empty() ? nullptr : programs.Find(img.program_name);
 

@@ -38,7 +38,29 @@ PAPER_BENCHES = (
     "BM_UserMemLoop",
     "BM_InterpAluLoop",
     "BM_HardFaultRoundTrip",
+    "BM_TraceOverhead",
 )
+
+
+def distill_stats(path):
+    """Distills a fluke_run --stats-json snapshot to the headline numbers."""
+    with open(path) as f:
+        s = json.load(f)
+    out = {
+        "virtual_time_ms": s.get("virtual_time_ns", 0) / 1e6,
+        "syscalls": s.get("syscalls"),
+        "syscall_restarts": s.get("syscall_restarts"),
+        "context_switches": s.get("context_switches"),
+        "soft_faults": s.get("soft_faults"),
+        "hard_faults": s.get("hard_faults"),
+        "trace_events_recorded": s.get("trace_events_recorded"),
+    }
+    for hist in ("probe_hist", "block_hist"):
+        h = s.get(hist) or {}
+        if h.get("count"):
+            out[hist] = {k: h.get(k) for k in
+                         ("count", "avg_ns", "p50_ns", "p95_ns", "max_ns")}
+    return s.get("config", "unknown"), out
 
 
 def find_default_bench(repo_root):
@@ -174,6 +196,14 @@ def main():
         default=25.0,
         help="--check failure threshold, percent (default 25)",
     )
+    ap.add_argument(
+        "--stats-json",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="ingest a fluke_run --stats-json snapshot into the report's "
+        "kernel_stats map (keyed by config label); repeatable",
+    )
     args = ap.parse_args()
 
     bench = args.bench or find_default_bench(repo_root)
@@ -197,6 +227,14 @@ def main():
         },
         "benchmarks": distill(raw),
     }
+    if args.stats_json:
+        stats = dict(existing.get("kernel_stats", {}))
+        for path in args.stats_json:
+            label, distilled = distill_stats(path)
+            stats[label] = distilled
+            print(f"ingested kernel stats for [{label}] from {path}")
+        report["kernel_stats"] = stats
+
     if args.baseline:
         base = distill(run_bench(args.baseline, args.min_time))
         report["baseline"] = base

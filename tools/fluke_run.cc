@@ -11,7 +11,18 @@
 //   --paged                       run under a user-mode demand pager instead
 //                                 of kernel anon memory
 //   --stats                       print kernel statistics at exit
+//   --stats-json=FILE             write the full KernelStats snapshot
+//                                 (counters + latency histograms) as JSON
 //   --trace                       dump the kernel event trace at exit
+//   --trace-out=FILE              write the trace as Chrome trace_event JSON
+//                                 (load in ui.perfetto.dev or chrome://tracing)
+//   --trace-cap=N                 trace ring capacity (rounded up to a power
+//                                 of two; default 1M events when tracing)
+//   --profile                     fold the trace span stream into a per-class
+//                                 virtual-time profile table + stream digest
+//   --workload=rpc[:N]            run the built-in RPC ping-pong workload
+//                                 (N round trips, default 200) instead of
+//                                 .fasm programs
 //   --ps                          dump thread/space state at exit
 //   --fault-plan=SPEC             arm deterministic fault injection, e.g.
 //                                 "seed=7,frame-every=3,crash=100" (see
@@ -34,8 +45,11 @@
 #include <string>
 #include <vector>
 
+#include "src/api/ulib.h"
 #include "src/kern/kernel.h"
 #include "src/kern/inspect.h"
+#include "src/kern/profile.h"
+#include "src/kern/trace_export.h"
 #include "src/uvm/asmparse.h"
 #include "src/workloads/audit.h"
 #include "src/workloads/pager.h"
@@ -47,9 +61,69 @@ int Usage() {
   std::fprintf(stderr,
                "usage: fluke_run [--model=process|interrupt] [--preempt=np|pp|fp]\n"
                "                 [--anon=BYTES] [--max-ms=N] [--paged] [--stats] [--trace] [--ps]\n"
+               "                 [--stats-json=FILE] [--trace-out=FILE] [--trace-cap=N]\n"
+               "                 [--profile] [--workload=rpc[:N]]\n"
                "                 [--fault-plan=SPEC] [--audit]\n"
                "                 program.fasm [more.fasm ...]\n");
   return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "fluke_run: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+// The built-in RPC ping-pong workload (the BM_RpcRoundTrip shape): a client
+// bounces `rounds` one-word messages off an echo server through
+// send-over-receive, then halts; the server loops forever. Returns the
+// client thread -- the run is done when it is.
+Thread* BuildRpcWorkload(Kernel& k, uint32_t rounds) {
+  auto cs = k.CreateSpace("rpc-client");
+  auto ss = k.CreateSpace("rpc-server");
+  cs->SetAnonRange(0x10000, 1 << 20);
+  ss->SetAnonRange(0x10000, 1 << 20);
+  auto port = k.NewPort(1);
+  const Handle sp = k.Install(ss.get(), port);
+  const Handle cr = k.Install(cs.get(), k.NewReference(port));
+
+  Assembler ca("rpc-client");
+  EmitSys(ca, kSysIpcClientConnect, cr);
+  ca.MovImm(kRegBP, 0);       // round counter
+  ca.MovImm(kRegSP, rounds);  // bound
+  const auto loop = ca.NewLabel();
+  const auto done = ca.NewLabel();
+  ca.Bind(loop);
+  ca.Bge(kRegBP, kRegSP, done);
+  EmitSys(ca, kSysIpcClientSendOverReceive, kUlibKeep, 0x10000, 1, 0x10100, 1);
+  ca.AddImm(kRegBP, kRegBP, 1);
+  ca.Jmp(loop);
+  ca.Bind(done);
+  ca.MovImm(kRegB, 0);  // exit code
+  ca.Halt();
+  cs->program = ca.Build();
+
+  Assembler sa("rpc-server");
+  EmitSys(sa, kSysIpcWaitReceive, sp, 0, 0, 0x10000, 1);
+  sa.MovImm(kRegBP, kFlukeOk);
+  const auto sloop = sa.NewLabel();
+  sa.Bind(sloop);
+  EmitSys(sa, kSysIpcServerAckSendOverReceive, 0, 0x10100, 1, 0x10000, 1);
+  // Echo until the client hangs up (the halted client fails the next ack),
+  // then exit so the kernel quiesces at the true end of the run.
+  sa.Beq(kRegA, kRegBP, sloop);
+  sa.MovImm(kRegB, 0);
+  sa.Halt();
+  ss->program = sa.Build();
+
+  k.StartThread(k.CreateThread(ss.get()));
+  Thread* client = k.CreateThread(cs.get());
+  k.StartThread(client);
+  return client;
 }
 
 int Main(int argc, char** argv) {
@@ -61,6 +135,12 @@ int Main(int argc, char** argv) {
   bool trace = false;
   bool ps = false;
   bool audit = false;
+  bool profile = false;
+  std::string trace_out;
+  std::string stats_json;
+  size_t trace_cap = 0;  // 0 = unset
+  bool workload_rpc = false;
+  uint32_t rpc_rounds = 200;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +169,24 @@ int Main(int argc, char** argv) {
       ps = true;
     } else if (arg == "--audit") {
       audit = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--stats-json=", 0) == 0) {
+      stats_json = arg.substr(13);
+    } else if (arg.rfind("--trace-cap=", 0) == 0) {
+      trace_cap = std::stoull(arg.substr(12), nullptr, 0);
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      const std::string spec = arg.substr(11);
+      if (spec.rfind("rpc", 0) != 0) {
+        std::fprintf(stderr, "fluke_run: unknown workload '%s'\n", spec.c_str());
+        return 2;
+      }
+      workload_rpc = true;
+      if (spec.size() > 3 && spec[3] == ':') {
+        rpc_rounds = static_cast<uint32_t>(std::stoul(spec.substr(4), nullptr, 0));
+      }
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
       std::string err;
       if (!ParseFaultPlan(arg.substr(13), &cfg.fault_plan, &err)) {
@@ -102,7 +200,7 @@ int Main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (files.empty() && !audit) {
+  if (files.empty() && !audit && !workload_rpc) {
     return Usage();
   }
   if (!cfg.Valid()) {
@@ -134,36 +232,51 @@ int Main(int argc, char** argv) {
   }
 
   Kernel kernel(cfg);
-  if (trace) {
+  if (trace || profile || !trace_out.empty()) {
+    // Any trace consumer forces the instrumented slow path. The exported /
+    // profiled runs default to a ring big enough for a whole run.
+    if (trace_cap != 0) {
+      kernel.trace.SetCapacity(trace_cap);
+    } else if (profile || !trace_out.empty()) {
+      kernel.trace.SetCapacity(size_t{1} << 20);
+    }
     kernel.trace.Enable();
-  }
-  std::shared_ptr<Space> space;
-  if (paged) {
-    ManagedSetup m = BuildManagedSpace(kernel, anon_bytes, "cli");
-    kernel.StartThread(m.manager_thread);
-    space = m.child_space;
-  } else {
-    space = kernel.CreateSpace("cli");
-    space->SetAnonRange(0, anon_bytes);
   }
 
   std::vector<Thread*> threads;
-  for (const std::string& path : files) {
-    std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "fluke_run: cannot open '%s'\n", path.c_str());
-      return 1;
+  std::vector<std::string> names;
+  if (workload_rpc) {
+    threads.push_back(BuildRpcWorkload(kernel, rpc_rounds));
+    names.push_back("workload:rpc");
+  } else {
+    std::shared_ptr<Space> space;
+    if (paged) {
+      ManagedSetup m = BuildManagedSpace(kernel, anon_bytes, "cli");
+      kernel.StartThread(m.manager_thread);
+      space = m.child_space;
+    } else {
+      space = kernel.CreateSpace("cli");
+      space->SetAnonRange(0, anon_bytes);
     }
-    std::ostringstream src;
-    src << in.rdbuf();
-    AsmParseResult r = ParseAsm(path, src.str());
-    if (r.program == nullptr) {
-      std::fprintf(stderr, "fluke_run: %s: %s\n", path.c_str(), r.error.c_str());
-      return 1;
+
+    for (const std::string& path : files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "fluke_run: cannot open '%s'\n", path.c_str());
+        return 1;
+      }
+      std::ostringstream src;
+      src << in.rdbuf();
+      AsmParseResult r = ParseAsm(path, src.str());
+      if (r.program == nullptr) {
+        std::fprintf(stderr, "fluke_run: %s: %s\n", path.c_str(), r.error.c_str());
+        return 1;
+      }
+      Thread* t = kernel.CreateThread(space.get(), r.program);
+      kernel.StartThread(t);
+      threads.push_back(t);
+      names.push_back(path);
     }
-    Thread* t = kernel.CreateThread(space.get(), r.program);
-    kernel.StartThread(t);
-    threads.push_back(t);
   }
   // Injection begins only now: boot-loader setup is never failed.
   kernel.finj.Arm();
@@ -186,10 +299,10 @@ int Main(int argc, char** argv) {
   for (size_t i = 0; i < threads.size(); ++i) {
     if (threads[i]->run_state != ThreadRun::kDead) {
       std::fprintf(stderr, "fluke_run: %s: thread still %s at the time budget\n",
-                   files[i].c_str(), ThreadRunName(threads[i]->run_state));
+                   names[i].c_str(), ThreadRunName(threads[i]->run_state));
       rc = 3;
     } else if (threads[i]->exit_code != 0) {
-      std::fprintf(stderr, "fluke_run: %s: exit code %u\n", files[i].c_str(),
+      std::fprintf(stderr, "fluke_run: %s: exit code %u\n", names[i].c_str(),
                    threads[i]->exit_code);
       rc = 1;
     }
@@ -208,9 +321,38 @@ int Main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.hard_faults),
                  static_cast<unsigned long long>(s.syscall_fast_entries),
                  static_cast<unsigned long long>(s.ipc_fast_handoffs));
+    if (!s.probe_hist.empty()) {
+      std::fprintf(stderr, "  probe latency:  p50=%lluns p95=%lluns max=%lluns (%llu runs)\n",
+                   static_cast<unsigned long long>(s.ProbeP50()),
+                   static_cast<unsigned long long>(s.ProbeP95()),
+                   static_cast<unsigned long long>(s.ProbeMax()),
+                   static_cast<unsigned long long>(s.probe_runs));
+    }
+    if (!s.block_hist.empty()) {
+      std::fprintf(stderr, "  block duration: p50=%lluns p95=%lluns max=%lluns (%llu blocks)\n",
+                   static_cast<unsigned long long>(s.block_hist.Percentile(0.50)),
+                   static_cast<unsigned long long>(s.block_hist.Percentile(0.95)),
+                   static_cast<unsigned long long>(s.block_hist.Max()),
+                   static_cast<unsigned long long>(s.block_hist.count));
+    }
   }
   if (trace) {
     std::fputs(kernel.trace.Dump().c_str(), stderr);
+  }
+  if (profile) {
+    const std::vector<TraceEvent> events = kernel.trace.Snapshot();
+    std::fputs(RenderProfile(BuildProfile(events, kernel.clock.now(), kernel.trace.dropped()))
+                   .c_str(),
+               stdout);
+    std::fprintf(stdout, "trace digest: %016llx (%llu events)\n",
+                 static_cast<unsigned long long>(TraceDigest(events)),
+                 static_cast<unsigned long long>(events.size()));
+  }
+  if (!trace_out.empty() && !WriteFile(trace_out, ExportChromeTrace(kernel))) {
+    return 1;
+  }
+  if (!stats_json.empty() && !WriteFile(stats_json, StatsJson(kernel))) {
+    return 1;
   }
   if (ps || rc == 3) {
     // On a hang (budget overrun), the dump names every thread's committed

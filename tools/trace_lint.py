@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Sanity-check a fluke_run --trace-out Chrome trace: valid JSON, balanced
+B/E per thread, monotonic timestamps, and paired flow events."""
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: trace_lint.py trace.json", file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        events = json.load(f)["traceEvents"]
+    errors = 0
+    stacks, flows, last_ts = {}, {}, None
+    for e in events:
+        if e["ph"] == "M":
+            continue
+        ts = e["ts"]
+        if last_ts is not None and ts < last_ts:
+            print(f"non-monotonic ts: {ts} after {last_ts}")
+            errors += 1
+        last_ts = ts
+        key = (e.get("pid"), e.get("tid"))
+        if e["ph"] == "B":
+            stacks.setdefault(key, []).append(e["name"])
+        elif e["ph"] == "E":
+            if not stacks.get(key):
+                print(f"E without B on {key} at {ts}")
+                errors += 1
+            else:
+                stacks[key].pop()
+        elif e["ph"] in ("s", "f"):
+            flows.setdefault(e["id"], []).append(e["ph"])
+    for key, stack in stacks.items():
+        if stack:
+            print(f"unclosed B on {key}: {stack}")
+            errors += 1
+    for fid, phases in flows.items():
+        if sorted(phases) != ["f", "s"]:
+            print(f"unpaired flow id {fid}: {phases}")
+            errors += 1
+    n = sum(1 for e in events if e["ph"] != "M")
+    print(f"trace_lint: {n} events, {len(flows)} flows, {errors} errors")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
