@@ -7,6 +7,7 @@
 
 #include "src/api/ulib.h"
 #include "src/kern/kernel.h"
+#include "src/workloads/apps.h"
 #include "src/workloads/checkpoint.h"
 #include "src/workloads/pager.h"
 
@@ -327,6 +328,34 @@ void BM_CheckpointCapture(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64 * kPageSize);
 }
 BENCHMARK(BM_CheckpointCapture);
+
+// The c1m scaling workload at N threads (Args: N, model 0=process
+// 1=interrupt). Each iteration is a full build-boot-storm-quiesce cycle;
+// bytes_per_thread is the peak kernel memory a blocked thread holds under
+// the model, wakeups_per_vsec the virtual-time wake throughput. history.py
+// tracks bytes_per_thread: it is the number the execution-model comparison
+// (PAPER.md section 4) turns on at scale.
+void BM_ThreadScale(benchmark::State& state) {
+  KernelConfig cfg;
+  cfg.model = state.range(1) == 0 ? ExecModel::kProcess : ExecModel::kInterrupt;
+  C1mParams p;
+  p.clients = static_cast<uint32_t>(state.range(0));
+  C1mResult last;
+  for (auto _ : state) {
+    last = RunC1m(cfg, p);
+    if (!last.app.completed) {
+      state.SkipWithError("c1m did not quiesce within its virtual budget");
+      return;
+    }
+    benchmark::DoNotOptimize(last.app.stats.context_switches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * p.clients);
+  state.counters["bytes_per_thread"] = last.bytes_per_thread;
+  state.counters["wakeups_per_vsec"] = last.wakeups_per_vsec;
+}
+BENCHMARK(BM_ThreadScale)
+    ->ArgsProduct({{1000, 20000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace fluke

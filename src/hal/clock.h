@@ -97,6 +97,22 @@ class EventQueue {
 
   // Earliest pending deadline; only valid when !empty().
   Time NextDeadline() const { return heap_.top().when; }
+  // Insertion sequence of the earliest event; only valid when !empty().
+  uint64_t NextSeq() const { return heap_.top().seq; }
+
+  // Hands out the next insertion sequence number without scheduling
+  // anything. The kernel's timing wheel (src/kern/timerwheel.h) mints its
+  // entry seqs here so timers and device events with equal deadlines keep a
+  // single global insertion order -- the determinism contract.
+  uint64_t MintSeq() { return next_seq_++; }
+
+  // Removes and returns the earliest event's handler; only valid when
+  // !empty(). Used by the kernel's merged timer/event firing loop.
+  Handler PopTop() {
+    Handler fn = heap_.top().fn;
+    heap_.pop();
+    return fn;
+  }
 
   // Fires every event with deadline <= now. Handlers may schedule new events.
   void RunDue(Time now);

@@ -40,14 +40,16 @@ void Kernel::Run(Time until) {
 template <bool Instrumented>
 void Kernel::RunLoop(Time until) {
   while (!crashed_ && clock.now() < until) {
-    events.RunDue(clock.now());
-    DispatchIrqs();
+    RunDueTimers();
+    if (irqs.AnyPending()) {
+      DispatchIrqs();
+    }
     Thread* t = PickNext();
     if (t == nullptr) {
-      if (events.empty()) {
+      if (TimerQueueEmpty()) {
         return;  // nothing can ever happen again
       }
-      const Time next = events.NextDeadline();
+      const Time next = NextTimerDeadline();
       const Time target = next >= until ? until : next;
       if constexpr (Instrumented) {
         // Idle span on the synthetic tid 0 track: the profiler partitions
@@ -78,7 +80,7 @@ void Kernel::RunLoop(Time until) {
           // Freeze the machine with the picked thread back in its schedule
           // slot; recovery is a checkpoint reload into a fresh kernel.
           trace.Record(clock.now(), TraceKind::kFaultInject, t->id(), 1);
-          runq_[t->priority].PushFront(t);
+          ready_.PushFront(t);
           crashed_ = true;
           return;
         }
@@ -89,8 +91,8 @@ void Kernel::RunLoop(Time until) {
       }
     }
     Time horizon = until;
-    if (!events.empty()) {
-      horizon = std::min(horizon, events.NextDeadline());
+    if (!TimerQueueEmpty()) {
+      horizon = std::min(horizon, NextTimerDeadline());
     }
     RunThreadT<Instrumented>(t, horizon);
     if (cfg.num_cpus > 1) {
@@ -100,13 +102,9 @@ void Kernel::RunLoop(Time until) {
 }
 
 Thread* Kernel::PickNext() {
-  for (int p = kNumPrio - 1; p >= 0; --p) {
-    Thread* t = runq_[p].PopFront();
-    if (t != nullptr) {
-      return t;
-    }
-  }
-  return nullptr;
+  // One bitmap scan + list pop, whatever the runnable count (readyqueue.h).
+  ++stats.sched_bitmap_scans;
+  return ready_.PopHighest();
 }
 
 void Kernel::DispatchIrqs() {
@@ -254,10 +252,10 @@ void Kernel::RunThreadT(Thread* t, Time horizon) {
   if (t->run_state == ThreadRun::kRunning) {
     t->run_state = ThreadRun::kRunnable;
     if (rotate_pending_) {
-      runq_[t->priority].PushBack(t);  // timeslice round-robin
+      ready_.PushBack(t);  // timeslice round-robin
       rotate_pending_ = false;
     } else {
-      runq_[t->priority].PushFront(t);  // keep running next pick
+      ready_.PushFront(t);  // keep running next pick
     }
   }
   cpu.last = t;

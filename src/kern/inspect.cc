@@ -185,6 +185,11 @@ std::string StatsJson(const Kernel& k) {
   field("ipc_page_lends", s.ipc_page_lends);
   field("syscall_fast_entries", s.syscall_fast_entries);
   field("ipc_fast_handoffs", s.ipc_fast_handoffs);
+  field("timer_arms", s.timer_arms);
+  field("timer_cancels", s.timer_cancels);
+  field("timer_cascades", s.timer_cascades);
+  field("slab_thread_allocs", s.slab_thread_allocs);
+  field("sched_bitmap_scans", s.sched_bitmap_scans);
   field("rollback_ns", s.rollback_ns);
   field("remedy_soft_ns", s.remedy_soft_ns);
   field("remedy_hard_ns", s.remedy_hard_ns);

@@ -24,6 +24,7 @@ Kernel::Kernel(const KernelConfig& config, ProgramRegistry* program_registry)
   interp_opts_.instructions = &stats.user_instructions;
   syscalls_by_num_ = SyscallsByNum();
   finj.Configure(cfg.fault_plan, &stats);
+  timers.BindCascadeCounter(&stats.timer_cascades);
   if (cfg.fault_plan.enabled) {
     // Frame-allocation veto; left uninstalled otherwise so the disabled
     // path costs one null check in PhysMemory::Alloc.
@@ -67,7 +68,11 @@ Thread* Kernel::CreateThread(Space* space, ProgramRef program, int priority) {
   if (program == nullptr) {
     program = space->program;
   }
-  auto t = std::make_shared<Thread>(NextObjId(), space, std::move(program));
+  // Not make_shared: the TCB must come from Thread's class-level slab
+  // (objects.h); the control block staying a separate small allocation is
+  // the price of O(1) recycled TCB storage.
+  auto t = std::shared_ptr<Thread>(new Thread(NextObjId(), space, std::move(program)));
+  ++stats.slab_thread_allocs;
   t->priority = priority;
   t->slice_ticks = cfg.timeslice_ticks;
   t->ctx = SysCtx{this, t.get()};
@@ -96,7 +101,7 @@ std::shared_ptr<Cond> Kernel::NewCond() {
 }
 
 std::shared_ptr<Port> Kernel::NewPort(uint32_t badge) {
-  auto p = std::make_shared<Port>(NextObjId());
+  auto p = std::shared_ptr<Port>(new Port(NextObjId()));  // slab-backed
   p->badge = badge;
   anchors_.push_back(p);
   return p;
@@ -135,7 +140,7 @@ std::shared_ptr<Mapping> Kernel::NewMapping(Space* dest, uint32_t base, Region* 
 }
 
 std::shared_ptr<Reference> Kernel::NewReference(std::shared_ptr<KernelObject> target) {
-  auto r = std::make_shared<Reference>(NextObjId());
+  auto r = std::shared_ptr<Reference>(new Reference(NextObjId()));  // slab-backed
   r->target = std::move(target);
   anchors_.push_back(r);
   return r;
@@ -150,7 +155,53 @@ void Kernel::MakeRunnable(Thread* t) {
   ChargeFpLocks();  // run-queue lock
   t->run_state = ThreadRun::kRunnable;
   t->wake_time = clock.now();
-  runq_[t->priority].PushBack(t);
+  ready_.PushBack(t);
+}
+
+// ---------------------------------------------------------------------------
+// Timer firing: device events and thread timeouts, merged.
+// ---------------------------------------------------------------------------
+
+void Kernel::FireDueTimers(Time now) {
+  for (;;) {
+    TimerWheel::Entry* te = timers.PeekDue(now);
+    const bool ev_due = !events.empty() && events.NextDeadline() <= now;
+    if (te == nullptr && !ev_due) {
+      return;
+    }
+    // Pop the global minimum by (deadline, seq). Seqs come from one shared
+    // counter, so this reproduces the firing order of the single queue.
+    bool wheel_first = te != nullptr;
+    if (te != nullptr && ev_due) {
+      wheel_first = events.NextDeadline() != te->when
+                        ? te->when < events.NextDeadline()
+                        : te->seq < events.NextSeq();
+    }
+    if (wheel_first) {
+      timers.PopDue(now);
+      Thread* t = te->thread;
+      const uint64_t token = te->token;
+      if (t->timer_entry == te) {
+        t->timer_entry = nullptr;
+      }
+      timers.Free(te);
+      // Same guard the old queue-closure used. With eager cancellation it
+      // should always hold; kept as defense in depth.
+      if (t->sleep_token == token && t->run_state == ThreadRun::kBlocked &&
+          t->block_kind == BlockKind::kWaitQueue && t->waiting_on == nullptr) {
+        CompleteBlockedOp(t, kFlukeOk);
+      }
+    } else {
+      EventFn fn = events.PopTop();
+      fn();
+    }
+  }
+}
+
+void Kernel::ArmSleepTimer(Thread* t, Time when, uint64_t token) {
+  CancelSleepTimer(t);  // at most one armed timeout per thread
+  t->timer_entry = timers.Arm(when, events.MintSeq(), t, token);
+  ++stats.timer_arms;
 }
 
 void Kernel::SetLatencyProbe(Thread* t, bool enable) {
@@ -258,12 +309,7 @@ void FinishWake(Kernel* k, Thread* t) {
 }
 
 bool Kernel::PreemptPending(const Thread* t) const {
-  for (int p = t->priority + 1; p < kNumPrio; ++p) {
-    if (!runq_[p].empty()) {
-      return true;
-    }
-  }
-  return false;
+  return ready_.AnyAbove(t->priority);
 }
 
 void Kernel::CancelOp(Thread* t) {
@@ -280,6 +326,7 @@ void Kernel::CancelOp(Thread* t) {
   TraceEndBlockSpan(t, 1);
   TraceEndRemedySpan(t, 1);
   TraceEndSysSpan(t, t->op_sys, 0xFFFFFFFFu);
+  CancelSleepTimer(t);  // a cancelled sleep frees its wheel entry now
   if (t->waiting_on != nullptr) {
     t->waiting_on->Remove(t);
   }
@@ -342,7 +389,7 @@ bool Kernel::SetThreadState(Thread* t, const ThreadState& s) {
     CancelOp(t);
     t->run_state = ThreadRun::kStopped;
   } else if (t->run_state == ThreadRun::kRunnable) {
-    runq_[t->priority].Remove(t);
+    ready_.Remove(t);
     // An FP-preempted thread may hold a retained kernel activation; roll it
     // back (its registers are at the last commit point).
     CancelOpQueuesOnly(t);
@@ -368,7 +415,7 @@ void Kernel::InterruptThread(Thread* t) {
 KStatus Kernel::StopThread(Thread* t) {
   switch (t->run_state) {
     case ThreadRun::kRunnable:
-      runq_[t->priority].Remove(t);
+      ready_.Remove(t);
       CancelOpQueuesOnly(t);  // roll back any FP-preempted activation
       t->run_state = ThreadRun::kStopped;
       break;
@@ -459,6 +506,7 @@ void Kernel::ThreadExit(Thread* t, uint32_t code) {
   TraceEndRemedySpan(t, 5);
   TraceEndSysSpan(t, t->op_sys, 0xFFFFFFFFu);
   trace.Record(clock.now(), TraceKind::kThreadExit, t->id(), code);
+  CancelSleepTimer(t);  // a dead thread must leave nothing on the wheel
   t->exit_code = code;
   DetachFromIpc(t);
   if (t->join_wait != nullptr) {
@@ -477,7 +525,7 @@ void Kernel::DestroyThread(Thread* t) {
   }
   switch (t->run_state) {
     case ThreadRun::kRunnable:
-      runq_[t->priority].Remove(t);
+      ready_.Remove(t);
       CancelOpQueuesOnly(t);
       break;
     case ThreadRun::kBlocked:
@@ -631,6 +679,7 @@ void Kernel::CancelOpQueuesOnly(Thread* t, bool counts_as_restart) {
   TraceEndBlockSpan(t, 1);
   TraceEndRemedySpan(t, 1);
   TraceEndSysSpan(t, t->op_sys, 0xFFFFFFFFu);
+  CancelSleepTimer(t);  // see CancelOp: no dead-entry no-op fires
   UncountBlockedBytes(t);
   if (t->op.valid()) {
     // See CancelOp: restore the running handler's attribution afterwards.
@@ -725,32 +774,6 @@ void Kernel::CompleteFaultWait(Thread* victim) {
 }
 
 // ---------------------------------------------------------------------------
-// Frame accounting.
-// ---------------------------------------------------------------------------
-
-void Kernel::AccountFrameAlloc(Thread* t, size_t bytes) {
-  ++stats.frames_allocated;
-  stats.frame_bytes_allocated += bytes;
-  stats.frame_bytes_live += bytes;
-  if (stats.frame_bytes_live > stats.frame_bytes_live_peak) {
-    stats.frame_bytes_live_peak = stats.frame_bytes_live;
-  }
-  if (t != nullptr) {
-    t->kstack_bytes += bytes;
-    if (t->kstack_bytes > t->kstack_bytes_peak) {
-      t->kstack_bytes_peak = t->kstack_bytes;
-    }
-  }
-}
-
-void Kernel::AccountFrameFree(Thread* t, size_t bytes) {
-  stats.frame_bytes_live -= bytes;
-  if (t != nullptr) {
-    t->kstack_bytes -= bytes;
-  }
-}
-
-// ---------------------------------------------------------------------------
 // Run control.
 // ---------------------------------------------------------------------------
 
@@ -764,14 +787,7 @@ size_t Kernel::AliveThreads() const {
   return n;
 }
 
-bool Kernel::AnyRunnable() const {
-  for (int p = 0; p < kNumPrio; ++p) {
-    if (!runq_[p].empty()) {
-      return true;
-    }
-  }
-  return false;
-}
+bool Kernel::AnyRunnable() const { return ready_.Any(); }
 
 bool Kernel::RunUntilThreadDone(Thread* t, Time max_time) {
   const Time deadline = clock.now() + max_time;

@@ -27,7 +27,9 @@
 #include "src/kern/costs.h"
 #include "src/kern/faultinject.h"
 #include "src/kern/objects.h"
+#include "src/kern/readyqueue.h"
 #include "src/kern/space.h"
+#include "src/kern/timerwheel.h"
 #include "src/uvm/interp.h"
 #include "src/kern/state.h"
 #include "src/kern/stats.h"
@@ -173,13 +175,59 @@ class Kernel {
   // expired) -- consulted by preemption points and FP work quanta.
   bool PreemptPending(const Thread* t) const;
 
-  // Polls hardware: fires due events and dispatches pending interrupts.
-  // NP kernels only do this between dispatches (interrupts stay pending
-  // through whole kernel operations); PP kernels do it at their explicit
-  // preemption points; FP kernels at every work quantum.
+  // Polls hardware: fires due events/timers and dispatches pending
+  // interrupts. NP kernels only do this between dispatches (interrupts stay
+  // pending through whole kernel operations); PP kernels do it at their
+  // explicit preemption points; FP kernels at every work quantum.
   void PollInterrupts() {
-    events.RunDue(clock.now());
-    DispatchIrqs();
+    RunDueTimers();
+    if (irqs.AnyPending()) {
+      DispatchIrqs();
+    }
+  }
+
+  // Fires every due device event and thread timeout, merged in global
+  // (deadline, seq) order across the EventQueue and the timing wheel --
+  // wheel seqs are minted from the EventQueue counter, so this is the same
+  // total order the single queue used to produce. Inline: this runs at the
+  // top of every dispatch-loop iteration, and in the steady state (nothing
+  // due, usually nothing armed) it must cost what the old bare heap-top
+  // compare did.
+  void RunDueTimers() {
+    const Time now = clock.now();
+    if (timers.PeekDue(now) == nullptr &&
+        (events.empty() || events.NextDeadline() > now)) {
+      return;
+    }
+    FireDueTimers(now);
+  }
+  bool TimerQueueEmpty() const { return events.empty() && timers.empty(); }
+  // Earliest pending deadline across both sources; only valid when
+  // !TimerQueueEmpty(). Exact: the idle loop advances the clock to it.
+  Time NextTimerDeadline() {
+    if (timers.empty()) {
+      return events.NextDeadline();
+    }
+    if (events.empty()) {
+      return timers.NextDeadline();
+    }
+    const Time ev = events.NextDeadline();
+    const Time tm = timers.NextDeadline();
+    return ev < tm ? ev : tm;
+  }
+
+  // Arms a clock_sleep-style timeout for `t` at absolute time `when`,
+  // recording it in t->timer_entry. `token` is the sleep_token guard the
+  // fire path checks.
+  void ArmSleepTimer(Thread* t, Time when, uint64_t token);
+  // Cancels t's armed timeout, if any, freeing the wheel entry immediately
+  // (no dead-entry no-op fire). Safe to call unconditionally.
+  void CancelSleepTimer(Thread* t) {
+    if (t->timer_entry != nullptr) {
+      timers.Cancel(t->timer_entry);
+      t->timer_entry = nullptr;
+      ++stats.timer_cancels;
+    }
   }
 
   // Cancels a blocked/stopped thread's in-progress operation: removes it
@@ -221,9 +269,28 @@ class Kernel {
   const Cpu& cur_cpu() const { return cpus_[active_cpu_]; }
 
   // Kernel-stack byte accounting hooks (called from KTask's operator
-  // new/delete via the globals set around handler execution).
-  void AccountFrameAlloc(Thread* t, size_t bytes);
-  void AccountFrameFree(Thread* t, size_t bytes);
+  // new/delete via the globals set around handler execution). Inline: the
+  // syscall fast paths account a synthetic frame pair on every call.
+  void AccountFrameAlloc(Thread* t, size_t bytes) {
+    ++stats.frames_allocated;
+    stats.frame_bytes_allocated += bytes;
+    stats.frame_bytes_live += bytes;
+    if (stats.frame_bytes_live > stats.frame_bytes_live_peak) {
+      stats.frame_bytes_live_peak = stats.frame_bytes_live;
+    }
+    if (t != nullptr) {
+      t->kstack_bytes += bytes;
+      if (t->kstack_bytes > t->kstack_bytes_peak) {
+        t->kstack_bytes_peak = t->kstack_bytes;
+      }
+    }
+  }
+  void AccountFrameFree(Thread* t, size_t bytes) {
+    stats.frame_bytes_live -= bytes;
+    if (t != nullptr) {
+      t->kstack_bytes -= bytes;
+    }
+  }
 
   // -------------------------------------------------------------------------
   // Components (public: this is a simulator; tests and benches inspect them).
@@ -232,6 +299,7 @@ class Kernel {
   CostModel costs;
   VirtualClock clock;
   EventQueue events;
+  TimerWheel timers;  // thread timeouts; device events stay on `events`
   InterruptController irqs;
   TimerDevice timer{&clock, &events, &irqs};
   DiskDevice disk{&clock, &events, &irqs};
@@ -297,19 +365,25 @@ class Kernel {
   // loop entirely.
   template <bool Instrumented>
   void RunLoop(Time until);
+  // Forced inline: one call per dispatched burst -- for a syscall-dense
+  // thread that is once per syscall, and letting the inliner outline these
+  // (it flip-flops as RunLoop grows) costs measurable ns/syscall.
   template <bool Instrumented>
-  void RunThreadT(Thread* t, Time horizon);
+  __attribute__((always_inline)) inline void RunThreadT(Thread* t, Time horizon);
   template <bool Instrumented>
   void EnterSyscallT(Thread* t);
   template <bool Instrumented>
-  void HandleOpOutcomeT(Thread* t);
+  __attribute__((always_inline)) inline void HandleOpOutcomeT(Thread* t);
   template <bool Instrumented>
   void HandleUserFaultT(Thread* t, uint32_t addr, bool is_write);
 
   void DetachFromIpc(Thread* t);
 
-  static constexpr int kNumPrio = 8;
-  IntrusiveList<Thread, &Thread::rq_node> runq_[kNumPrio];
+  // RunDueTimers()'s out-of-line tail: at least one event or timeout is due
+  // at `now`; fires everything due, merged by (deadline, seq).
+  void FireDueTimers(Time now);
+
+  ReadyQueue ready_;
   // Live latency-probe threads (see SetLatencyProbe); threads are removed
   // at exit so DispatchIrqs never sees a dead probe.
   IntrusiveList<Thread, &Thread::probe_node> latency_probes_;

@@ -20,6 +20,7 @@
 #include "src/hal/clock.h"
 #include "src/kern/fwd.h"
 #include "src/kern/ktask.h"
+#include "src/kern/timerwheel.h"
 #include "src/uvm/program.h"
 
 namespace fluke {
@@ -78,6 +79,12 @@ struct Thread final : public KernelObject {
   Thread(uint64_t id, Space* space, ProgramRef program)
       : KernelObject(ObjType::kThread, id), space(space), program(std::move(program)) {}
 
+  // TCBs come from a per-type slab (src/base/slab.h): boot-storming 100k
+  // threads is 100k O(1) free-list pops, not 100k malloc round trips.
+  // Defined in thread.cc where the type is complete.
+  static void* operator new(size_t size);
+  static void operator delete(void* p);
+
   // --- Identity / code ---
   Space* space;
   ProgramRef program;
@@ -103,6 +110,9 @@ struct Thread final : public KernelObject {
   uint32_t op_aux = 0;        // table aux (object type for common ops)
   uint32_t self_handle = 0;   // this thread's handle in its own space
   uint64_t sleep_token = 0;   // invalidates stale clock_sleep wakeups
+  // Armed timeout, if any (owned by Kernel::timers). Cancelling the op
+  // frees the wheel entry immediately via Kernel::CancelSleepTimer.
+  TimerWheel::Entry* timer_entry = nullptr;
 
   // --- Blocking ---
   WaitQueue* waiting_on = nullptr;
@@ -236,6 +246,10 @@ class Port final : public KernelObject {
  public:
   explicit Port(uint64_t id) : KernelObject(ObjType::kPort, id) {}
 
+  // Slab-backed, like Thread (defined in thread.cc).
+  static void* operator new(size_t size);
+  static void operator delete(void* p);
+
   uint32_t badge = 0;           // delivered to servers on accept
   WaitQueue servers;            // threads blocked in server receive on this port
   WaitQueue pollers;            // threads in portset_wait-style polling
@@ -286,6 +300,11 @@ class Mapping final : public KernelObject {
 class Reference final : public KernelObject {
  public:
   explicit Reference(uint64_t id) : KernelObject(ObjType::kReference, id) {}
+
+  // Slab-backed, like Thread (defined in thread.cc): references are the
+  // per-connection IPC-link objects, minted in bulk during connect storms.
+  static void* operator new(size_t size);
+  static void operator delete(void* p);
 
   std::shared_ptr<KernelObject> target;
 };

@@ -1,0 +1,68 @@
+// O(1) ready queue: per-priority intrusive FIFO lists plus a bitmap of
+// non-empty priority classes (shape borrowed from CapROS's reserves
+// scheduler). Picking the next thread is a bit scan over the bitmap and a
+// list pop, independent of how many threads are runnable -- the old
+// per-pick walk over all eight run queues (and the AnyRunnable /
+// PreemptPending walks) was fine at 5 threads and a scaling cliff at 100k.
+//
+// Pick order is bit-identical to the old code: the highest non-empty
+// priority wins, FIFO within a class, with the dispatcher choosing
+// PushFront (retain the slice) vs PushBack (rotate) exactly as before.
+
+#ifndef SRC_KERN_READYQUEUE_H_
+#define SRC_KERN_READYQUEUE_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "src/base/intrusive_list.h"
+#include "src/kern/objects.h"
+
+namespace fluke {
+
+inline constexpr int kNumPrio = 8;
+
+class ReadyQueue {
+ public:
+  void PushBack(Thread* t) {
+    lists_[t->priority].PushBack(t);
+    bitmap_ |= 1u << t->priority;
+  }
+
+  void PushFront(Thread* t) {
+    lists_[t->priority].PushFront(t);
+    bitmap_ |= 1u << t->priority;
+  }
+
+  void Remove(Thread* t) {
+    lists_[t->priority].Remove(t);
+    if (lists_[t->priority].empty()) {
+      bitmap_ &= ~(1u << t->priority);
+    }
+  }
+
+  // Pops the front of the highest non-empty class, or null.
+  Thread* PopHighest() {
+    if (bitmap_ == 0) {
+      return nullptr;
+    }
+    const int p = 31 - std::countl_zero(bitmap_);
+    Thread* t = lists_[p].PopFront();
+    if (lists_[p].empty()) {
+      bitmap_ &= ~(1u << p);
+    }
+    return t;
+  }
+
+  bool Any() const { return bitmap_ != 0; }
+  // True when any class strictly above `priority` is non-empty.
+  bool AnyAbove(int priority) const { return (bitmap_ >> (priority + 1)) != 0; }
+
+ private:
+  IntrusiveList<Thread, &Thread::rq_node> lists_[kNumPrio];
+  uint32_t bitmap_ = 0;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_READYQUEUE_H_

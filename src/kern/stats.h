@@ -156,6 +156,16 @@ struct KernelStats {
   uint64_t syscall_fast_entries = 0;  // syscalls completed by a fast handler
   uint64_t ipc_fast_handoffs = 0;     // direct-handoff sends to a blocked receiver
 
+  // Timer and scheduler data-structure accounting (the 100k-thread scaling
+  // path). Semantic counters: clock_sleep has no fast path and thread
+  // creation is host-driven, so these are identical across engines, TLB,
+  // and fast-path variants of the same workload.
+  uint64_t timer_arms = 0;      // timeouts armed on the timing wheel
+  uint64_t timer_cancels = 0;   // timeouts cancelled (entry freed eagerly)
+  uint64_t timer_cascades = 0;  // wheel entries re-placed by cursor advance
+  uint64_t slab_thread_allocs = 0;  // TCBs carved from the thread slab
+  uint64_t sched_bitmap_scans = 0;  // O(1) ready-bitmap picks (PickNext calls)
+
   // Rollback accounting (Table 3): virtual time of work discarded and
   // redone because an operation rolled back to its last commit point, and
   // virtual time spent remedying faults.

@@ -767,13 +767,7 @@ KTask SysClockSleep(SysCtx& ctx) {
   k.Charge(k.costs.short_body);
   const Time dur = static_cast<Time>(RegB(ctx)) * kNsPerUs;
   const uint64_t token = ++t->sleep_token;
-  Kernel* kp = &k;
-  k.events.ScheduleIn(k.clock, dur, [kp, t, token] {
-    if (t->sleep_token == token && t->run_state == ThreadRun::kBlocked &&
-        t->block_kind == BlockKind::kWaitQueue && t->waiting_on == nullptr) {
-      kp->CompleteBlockedOp(t, kFlukeOk);
-    }
-  });
+  k.ArmSleepTimer(t, k.clock.now() + dur, token);
   co_await Block(ctx, nullptr);
   // Only reached in the process model on a wake that did not complete the
   // op (cannot happen for sleep, but keep the op well-formed).

@@ -14,12 +14,10 @@ ProgramRef ProgramRegistry::Find(const std::string& name) const {
   return it == by_name_.end() ? nullptr : it->second;
 }
 
-DecodedProgram& Program::Decoded(bool* fresh) const {
-  if (decoded_ == nullptr) {
-    decoded_ = std::make_unique<DecodedProgram>(code_.data(), size());
-    if (fresh != nullptr) {
-      *fresh = true;
-    }
+DecodedProgram& Program::DecodedSlow(bool* fresh) const {
+  decoded_ = std::make_unique<DecodedProgram>(code_.data(), size());
+  if (fresh != nullptr) {
+    *fresh = true;
   }
   return *decoded_;
 }

@@ -46,9 +46,17 @@ class Program {
   // is non-const because the engine links handler addresses into the cached
   // table on first run (DecodedProgram::Link); the instruction fields
   // themselves never change after the build.
-  DecodedProgram& Decoded(bool* fresh = nullptr) const;
+  DecodedProgram& Decoded(bool* fresh = nullptr) const {
+    // Cache hit is the per-burst steady state: one load, no call.
+    if (decoded_ != nullptr) {
+      return *decoded_;
+    }
+    return DecodedSlow(fresh);
+  }
 
  private:
+  DecodedProgram& DecodedSlow(bool* fresh) const;
+
   std::string name_;
   std::vector<Instr> code_;
   // Lazy per-program cache. The simulator is single-threaded (one kernel

@@ -365,4 +365,152 @@ AppResult RunGcc(const KernelConfig& cfg, const GccParams& p) {
   return Collect(k, done);
 }
 
+// ---------------------------------------------------------------------------
+// c1m: the thread-scaling workload
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kC1mPorts = 8;    // pool width (ports == servers)
+constexpr uint32_t kC1mBufSend = 0x10000;  // shared one-word RPC buffers
+constexpr uint32_t kC1mBufRecv = 0x10010;
+constexpr uint32_t kC1mSrvBuf = 0x10000;
+constexpr uint32_t kC1mSrvReply = 0x10010;
+constexpr uint32_t kC1mSlotBase = 0x20000;  // per-thread spill slots, 8 B each
+
+}  // namespace
+
+std::vector<Thread*> BuildC1mWorkload(Kernel& k, const C1mParams& p) {
+  auto ss = k.CreateSpace("c1m-server");
+  ss->SetAnonRange(0x10000, 1 << 16);
+  auto cs = k.CreateSpace("c1m-client");
+  // Covers the shared RPC buffers plus one 8-byte spill slot per handle
+  // (slots are indexed by thread_self, which follows the port refs).
+  cs->SetAnonRange(0x10000, kC1mSlotBase - 0x10000 + 8 * (p.clients + kC1mPorts + 8));
+  auto ms = k.CreateSpace("c1m-master");
+  ms->SetAnonRange(0x10000, 1 << 14);
+
+  // The pool: kC1mPorts ports behind one portset (host-side membership;
+  // portset_add is what a server boot thread would run). Clients get refs
+  // at contiguous handles so they can pick a port with arithmetic.
+  auto pset = k.NewPortset();
+  const Handle ps_h = k.Install(ss.get(), pset);
+  Handle ref_base = 0;
+  for (uint32_t i = 0; i < kC1mPorts; ++i) {
+    auto port = k.NewPort(/*badge=*/i + 1);
+    k.Install(ss.get(), port);
+    port->member_of = pset.get();
+    pset->ports.push_back(port.get());
+    const Handle r = k.Install(cs.get(), k.NewReference(port));
+    if (i == 0) ref_base = r;
+    assert(r == ref_base + i && "port refs must be contiguous");
+  }
+
+  // Server: serve whichever port fires until the client goes away, then
+  // back to the pool. Never halts -- a daemon, like the pager.
+  Assembler sa("c1m-server");
+  sa.MovImm(kRegSP, kFlukeOk);
+  const auto souter = sa.NewLabel();
+  const auto sinner = sa.NewLabel();
+  sa.Bind(souter);
+  EmitSys(sa, kSysIpcWaitReceive, ps_h, 0, 0, kC1mSrvBuf, 1);
+  sa.Bne(kRegA, kRegSP, souter);
+  sa.Bind(sinner);
+  EmitSys(sa, kSysIpcServerAckSendOverReceive, 0, kC1mSrvReply, 1, kC1mSrvBuf, 1);
+  sa.Beq(kRegA, kRegSP, sinner);
+  EmitSys(sa, kSysIpcServerDisconnect);
+  sa.Jmp(souter);
+  ProgramRef server_prog = sa.Build();
+  for (uint32_t i = 0; i < kC1mPorts; ++i) {
+    k.StartThread(k.CreateThread(ss.get(), server_prog, /*priority=*/5));
+  }
+
+  // Client: spill the derived per-thread constants (port ref, sleep length)
+  // to a self-indexed slot -- the syscall stubs clobber every argument
+  // register -- then run `rounds` of connect/RPC/disconnect/sleep and park.
+  // Statuses are deliberately ignored: the master's interrupt sweep may
+  // land anywhere, and an aborted round is part of the storm.
+  Assembler ca("c1m-client");
+  EmitSys(ca, kSysThreadSelf);                  // B = self handle
+  ca.MovImm(kRegC, 3);
+  ca.Shl(kRegBP, kRegB, kRegC);
+  ca.AddImm(kRegBP, kRegBP, kC1mSlotBase);      // BP = spill slot (callee-saved)
+  ca.MovImm(kRegC, kC1mPorts - 1);
+  ca.And(kRegC, kRegB, kRegC);
+  ca.AddImm(kRegC, kRegC, ref_base);
+  ca.StoreW(kRegC, kRegBP, 0);                  // slot[0] = my port's ref
+  ca.MovImm(kRegC, 63);
+  ca.And(kRegC, kRegB, kRegC);
+  ca.AddImm(kRegC, kRegC, 100);
+  ca.StoreW(kRegC, kRegBP, 4);                  // slot[4] = 100+(self&63) us
+  for (uint32_t r = 0; r < p.rounds; ++r) {
+    ca.LoadW(kRegB, kRegBP, 0);
+    EmitSys(ca, kSysIpcClientConnect, kUlibKeep);
+    EmitSys(ca, kSysIpcClientSendOverReceive, kUlibKeep, kC1mBufSend, 1, kC1mBufRecv, 1);
+    EmitSys(ca, kSysIpcClientDisconnect);
+    ca.LoadW(kRegB, kRegBP, 4);
+    EmitSys(ca, kSysClockSleep, kUlibKeep);
+  }
+  EmitSys(ca, kSysClockSleep, p.park_us);
+  ca.MovImm(kRegB, 0);
+  ca.Halt();
+  ProgramRef client_prog = ca.Build();
+
+  std::vector<Thread*> done_order;
+  done_order.reserve(p.clients + 1);
+  std::vector<Handle> client_handles;
+  client_handles.reserve(p.clients);
+  for (uint32_t i = 0; i < p.clients; ++i) {
+    Thread* t = k.CreateThread(cs.get(), client_prog, /*priority=*/2);
+    client_handles.push_back(k.Install(ms.get(), k.threads().back()));
+    k.StartThread(t);
+    done_order.push_back(t);
+  }
+
+  // Master: sleep past the connect storm, then one interrupt per client --
+  // the wakeup storm. Parked clients get their sleep timers cancelled;
+  // stragglers get an aborted round; dead clients are a cheap no-op. The
+  // auto-scaled delay (~30 us of serialized virtual time per client) lands
+  // the sweep mid-run, when a steady-state population of clients is parked
+  // -- that is what drives timer_cancels at every scale.
+  const uint32_t sweep_delay_us =
+      p.sweep_delay_us != 0 ? p.sweep_delay_us : 10000 + 30 * p.clients;
+  Assembler ma("c1m-master");
+  EmitSys(ma, kSysClockSleep, sweep_delay_us);
+  for (const Handle h : client_handles) {
+    EmitSys(ma, kSysThreadInterrupt, h);
+  }
+  ma.MovImm(kRegB, 0);
+  ma.Halt();
+  Thread* master = k.CreateThread(ms.get(), ma.Build(), /*priority=*/6);
+  k.StartThread(master);
+  done_order.push_back(master);
+  return done_order;
+}
+
+C1mResult RunC1m(const KernelConfig& cfg, const C1mParams& p) {
+  Kernel k(cfg);
+  std::vector<Thread*> threads = BuildC1mWorkload(k, p);
+  // Budget scales with N: the pool serializes rounds*N RPCs.
+  const Time budget = kNsPerMs * (2000 + 2ull * p.clients);
+  bool completed = true;
+  const Time deadline = k.clock.now() + budget;
+  for (Thread* t : threads) {
+    if (!k.RunUntilThreadDone(t, deadline - k.clock.now())) {
+      completed = false;
+      break;
+    }
+  }
+  C1mResult r;
+  r.app = Collect(k, completed);
+  r.clients = p.clients;
+  r.bytes_per_thread =
+      static_cast<double>(k.stats.blocked_frame_bytes_peak) / p.clients;
+  r.wakeups_per_vsec = k.clock.now() == 0
+                           ? 0.0
+                           : static_cast<double>(k.stats.context_switches) *
+                                 1e9 / static_cast<double>(k.clock.now());
+  return r;
+}
+
 }  // namespace fluke

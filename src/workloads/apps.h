@@ -18,11 +18,15 @@
 #define SRC_WORKLOADS_APPS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/kern/config.h"
 #include "src/kern/stats.h"
 
 namespace fluke {
+
+class Kernel;
+struct Thread;
 
 struct AppResult {
   Time elapsed_ns = 0;
@@ -65,6 +69,51 @@ struct GccParams {
 AppResult RunMemtest(const KernelConfig& cfg, const MemtestParams& p = {});
 AppResult RunFlukeperf(const KernelConfig& cfg, const FlukeperfParams& p = {});
 AppResult RunGcc(const KernelConfig& cfg, const GccParams& p = {});
+
+// --- The c1m thread-scaling workload (not from the paper) ---
+//
+// N client threads hammer a pool of servers behind a portset: every client
+// does `rounds` of connect -> one-word RPC -> disconnect -> clock_sleep
+// (staggered per-thread durations, so the timing wheel sees both a connect
+// storm and a timeout storm), then parks in a long sleep. A master thread
+// sweeps thread_interrupt over every client (the wakeup storm: parked
+// sleeps cancel their timers and finish early). The server pool services
+// whatever arrives and runs forever, like a daemon; the run is over when
+// the clients and the master are dead.
+//
+// The point is footprint and wake throughput at large N, per execution
+// model: in the process model every blocked client retains its kernel
+// stack, in the interrupt model blocked clients cost only their restart
+// registers. bytes_per_thread reports exactly that.
+
+struct C1mParams {
+  uint32_t clients = 1000;
+  uint32_t rounds = 2;           // RPC+sleep rounds per client
+  uint32_t park_us = 50000;      // final parked sleep (cut short by the sweep)
+  // Master sleeps this long, then sweeps thread_interrupt over every
+  // client. 0 (the default) auto-scales with the client count: virtual
+  // time is serialized, so the first client reaches its park only after
+  // ~everyone's first RPC round, and a fixed delay either lands before any
+  // sleeper exists (large N) or after all of them woke (small N).
+  uint32_t sweep_delay_us = 0;
+};
+
+struct C1mResult {
+  AppResult app;
+  uint32_t clients = 0;
+  // Peak kernel bytes held by blocked threads, divided by N: the per-thread
+  // kernel memory cost of the execution model.
+  double bytes_per_thread = 0.0;
+  // Thread wakeups (context switches) per virtual second: wake throughput.
+  double wakeups_per_vsec = 0.0;
+};
+
+// Builds the workload into an existing kernel and returns the threads whose
+// completion ends the run (the clients, then the master). Used by fluke_run
+// --workload=c1m and by RunC1m below.
+std::vector<Thread*> BuildC1mWorkload(Kernel& k, const C1mParams& p);
+
+C1mResult RunC1m(const KernelConfig& cfg, const C1mParams& p = {});
 
 }  // namespace fluke
 

@@ -2,6 +2,7 @@
 // preemption per configuration, latency-probe plumbing, sleep/join/irq
 // waits.
 
+#include "src/workloads/apps.h"
 #include "tests/test_util.h"
 
 namespace fluke {
@@ -194,6 +195,74 @@ TEST_P(SchedTest, RestartStatsCountInterruptModelWakeups) {
     // The retained activation resumed; no restart.
     EXPECT_EQ(w.kernel.stats.syscall_restarts, 0u);
   }
+}
+
+// The O(1) ready-bitmap scheduler and the timing wheel must not perturb the
+// schedule: the dispatch-boundary opportunity stream (ScheduleDigest) and
+// the semantic counters must be bit-identical across runs and across both
+// interpreter engines, in every paper config. The c1m workload is the
+// stress shape: hundreds of threads churning through the ready queue, the
+// portset pool, and the wheel at once.
+struct SchedDigestRun {
+  uint64_t digest = 0;
+  Time final_time = 0;
+  uint64_t context_switches = 0;
+  uint64_t timer_arms = 0;
+  uint64_t timer_cancels = 0;
+  uint64_t sched_bitmap_scans = 0;
+  bool completed = true;
+};
+
+SchedDigestRun RunC1mDigest(KernelConfig cfg, bool threaded) {
+  cfg.enable_threaded_interp = threaded;
+  // Enable the injector with no failure rates: it records the dispatch-
+  // boundary stream (the schedule) without injecting anything.
+  cfg.fault_plan.enabled = true;
+  cfg.fault_plan.seed = 42;
+  Kernel k(cfg);
+  C1mParams p;
+  p.clients = 96;
+  p.sweep_delay_us = 3000;
+  p.park_us = 20000;
+  std::vector<Thread*> threads = BuildC1mWorkload(k, p);
+  k.finj.Arm();
+  SchedDigestRun r;
+  const Time deadline = k.clock.now() + 4000 * kNsPerMs;
+  for (Thread* t : threads) {
+    if (!k.RunUntilThreadDone(t, deadline - k.clock.now())) {
+      r.completed = false;
+      break;
+    }
+  }
+  r.digest = k.finj.ScheduleDigest();
+  r.final_time = k.clock.now();
+  r.context_switches = k.stats.context_switches;
+  r.timer_arms = k.stats.timer_arms;
+  r.timer_cancels = k.stats.timer_cancels;
+  r.sched_bitmap_scans = k.stats.sched_bitmap_scans;
+  return r;
+}
+
+TEST_P(SchedTest, C1mScheduleDigestIdenticalAcrossRunsAndEngines) {
+  const SchedDigestRun a = RunC1mDigest(GetParam(), /*threaded=*/false);
+  const SchedDigestRun b = RunC1mDigest(GetParam(), /*threaded=*/false);
+  const SchedDigestRun c = RunC1mDigest(GetParam(), /*threaded=*/true);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.timer_arms, b.timer_arms);
+  EXPECT_EQ(a.timer_cancels, b.timer_cancels);
+  EXPECT_EQ(a.sched_bitmap_scans, b.sched_bitmap_scans);
+  EXPECT_EQ(a.digest, c.digest);
+  EXPECT_EQ(a.final_time, c.final_time);
+  EXPECT_EQ(a.context_switches, c.context_switches);
+  EXPECT_EQ(a.timer_arms, c.timer_arms);
+  EXPECT_EQ(a.timer_cancels, c.timer_cancels);
+  EXPECT_EQ(a.sched_bitmap_scans, c.sched_bitmap_scans);
+  // The storm actually exercised the new machinery.
+  EXPECT_GT(a.timer_arms, 96u);
+  EXPECT_GT(a.sched_bitmap_scans, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllConfigs, SchedTest, testing::ValuesIn(AllPaperConfigs()),

@@ -23,6 +23,10 @@
 //   --workload=rpc[:N]            run the built-in RPC ping-pong workload
 //                                 (N round trips, default 200) instead of
 //                                 .fasm programs
+//   --workload=c1m[:N]            run the thread-scaling workload (N client
+//                                 threads against a portset server pool;
+//                                 default 1000); --stats adds bytes/thread
+//                                 and wakeups/sec
 //   --ps                          dump thread/space state at exit
 //   --fault-plan=SPEC             arm deterministic fault injection, e.g.
 //                                 "seed=7,frame-every=3,crash=100" (see
@@ -51,6 +55,7 @@
 #include "src/kern/profile.h"
 #include "src/kern/trace_export.h"
 #include "src/uvm/asmparse.h"
+#include "src/workloads/apps.h"
 #include "src/workloads/audit.h"
 #include "src/workloads/pager.h"
 
@@ -62,7 +67,7 @@ int Usage() {
                "usage: fluke_run [--model=process|interrupt] [--preempt=np|pp|fp]\n"
                "                 [--anon=BYTES] [--max-ms=N] [--paged] [--stats] [--trace] [--ps]\n"
                "                 [--stats-json=FILE] [--trace-out=FILE] [--trace-cap=N]\n"
-               "                 [--profile] [--workload=rpc[:N]]\n"
+               "                 [--profile] [--workload=rpc[:N]] [--workload=c1m[:N]]\n"
                "                 [--fault-plan=SPEC] [--audit]\n"
                "                 program.fasm [more.fasm ...]\n");
   return 2;
@@ -141,6 +146,8 @@ int Main(int argc, char** argv) {
   size_t trace_cap = 0;  // 0 = unset
   bool workload_rpc = false;
   uint32_t rpc_rounds = 200;
+  bool workload_c1m = false;
+  uint32_t c1m_clients = 1000;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -179,13 +186,19 @@ int Main(int argc, char** argv) {
       trace_cap = std::stoull(arg.substr(12), nullptr, 0);
     } else if (arg.rfind("--workload=", 0) == 0) {
       const std::string spec = arg.substr(11);
-      if (spec.rfind("rpc", 0) != 0) {
+      if (spec.rfind("rpc", 0) == 0) {
+        workload_rpc = true;
+        if (spec.size() > 3 && spec[3] == ':') {
+          rpc_rounds = static_cast<uint32_t>(std::stoul(spec.substr(4), nullptr, 0));
+        }
+      } else if (spec.rfind("c1m", 0) == 0) {
+        workload_c1m = true;
+        if (spec.size() > 3 && spec[3] == ':') {
+          c1m_clients = static_cast<uint32_t>(std::stoul(spec.substr(4), nullptr, 0));
+        }
+      } else {
         std::fprintf(stderr, "fluke_run: unknown workload '%s'\n", spec.c_str());
         return 2;
-      }
-      workload_rpc = true;
-      if (spec.size() > 3 && spec[3] == ':') {
-        rpc_rounds = static_cast<uint32_t>(std::stoul(spec.substr(4), nullptr, 0));
       }
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
       std::string err;
@@ -200,7 +213,7 @@ int Main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (files.empty() && !audit && !workload_rpc) {
+  if (files.empty() && !audit && !workload_rpc && !workload_c1m) {
     return Usage();
   }
   if (!cfg.Valid()) {
@@ -248,6 +261,11 @@ int Main(int argc, char** argv) {
   if (workload_rpc) {
     threads.push_back(BuildRpcWorkload(kernel, rpc_rounds));
     names.push_back("workload:rpc");
+  } else if (workload_c1m) {
+    C1mParams cp;
+    cp.clients = c1m_clients;
+    threads = BuildC1mWorkload(kernel, cp);
+    names.assign(threads.size(), "workload:c1m");
   } else {
     std::shared_ptr<Space> space;
     if (paged) {
@@ -321,6 +339,23 @@ int Main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.hard_faults),
                  static_cast<unsigned long long>(s.syscall_fast_entries),
                  static_cast<unsigned long long>(s.ipc_fast_handoffs));
+    std::fprintf(stderr,
+                 "  timers: %llu arms, %llu cancels, %llu cascades | "
+                 "slab: %llu thread allocs | sched: %llu bitmap scans\n",
+                 static_cast<unsigned long long>(s.timer_arms),
+                 static_cast<unsigned long long>(s.timer_cancels),
+                 static_cast<unsigned long long>(s.timer_cascades),
+                 static_cast<unsigned long long>(s.slab_thread_allocs),
+                 static_cast<unsigned long long>(s.sched_bitmap_scans));
+    if (workload_c1m && c1m_clients != 0 && kernel.clock.now() != 0) {
+      std::fprintf(stderr,
+                   "  c1m: %u clients | %.1f blocked bytes/thread (peak) | "
+                   "%.0f wakeups/vsec\n",
+                   c1m_clients,
+                   static_cast<double>(s.blocked_frame_bytes_peak) / c1m_clients,
+                   static_cast<double>(s.context_switches) * 1e9 /
+                       static_cast<double>(kernel.clock.now()));
+    }
     if (!s.probe_hist.empty()) {
       std::fprintf(stderr, "  probe latency:  p50=%lluns p95=%lluns max=%lluns (%llu runs)\n",
                    static_cast<unsigned long long>(s.ProbeP50()),
