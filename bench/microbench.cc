@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "src/api/ulib.h"
 #include "src/kern/kernel.h"
 #include "src/workloads/apps.h"
@@ -356,6 +358,44 @@ void BM_ThreadScale(benchmark::State& state) {
 BENCHMARK(BM_ThreadScale)
     ->ArgsProduct({{1000, 20000}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
+
+// The MP epoch dispatcher at N simulated CPUs (Arg: N) on the sharded c1m
+// workload, parallel backend. Measures HOST time for a full
+// build-boot-storm-quiesce cycle; speedup_vs_1cpu is host throughput
+// relative to the N=1 run of the same process (benchmarks run in
+// registration order, so the 1-CPU baseline always lands first). On a
+// single-core host the parallel backend cannot beat 1x -- the counter then
+// records the honest epoch-machinery overhead rather than a win; see
+// EXPERIMENTS.md.
+void BM_MpScale(benchmark::State& state) {
+  KernelConfig cfg;
+  cfg.num_cpus = static_cast<int>(state.range(0));
+  C1mParams p;
+  p.clients = 2000;
+  static double base_run_secs = 0;  // host secs/run at num_cpus=1
+  C1mResult last;
+  double secs = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    last = RunC1m(cfg, p);
+    secs += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (!last.app.completed) {
+      state.SkipWithError("c1m did not quiesce within its virtual budget");
+      return;
+    }
+    benchmark::DoNotOptimize(last.app.stats.context_switches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * p.clients);
+  const double run_secs = secs / static_cast<double>(state.iterations());
+  if (cfg.num_cpus == 1) {
+    base_run_secs = run_secs;
+  }
+  state.counters["host_ms_per_run"] = run_secs * 1e3;
+  state.counters["speedup_vs_1cpu"] = base_run_secs > 0 ? base_run_secs / run_secs : 0;
+  state.counters["mp_epochs"] = static_cast<double>(last.app.stats.mp_epochs);
+  state.counters["cross_cpu_ipc"] = static_cast<double>(last.app.stats.cross_cpu_ipc);
+}
+BENCHMARK(BM_MpScale)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace fluke

@@ -38,6 +38,11 @@ class VirtualClock {
       now_ = t;
     }
   }
+  // Multi-CPU dispatch only (src/kern/dispatch.cc): the kernel "loans" the
+  // global clock to one CPU's virtual-time lane at a time, which requires
+  // setting it backwards when switching from a fast lane to a slower one.
+  // Never valid anywhere else -- all other advancement is monotonic.
+  void SetForMpLane(Time t) { now_ = t; }
 
  private:
   Time now_ = 0;

@@ -55,6 +55,11 @@ enum class PreemptMode : int {
   kFull = 2,     // FP: preemptible at every work quantum (process model only)
 };
 
+// Upper bound on simulated CPUs. Each CPU costs a ReadyQueue, a virtual-time
+// lane and (in the parallel backend) a host worker thread, so the cap is a
+// sanity bound, not a hardware limit; 64 comfortably covers current hosts.
+inline constexpr int kMaxCpus = 64;
+
 struct KernelConfig {
   ExecModel model = ExecModel::kProcess;
   PreemptMode preempt = PreemptMode::kNone;
@@ -84,16 +89,44 @@ struct KernelConfig {
   // A/B check and for debugging. Self-disables while a FaultPlan is armed
   // or the trace buffer is enabled.
   bool fast_path = true;
+  // Epoch quantum for the multi-CPU dispatcher (src/kern/dispatch.cc): each
+  // CPU runs its own virtual-time lane up to
+  // min(epoch base + mp_epoch_ns, next timer deadline, run horizon), then
+  // all CPUs meet at a barrier where timers/IRQs fire and cross-CPU effects
+  // merge in CPU order. Smaller epochs tighten device-timer latency bounds;
+  // larger epochs amortize barrier cost. Irrelevant when num_cpus == 1.
+  uint64_t mp_epoch_ns = 100 * 1000;
+  // Execute multi-CPU epochs on host worker threads (one per simulated CPU)
+  // instead of a serial per-CPU loop. Both backends run the identical epoch
+  // schedule and are bit-identical (tested by tests/mp_test.cc); serial
+  // exists for that A/B check and is forced whenever instrumentation
+  // (fault plan / trace) is live, mirroring the fast_path rule.
+  bool mp_parallel = true;
   // Deterministic fault injection; inert unless fault_plan.enabled and the
   // injector is armed (tests arm it after host-side setup).
   FaultPlan fault_plan;
 
-  bool Valid() const {
-    if (preempt == PreemptMode::kFull && model == ExecModel::kInterrupt) {
-      return false;  // paper section 5.2: FP needs per-thread kernel stacks
+  // Empty string when the configuration is usable; otherwise a description
+  // of the first problem found.
+  std::string Validate() const {
+    if (num_cpus <= 0) {
+      return "num_cpus must be >= 1 (got " + std::to_string(num_cpus) + ")";
     }
-    return num_cpus >= 1 && num_cpus <= 8;
+    if (num_cpus > kMaxCpus) {
+      return "num_cpus must be <= " + std::to_string(kMaxCpus) + " (got " +
+             std::to_string(num_cpus) + ")";
+    }
+    if (preempt == PreemptMode::kFull && model == ExecModel::kInterrupt) {
+      // Paper section 5.2: FP needs per-thread kernel stacks.
+      return "full preemption requires the process model";
+    }
+    if (num_cpus > 1 && mp_epoch_ns == 0) {
+      return "mp_epoch_ns must be nonzero when num_cpus > 1";
+    }
+    return "";
   }
+
+  bool Valid() const { return Validate().empty(); }
 
   // Paper-style label, e.g. "Process NP", "Interrupt PP".
   std::string Label() const;

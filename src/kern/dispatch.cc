@@ -19,6 +19,7 @@
 
 #include "src/kern/kernel.h"
 #include "src/kern/legacy.h"
+#include "src/kern/mppool.h"
 #include "src/kern/syscall_table.h"
 #include "src/uvm/interp.h"
 
@@ -30,6 +31,18 @@ void Kernel::Run(Time until) {
   // Instrumented=false loop runs -- compiled with no hook code at all, and
   // with the syscall/IPC fast paths eligible. Arming happens only from host
   // code between Run() calls, so the choice is stable for the whole call.
+  if (cfg.num_cpus > 1) {
+    // Epoch dispatcher. Instrumentation forces the serial backend (the
+    // fast_path rule): hooks then fire in the deterministic CPU-order
+    // merge, never in host-arrival order -- and since both backends run
+    // the identical epoch schedule, nothing is observably different.
+    if (InstrumentationLive()) {
+      RunMpLoop<true>(until, /*parallel=*/false);
+    } else {
+      RunMpLoop<false>(until, cfg.mp_parallel);
+    }
+    return;
+  }
   if (InstrumentationLive()) {
     RunLoop<true>(until);
   } else {
@@ -80,7 +93,7 @@ void Kernel::RunLoop(Time until) {
           // Freeze the machine with the picked thread back in its schedule
           // slot; recovery is a checkpoint reload into a fresh kernel.
           trace.Record(clock.now(), TraceKind::kFaultInject, t->id(), 1);
-          ready_.PushFront(t);
+          cpus_[0].ready.PushFront(t);
           crashed_ = true;
           return;
         }
@@ -94,17 +107,16 @@ void Kernel::RunLoop(Time until) {
     if (!TimerQueueEmpty()) {
       horizon = std::min(horizon, NextTimerDeadline());
     }
-    RunThreadT<Instrumented>(t, horizon);
-    if (cfg.num_cpus > 1) {
-      active_cpu_ = (active_cpu_ + 1) % cfg.num_cpus;
-    }
+    RunThreadT<Instrumented>(cpus_[0], t, horizon);
   }
 }
 
-Thread* Kernel::PickNext() {
+Thread* Kernel::PickNext() { return PickNextOn(*exec_cpu_); }
+
+Thread* Kernel::PickNextOn(Cpu& c) {
   // One bitmap scan + list pop, whatever the runnable count (readyqueue.h).
   ++stats.sched_bitmap_scans;
-  return ready_.PopHighest();
+  return c.ready.PopHighest();
 }
 
 void Kernel::DispatchIrqs() {
@@ -122,6 +134,12 @@ void Kernel::DispatchIrqs() {
       Charge(costs.tick_work);
       if (ticks_seen_ % cfg.timeslice_ticks < n_ticks) {
         rotate_pending_ = true;
+        if (cfg.num_cpus > 1) {
+          // The tick rotates every CPU's lane (epoch dispatcher).
+          for (Cpu& c : cpus_) {
+            c.rotate = true;
+          }
+        }
       }
       // Table 6 probe accounting: a probe that is waiting will run once now
       // (the remaining coalesced ticks are misses); one that is still
@@ -152,15 +170,14 @@ void Kernel::DispatchIrqs() {
 void Kernel::RunThread(Thread* t, Time horizon) {
   // Non-template entrypoint (white-box tests): dispatch per call.
   if (InstrumentationLive()) {
-    RunThreadT<true>(t, horizon);
+    RunThreadT<true>(*exec_cpu_, t, horizon);
   } else {
-    RunThreadT<false>(t, horizon);
+    RunThreadT<false>(*exec_cpu_, t, horizon);
   }
 }
 
 template <bool Instrumented>
-void Kernel::RunThreadT(Thread* t, Time horizon) {
-  Cpu& cpu = cur_cpu();
+void Kernel::RunThreadT(Cpu& cpu, Thread* t, Time horizon) {
   if (cpu.last != t) {
     ++stats.context_switches;
     if constexpr (Instrumented) {
@@ -185,7 +202,7 @@ void Kernel::RunThreadT(Thread* t, Time horizon) {
   if (t->op.valid()) {
     // Retained kernel activation (process model): resume mid-handler.
     ResumeOp(t);
-    HandleOpOutcomeT<Instrumented>(t);
+    HandleOpOutcomeT<Instrumented>(cpu, t);
   } else if (t->program == nullptr) {
     ThreadExit(t, 0xBAD0);  // no code to run
   } else {
@@ -225,7 +242,7 @@ void Kernel::RunThreadT(Thread* t, Time horizon) {
         case UserEvent::kBudget:
           break;  // horizon reached; requeue below
         case UserEvent::kSyscall:
-          EnterSyscallT<Instrumented>(t);
+          EnterSyscallT<Instrumented>(cpu, t);
           break;
         case UserEvent::kFault:
           HandleUserFaultT<Instrumented>(t, r.fault_addr, r.fault_is_write);
@@ -252,10 +269,10 @@ void Kernel::RunThreadT(Thread* t, Time horizon) {
   if (t->run_state == ThreadRun::kRunning) {
     t->run_state = ThreadRun::kRunnable;
     if (rotate_pending_) {
-      ready_.PushBack(t);  // timeslice round-robin
+      cpu.ready.PushBack(t);  // timeslice round-robin
       rotate_pending_ = false;
     } else {
-      ready_.PushFront(t);  // keep running next pick
+      cpu.ready.PushFront(t);  // keep running next pick
     }
   }
   cpu.last = t;
@@ -264,14 +281,14 @@ void Kernel::RunThreadT(Thread* t, Time horizon) {
 
 void Kernel::EnterSyscall(Thread* t) {
   if (InstrumentationLive()) {
-    EnterSyscallT<true>(t);
+    EnterSyscallT<true>(*exec_cpu_, t);
   } else {
-    EnterSyscallT<false>(t);
+    EnterSyscallT<false>(*exec_cpu_, t);
   }
 }
 
 template <bool Instrumented>
-void Kernel::EnterSyscallT(Thread* t) {
+void Kernel::EnterSyscallT(Cpu& cpu, Thread* t) {
   ++stats.syscalls;
   if constexpr (Instrumented) {
     finj.Note(FaultHook::kSyscallEntry);
@@ -346,7 +363,7 @@ void Kernel::EnterSyscallT(Thread* t) {
   SetFrameAccounting(this, t);
   t->op = def->handler(t->ctx);
   ResumeOp(t);
-  HandleOpOutcomeT<Instrumented>(t);
+  HandleOpOutcomeT<Instrumented>(cpu, t);
 }
 
 void Kernel::ResumeOp(Thread* t) {
@@ -367,14 +384,16 @@ void Kernel::UncountBlockedBytes(Thread* t) {
 
 void Kernel::HandleOpOutcome(Thread* t) {
   if (InstrumentationLive()) {
-    HandleOpOutcomeT<true>(t);
+    HandleOpOutcomeT<true>(*exec_cpu_, t);
   } else {
-    HandleOpOutcomeT<false>(t);
+    HandleOpOutcomeT<false>(*exec_cpu_, t);
   }
 }
 
 template <bool Instrumented>
-void Kernel::HandleOpOutcomeT(Thread* t) {
+void Kernel::HandleOpOutcomeT(Cpu& cpu, Thread* t) {
+  (void)cpu;  // the dispatcher context; kept explicit so no hot-path callee
+              // reaches for global mutable CPU state
   if (t->op.valid() && t->op.done()) {
     // The operation completed (co_return): result registers are final.
     if constexpr (Instrumented) {
@@ -580,6 +599,356 @@ void Kernel::HandlePseudoSyscall(Thread* t, uint32_t sys) {
       Finish(t, kFlukeErrBadArgument);
       return;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-CPU epoch dispatcher.
+//
+// An epoch runs every CPU's virtual-time lane from a common base to a common
+// horizon (min of the run limit, the epoch quantum, and the next timer
+// deadline). Within an epoch, rounds alternate two phases:
+//
+//   phase B (serial, CPU order 0..N-1): MpAdvance picks threads and executes
+//     kernel work -- syscalls, faults, wakeups -- with the global clock
+//     loaned to the CPU's lane, until the CPU has a pure user-mode
+//     interpreter burst staged (or its lane reaches the horizon);
+//   phase A (parallel): MpRunBursts executes every staged burst. Bursts
+//     touch only thread registers, the frames of the thread's space-affinity
+//     domain, and the CPU's stat shard -- all owned by exactly one CPU -- so
+//     running them on host workers is a pure reordering of independent work;
+//   back to phase B: MpConsume charges each burst's cycles on its lane and
+//     handles its trap, again serially in CPU order.
+//
+// Everything that orders cross-CPU effects -- picks, wakeups, timer fires,
+// stat-shard folds -- happens in the serial phases in deterministic CPU
+// order, so the parallel backend produces bit-identical schedules, stats and
+// digests to the serial backend (cfg.mp_parallel = false runs phase A on a
+// for-loop instead of the pool; nothing else differs).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline uint64_t FnvMix(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+  return h;
+}
+
+// RunThreadT's requeue tail, with the per-CPU rotate flag.
+inline void MpRequeue(Cpu& c, Thread* t) {
+  if (t->run_state == ThreadRun::kRunning) {
+    t->run_state = ThreadRun::kRunnable;
+    if (c.rotate) {
+      c.ready.PushBack(t);  // timeslice round-robin
+      c.rotate = false;
+    } else {
+      c.ready.PushFront(t);  // keep running next pick
+    }
+  }
+  c.last = t;
+  c.current = nullptr;
+}
+
+}  // namespace
+
+uint64_t Kernel::MpDigest() const {
+  if (cfg.num_cpus <= 1) {
+    return 0;
+  }
+  uint64_t h = 14695981039346656037ull;
+  for (const Cpu& c : cpus_) {
+    h = FnvMix(h, c.digest);
+  }
+  return h;
+}
+
+void Kernel::MpMergeShards() {
+  if (cfg.num_cpus <= 1) {
+    return;
+  }
+  // Fold-and-zero in CPU order: sums are independent of how phase A was
+  // scheduled on the host. Only the counters a burst can touch live in the
+  // shards; everything else goes straight to `stats` from serial phases.
+  for (Cpu& c : cpus_) {
+    KernelStats& s = *c.shard;
+    stats.tlb_hits += s.tlb_hits;
+    s.tlb_hits = 0;
+    stats.tlb_misses += s.tlb_misses;
+    s.tlb_misses = 0;
+    stats.tlb_flushes += s.tlb_flushes;
+    s.tlb_flushes = 0;
+    stats.interp_block_charges += s.interp_block_charges;
+    s.interp_block_charges = 0;
+    stats.interp_predecodes += s.interp_predecodes;
+    s.interp_predecodes = 0;
+    stats.user_instructions += s.user_instructions;
+    s.user_instructions = 0;
+  }
+}
+
+template <bool Instrumented>
+bool Kernel::MpAdvance(Cpu& c, Time horizon) {
+  exec_cpu_ = &c;
+  clock.SetForMpLane(c.lane);
+  while (!crashed_ && clock.now() < horizon) {
+    Thread* t = PickNextOn(c);
+    if (t == nullptr) {
+      // Idle for the rest of the epoch. A thread woken onto this CPU later
+      // in the same epoch (by another CPU's kernel phase) waits for the
+      // next one -- bounded by the epoch quantum, and deterministic.
+      c.lane = horizon;
+      return false;
+    }
+    ++c.dispatches;
+    c.digest = FnvMix(FnvMix(c.digest, clock.now()), t->id());
+    if constexpr (Instrumented) {
+      if (finj.armed()) {
+        const uint64_t boundary = finj.NoteDispatch();
+        if (finj.ShouldCrash(boundary)) {
+          trace.Record(clock.now(), TraceKind::kFaultInject, t->id(), 1);
+          c.ready.PushFront(t);
+          crashed_ = true;
+          c.lane = clock.now();
+          return false;
+        }
+        if (finj.ShouldExtract(boundary)) {
+          t = RecreateThreadForAudit(t);
+          trace.Record(clock.now(), TraceKind::kFaultInject, t->id(), 0);
+        }
+      }
+    }
+    if (c.last != t) {
+      ++stats.context_switches;
+      if constexpr (Instrumented) {
+        trace.Record(clock.now(), TraceKind::kContextSwitch, t->id(),
+                     c.last != nullptr ? static_cast<uint32_t>(c.last->id()) : 0);
+      }
+      uint64_t cost = costs.ctx_switch;
+      if (cfg.model == ExecModel::kProcess) {
+        cost += costs.process_ctx_extra;
+      }
+      Charge(cost);
+    }
+    c.current = t;
+    if (t->latency_probe && t->wake_time != 0) {
+      stats.RecordProbe(clock.now(), clock.now() - t->wake_time);
+    }
+    t->wake_time = 0;
+    t->run_state = ThreadRun::kRunning;
+
+    if (t->op.valid()) {
+      ResumeOp(t);
+      HandleOpOutcomeT<Instrumented>(c, t);
+      MpRequeue(c, t);
+      continue;
+    }
+    if (t->program == nullptr) {
+      ThreadExit(t, 0xBAD0);
+      MpRequeue(c, t);
+      continue;
+    }
+    uint64_t budget = (horizon - clock.now()) / kNsPerCycle;
+    if (budget == 0) {
+      // Sub-cycle remainder to the horizon: idle it (see RunThreadT).
+      clock.AdvanceTo(horizon);
+      MpRequeue(c, t);
+      continue;
+    }
+    constexpr uint64_t kMaxBurstCycles = 1ull << 31;
+    if (budget > kMaxBurstCycles) {
+      budget = kMaxBurstCycles;
+    }
+    if constexpr (Instrumented) {
+      if (finj.single_step() && budget > 1) {
+        budget = 1;
+      }
+      finj.Note(FaultHook::kInterpBoundary);
+    }
+    // Stage the burst; c.current stays set until MpConsume.
+    c.burst_budget = budget;
+    ++c.bursts;
+    c.lane = clock.now();
+    return true;
+  }
+  c.lane = clock.now();
+  return false;
+}
+
+void Kernel::MpRunBursts(bool parallel) {
+  int staged[kMaxCpus];
+  int n = 0;
+  for (Cpu& c : cpus_) {
+    if (c.burst_budget != 0) {
+      staged[n++] = c.id;
+    }
+  }
+  auto run_one = [this](Cpu& c) {
+    Thread* t = c.current;
+    c.burst = RunUser(*t->program, &t->regs, t->space, c.burst_budget, c.interp_opts);
+  };
+  if (!parallel || n <= 1) {
+    for (int i = 0; i < n; ++i) {
+      run_one(cpus_[staged[i]]);
+    }
+    return;
+  }
+  // The threaded engine's first run of a program builds and links its
+  // per-Program decoded cache (shared, lazily initialized): run those on
+  // this thread first, then fan the already-linked rest out to the pool.
+  int par[kMaxCpus];
+  int np = 0;
+  const bool threaded = cfg.enable_threaded_interp && ThreadedDispatchCompiledIn();
+  for (int i = 0; i < n; ++i) {
+    Cpu& c = cpus_[staged[i]];
+    if (threaded && !c.current->program->DecodedReady()) {
+      run_one(c);
+    } else {
+      par[np++] = staged[i];
+    }
+  }
+  if (np == 0) {
+    return;
+  }
+  if (np == 1) {
+    run_one(cpus_[par[0]]);
+    return;
+  }
+  if (mp_pool_ == nullptr) {
+    mp_pool_ = std::make_unique<MpPool>(cfg.num_cpus - 1);
+  }
+  const int waited = mp_pool_->RunBatch(np, [&](int j) { run_one(cpus_[par[j]]); });
+  if (waited > 0) {
+    ++stats.mp_barrier_waits;  // host-side only; excluded from equivalence
+  }
+}
+
+template <bool Instrumented>
+void Kernel::MpConsume(Cpu& c) {
+  if (c.burst_budget == 0) {
+    return;
+  }
+  c.burst_budget = 0;
+  exec_cpu_ = &c;
+  clock.SetForMpLane(c.lane);
+  Thread* t = c.current;
+  const RunResult r = c.burst;
+  clock.Advance(r.cycles * kNsPerCycle);
+  c.digest = FnvMix(FnvMix(c.digest, clock.now()), static_cast<uint64_t>(r.event));
+  switch (r.event) {
+    case UserEvent::kBudget:
+      break;  // horizon (or burst cap) reached; requeue below
+    case UserEvent::kSyscall:
+      EnterSyscallT<Instrumented>(c, t);
+      break;
+    case UserEvent::kFault:
+      HandleUserFaultT<Instrumented>(t, r.fault_addr, r.fault_is_write);
+      break;
+    case UserEvent::kHalt:
+      if (t->forced_restart) {
+        ++stats.restart_audits;
+      }
+      ThreadExit(t, t->regs.gpr[kRegB]);
+      break;
+    case UserEvent::kBreak:
+      ++t->regs.pc;
+      t->run_state = ThreadRun::kStopped;
+      break;
+    case UserEvent::kBadPc:
+      ThreadExit(t, 0xDEAD);
+      break;
+  }
+  MpRequeue(c, t);
+  c.lane = clock.now();
+}
+
+template <bool Instrumented>
+void Kernel::RunMpLoop(Time until, bool parallel) {
+  mp_running_ = true;
+  while (!crashed_ && clock.now() < until) {
+    // Epoch boundary: global clock, boot CPU context. Timers, device events
+    // and IRQs fire here in (deadline, seq) order, exactly as at 1 CPU.
+    exec_cpu_ = &cpus_[0];
+    RunDueTimers();
+    if (irqs.AnyPending()) {
+      DispatchIrqs();
+    }
+    bool any = false;
+    for (Cpu& c : cpus_) {
+      if (c.ready.Any()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      if (TimerQueueEmpty()) {
+        break;  // nothing can ever happen again
+      }
+      const Time next = NextTimerDeadline();
+      const Time target = next >= until ? until : next;
+      if constexpr (Instrumented) {
+        if (target > clock.now()) {
+          const uint64_t idle = trace.BeginSpan(clock.now(), TraceKind::kIdle, 0);
+          clock.AdvanceTo(target);
+          trace.EndSpan(clock.now(), TraceKind::kIdle, idle, 0);
+        } else {
+          clock.AdvanceTo(target);
+        }
+      } else {
+        clock.AdvanceTo(target);
+      }
+      if (next >= until) {
+        break;
+      }
+      continue;
+    }
+    const Time base = clock.now();
+    Time horizon = until;
+    if (horizon - base > cfg.mp_epoch_ns) {
+      horizon = base + cfg.mp_epoch_ns;
+    }
+    if (!TimerQueueEmpty()) {
+      // RunDueTimers left nothing due at `base`, so horizon > base. A timer
+      // armed mid-epoch with a nearer deadline fires at the next boundary:
+      // staleness is bounded by the epoch quantum (DESIGN.md).
+      horizon = std::min(horizon, NextTimerDeadline());
+    }
+    ++stats.mp_epochs;
+    for (Cpu& c : cpus_) {
+      c.lane = base;
+    }
+    for (;;) {
+      bool staged = false;
+      for (Cpu& c : cpus_) {
+        staged |= MpAdvance<Instrumented>(c, horizon);
+      }
+      if (!staged || crashed_) {
+        break;
+      }
+      MpRunBursts(parallel);
+      for (Cpu& c : cpus_) {
+        MpConsume<Instrumented>(c);
+      }
+    }
+    if (crashed_) {
+      // Freeze: un-stage any bursts other CPUs had queued this round, so
+      // every thread is back in a schedule slot for checkpoint extraction.
+      for (Cpu& c : cpus_) {
+        if (c.burst_budget != 0) {
+          c.burst_budget = 0;
+          c.current->run_state = ThreadRun::kRunnable;
+          c.ready.PushFront(c.current);
+          c.current = nullptr;
+        }
+      }
+    }
+    if (!crashed_) {
+      clock.SetForMpLane(horizon);  // barrier: every lane at the horizon
+    }
+    MpMergeShards();
+  }
+  MpMergeShards();  // idempotent (fold-and-zero): covers the break paths
+  mp_running_ = false;
+  exec_cpu_ = &cpus_[0];
 }
 
 }  // namespace fluke

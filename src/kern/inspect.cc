@@ -105,6 +105,20 @@ std::string DumpKernel(const Kernel& k) {
                 static_cast<unsigned long long>(k.stats.hard_faults),
                 static_cast<unsigned long long>(k.stats.kernel_preemptions));
   std::string out(line);
+  if (k.cfg.num_cpus > 1) {
+    // Semantic MP counters only: this line is compared across the serial and
+    // parallel backends by the equivalence tests, so the host-side
+    // mp_barrier_waits counter deliberately stays out.
+    std::snprintf(line, sizeof(line),
+                  "MP cpus=%d epochs=%llu cross_cpu_ipc=%llu migrations=%llu "
+                  "shootdowns_remote=%llu digest=%016llx\n",
+                  k.cfg.num_cpus, static_cast<unsigned long long>(k.stats.mp_epochs),
+                  static_cast<unsigned long long>(k.stats.cross_cpu_ipc),
+                  static_cast<unsigned long long>(k.stats.migrations),
+                  static_cast<unsigned long long>(k.stats.shootdowns_remote),
+                  static_cast<unsigned long long>(k.MpDigest()));
+    out += line;
+  }
   if (k.stats.faults_injected + k.stats.extractions_forced + k.stats.restart_audits +
           k.stats.oom_backoffs + k.stats.panics !=
       0) {
@@ -190,6 +204,11 @@ std::string StatsJson(const Kernel& k) {
   field("timer_cascades", s.timer_cascades);
   field("slab_thread_allocs", s.slab_thread_allocs);
   field("sched_bitmap_scans", s.sched_bitmap_scans);
+  field("mp_epochs", s.mp_epochs);
+  field("cross_cpu_ipc", s.cross_cpu_ipc);
+  field("migrations", s.migrations);
+  field("shootdowns_remote", s.shootdowns_remote);
+  field("mp_barrier_waits", s.mp_barrier_waits);
   field("rollback_ns", s.rollback_ns);
   field("remedy_soft_ns", s.remedy_soft_ns);
   field("remedy_hard_ns", s.remedy_hard_ns);
@@ -202,6 +221,24 @@ std::string StatsJson(const Kernel& k) {
   field("probe_misses", s.probe_misses);
   field("trace_events_recorded", k.trace.total_recorded());
   field("trace_events_dropped", k.trace.dropped());
+
+  if (k.cfg.num_cpus > 1) {
+    std::snprintf(buf, sizeof(buf), "  \"mp_digest\": \"%016llx\",\n",
+                  static_cast<unsigned long long>(k.MpDigest()));
+    out += buf;
+    out += "  \"per_cpu\": [\n";
+    for (const Cpu& c : k.cpus()) {
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"cpu\":%d,\"dispatches\":%llu,\"bursts\":%llu,"
+                    "\"digest\":\"%016llx\"}%s\n",
+                    c.id, static_cast<unsigned long long>(c.dispatches),
+                    static_cast<unsigned long long>(c.bursts),
+                    static_cast<unsigned long long>(c.digest),
+                    c.id + 1 == k.cfg.num_cpus ? "" : ",");
+      out += buf;
+    }
+    out += "  ],\n";
+  }
 
   out += "  \"ipc_faults\": {\n";
   static const char* kSides[2] = {"client", "server"};

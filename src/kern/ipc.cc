@@ -246,9 +246,13 @@ KTask TransferData(SysCtx& ctx, Thread* sender, Thread* recver) {
     // it only charges under PreemptMode::kFull. A repeated send of the same
     // buffer is the steady state: the frames already match, SharePageFrom
     // returns immediately, and no remap or shootdown happens at all.
+    // LendAllowed: under MP a lend would hand a copy-on-write frame to a
+    // phase-A burst (whose break mid-burst races the frame allocator), so
+    // MP sends take the copy path below -- virtual time identical.
     if (k.cfg.preempt == PreemptMode::kNone && (src & kPageMask) == 0 &&
         (dst & kPageMask) == 0 && sreg.gpr[kRegD] >= kPageSize / 4 &&
         rreg.gpr[kRegDI] >= kPageSize / 4 &&
+        k.LendAllowed(recver->space, sender->space) &&
         recver->space->SharePageFrom(*sender->space, src, dst)) {
       ++k.stats.ipc_page_lends;
       if (traced) {

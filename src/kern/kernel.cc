@@ -7,16 +7,32 @@
 
 #include "src/base/log.h"
 #include "src/kern/ipc.h"
+#include "src/kern/mppool.h"
 #include "src/kern/syscall_table.h"
 
 namespace fluke {
 
 Kernel::Kernel(const KernelConfig& config, ProgramRegistry* program_registry)
-    : cfg(config), rng(config.rng_seed), programs(program_registry) {
-  assert(cfg.Valid() && "invalid kernel configuration (FP requires process model)");
-  cpus_.resize(cfg.num_cpus);
+    : cfg(config),
+      rng(config.rng_seed),
+      programs(program_registry),
+      // Constructed at final size: Cpu is not movable (intrusive run-queue
+      // links), and the array never grows.
+      cpus_(static_cast<size_t>(std::max(config.num_cpus, 1))) {
+  assert(cfg.Valid() && "invalid kernel configuration (KernelConfig::Validate)");
+  cpu_ = cpus_.data();
+  exec_cpu_ = cpu_;
   for (int i = 0; i < cfg.num_cpus; ++i) {
     cpus_[i].id = i;
+    if (cfg.num_cpus > 1) {
+      // Per-CPU stat shard + engine options: phase-A bursts on this CPU
+      // count into the shard, merged into `stats` at every epoch barrier.
+      cpus_[i].shard = std::make_unique<KernelStats>();
+      cpus_[i].interp_opts.threaded = cfg.enable_threaded_interp;
+      cpus_[i].interp_opts.block_charges = &cpus_[i].shard->interp_block_charges;
+      cpus_[i].interp_opts.predecodes = &cpus_[i].shard->interp_predecodes;
+      cpus_[i].interp_opts.instructions = &cpus_[i].shard->user_instructions;
+    }
   }
   interp_opts_.threaded = cfg.enable_threaded_interp;
   interp_opts_.block_charges = &stats.interp_block_charges;
@@ -57,11 +73,99 @@ Kernel::~Kernel() {
 
 std::shared_ptr<Space> Kernel::CreateSpace(const std::string& name) {
   auto s = std::make_shared<Space>(NextObjId(), &phys);
-  s->ConfigureTlb(cfg.enable_tlb, &stats);
+  if (cfg.num_cpus > 1) {
+    // Round-robin home assignment: each new space starts as its own
+    // affinity domain; its TLB counters go to the home CPU's shard so
+    // phase-A bursts never touch the shared KernelStats.
+    s->aff_home = next_space_home_;
+    next_space_home_ = (next_space_home_ + 1) % cfg.num_cpus;
+    s->ConfigureTlb(cfg.enable_tlb, cpus_[s->aff_home].shard.get());
+  } else {
+    s->ConfigureTlb(cfg.enable_tlb, &stats);
+  }
+  s->aff_members.push_back(s.get());
   s->set_name(name);
   spaces_.push_back(s);
   s->self_handle = s->Install(s);  // space_self
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// CPU affinity domains (epoch dispatcher).
+// ---------------------------------------------------------------------------
+
+Space* Kernel::AffinityRep(Space* s) {
+  // Union-find with path compression along the aff_rep chain.
+  Space* rep = s;
+  while (rep->aff_rep != nullptr) {
+    rep = rep->aff_rep;
+  }
+  while (s != rep) {
+    Space* next = s->aff_rep;
+    s->aff_rep = rep;
+    s = next;
+  }
+  return rep;
+}
+
+int Kernel::HomeCpuOf(Space* s) {
+  if (cfg.num_cpus <= 1 || s == nullptr) {
+    return 0;
+  }
+  return AffinityRep(s)->aff_home;
+}
+
+bool Kernel::LendAllowed(Space* to, Space* from) {
+  // Not under MP at all -- not even intra-domain. A lend creates a
+  // copy-on-write pair whose break (the first write) allocates a frame in
+  // the middle of a phase-A burst; that would race the global frame
+  // allocator between CPUs and make frame ids depend on host scheduling.
+  // The copy path costs identical virtual time.
+  (void)to;
+  (void)from;
+  return cfg.num_cpus <= 1;
+}
+
+void Kernel::MergeAffinity(Space* a, Space* b) {
+  if (cfg.num_cpus <= 1) {
+    return;
+  }
+  Space* ra = AffinityRep(a);
+  Space* rb = AffinityRep(b);
+  if (ra == rb) {
+    return;
+  }
+  // Deterministic: the domain with the lower home id absorbs the other
+  // (ties broken by object id, which is creation-ordered).
+  if (rb->aff_home < ra->aff_home ||
+      (rb->aff_home == ra->aff_home && rb->id() < ra->id())) {
+    std::swap(ra, rb);
+  }
+  const int home = ra->aff_home;
+  for (Space* s : rb->aff_members) {
+    // Re-home the space: its cached translations conceptually lived on the
+    // old CPU, so the move is a remote TLB shootdown -- flush for real and
+    // re-bind the counters to the new home CPU's shard -- and every thread
+    // follows; runnable threads physically move run queues (migrations).
+    s->TlbFlushAll();
+    ++stats.shootdowns_remote;
+    s->ConfigureTlb(cfg.enable_tlb, cpus_[home].shard.get());
+    for (Thread* t : s->threads) {
+      if (t->home_cpu == home) {
+        continue;
+      }
+      if (t->rq_node.linked()) {
+        cpus_[t->home_cpu].ready.Remove(t);
+        cpus_[home].ready.PushBack(t);
+      }
+      t->home_cpu = home;
+      ++stats.migrations;
+    }
+    ra->aff_members.push_back(s);
+  }
+  rb->aff_members.clear();
+  rb->aff_members.shrink_to_fit();
+  rb->aff_rep = ra;
 }
 
 Thread* Kernel::CreateThread(Space* space, ProgramRef program, int priority) {
@@ -75,6 +179,7 @@ Thread* Kernel::CreateThread(Space* space, ProgramRef program, int priority) {
   ++stats.slab_thread_allocs;
   t->priority = priority;
   t->slice_ticks = cfg.timeslice_ticks;
+  t->home_cpu = HomeCpuOf(space);
   t->ctx = SysCtx{this, t.get()};
   threads_.push_back(t);
   space->threads.push_back(t.get());
@@ -135,6 +240,12 @@ std::shared_ptr<Mapping> Kernel::NewMapping(Space* dest, uint32_t base, Region* 
   m->size = size;
   m->prot = prot;
   dest->AddMapping(m.get());
+  if (src != nullptr && src->source != nullptr) {
+    // The mapping lets `dest` derive PTEs from the source space's frames
+    // (TryResolveSoft), so the two spaces can share physical pages: fold
+    // them into one affinity domain before that can happen.
+    MergeAffinity(dest, src->source);
+  }
   anchors_.push_back(m);
   return m;
 }
@@ -155,7 +266,13 @@ void Kernel::MakeRunnable(Thread* t) {
   ChargeFpLocks();  // run-queue lock
   t->run_state = ThreadRun::kRunnable;
   t->wake_time = clock.now();
-  ready_.PushBack(t);
+  if (cfg.num_cpus > 1 && mp_running_ && t->home_cpu != exec_cpu_->id) {
+    // A wakeup crossing CPUs (IPC handoff, join, interrupt...): the thread
+    // lands on its home queue and runs when that CPU's turn comes -- this
+    // epoch if the home CPU is later in the serial order, else the next.
+    ++stats.cross_cpu_ipc;
+  }
+  cpu_[t->home_cpu].ready.PushBack(t);
 }
 
 // ---------------------------------------------------------------------------
@@ -241,7 +358,7 @@ void Kernel::TraceFlowTo(Thread* woken) {
   if (!trace.enabled()) {
     return;
   }
-  Thread* from = cur_cpu().current;
+  Thread* from = exec_cpu_->current;
   if (from == nullptr || from == woken) {
     return;  // device/timer wake: no causing thread to link from
   }
@@ -309,7 +426,7 @@ void FinishWake(Kernel* k, Thread* t) {
 }
 
 bool Kernel::PreemptPending(const Thread* t) const {
-  return ready_.AnyAbove(t->priority);
+  return exec_cpu_->ready.AnyAbove(t->priority);
 }
 
 void Kernel::CancelOp(Thread* t) {
@@ -389,7 +506,7 @@ bool Kernel::SetThreadState(Thread* t, const ThreadState& s) {
     CancelOp(t);
     t->run_state = ThreadRun::kStopped;
   } else if (t->run_state == ThreadRun::kRunnable) {
-    ready_.Remove(t);
+    cpu_[t->home_cpu].ready.Remove(t);
     // An FP-preempted thread may hold a retained kernel activation; roll it
     // back (its registers are at the last commit point).
     CancelOpQueuesOnly(t);
@@ -415,7 +532,7 @@ void Kernel::InterruptThread(Thread* t) {
 KStatus Kernel::StopThread(Thread* t) {
   switch (t->run_state) {
     case ThreadRun::kRunnable:
-      ready_.Remove(t);
+      cpu_[t->home_cpu].ready.Remove(t);
       CancelOpQueuesOnly(t);  // roll back any FP-preempted activation
       t->run_state = ThreadRun::kStopped;
       break;
@@ -455,7 +572,7 @@ Thread* Kernel::RecreateThreadForAudit(Thread* t) {
   const Time wake = t->wake_time;
   const uint32_t slice = t->slice_ticks;
   const uint32_t oom = t->oom_retries;
-  Cpu& cpu = cur_cpu();
+  Cpu& cpu = *exec_cpu_;
   const bool was_last = cpu.last == t;
 
   ThreadState st;
@@ -525,7 +642,7 @@ void Kernel::DestroyThread(Thread* t) {
   }
   switch (t->run_state) {
     case ThreadRun::kRunnable:
-      ready_.Remove(t);
+      cpu_[t->home_cpu].ready.Remove(t);
       CancelOpQueuesOnly(t);
       break;
     case ThreadRun::kBlocked:
@@ -787,7 +904,14 @@ size_t Kernel::AliveThreads() const {
   return n;
 }
 
-bool Kernel::AnyRunnable() const { return ready_.Any(); }
+bool Kernel::AnyRunnable() const {
+  for (const Cpu& c : cpus_) {
+    if (c.ready.Any()) {
+      return true;
+    }
+  }
+  return false;
+}
 
 bool Kernel::RunUntilThreadDone(Thread* t, Time max_time) {
   const Time deadline = clock.now() + max_time;

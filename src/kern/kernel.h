@@ -39,11 +39,40 @@
 namespace fluke {
 
 struct SyscallDef;
+class MpPool;
 
 struct Cpu {
   int id = 0;
   Thread* current = nullptr;
   Thread* last = nullptr;  // previous thread: context-switch cost accounting
+
+  // --- Per-CPU run queue. Threads are routed here by their home CPU
+  //     (space-affinity domain); at num_cpus == 1 CPU 0's queue is THE run
+  //     queue and everything below this line is untouched. ---
+  ReadyQueue ready;
+
+  // --- Multi-CPU epoch dispatch state (src/kern/dispatch.cc) ---
+  Time lane = 0;              // virtual-time position within the current epoch
+  bool rotate = false;        // per-CPU timeslice round-robin flag
+  uint64_t burst_budget = 0;  // phase-A burst slot: budget cycles in...
+  RunResult burst{};          // ...RunResult out (valid while burst_budget != 0)
+  // FNV-1a accumulator over this CPU's dispatch history: (lane, tid) at
+  // every pick, (lane, event) at every burst consumption. Folded in CPU
+  // order by Kernel::MpDigest() -- the serial and parallel backends, both
+  // interpreter engines, and repeated runs must all agree on it.
+  uint64_t digest = 14695981039346656037ull;
+  // Per-CPU breakdown counters (--stats-json "per_cpu").
+  uint64_t dispatches = 0;  // threads picked on this CPU
+  uint64_t bursts = 0;      // phase-A interpreter bursts run on this CPU
+  // Per-CPU stat shard (allocated only when num_cpus > 1). The only
+  // counters an interpreter burst can touch -- TLB hits/misses/flushes of
+  // the spaces homed here, the engine's block-charge/predecode counters,
+  // retired instructions -- accumulate in the shard (spaces bind their TLB
+  // counters to it, interp_opts points the engine at it) and are folded
+  // into Kernel::stats in CPU order at every epoch barrier, keeping sums
+  // deterministic no matter how phase A was scheduled on the host.
+  std::unique_ptr<KernelStats> shard;
+  InterpOptions interp_opts{};
 };
 
 class Kernel {
@@ -264,9 +293,32 @@ class Kernel {
   // Exception-IPC completion: the keeper replied for `victim`.
   void CompleteFaultWait(Thread* victim);
 
-  // The currently dispatching CPU (single dispatcher; MP interleaves).
-  Cpu& cur_cpu() { return cpus_[active_cpu_]; }
-  const Cpu& cur_cpu() const { return cpus_[active_cpu_]; }
+  // The CPU whose virtual-time lane the kernel is currently executing on.
+  // Kernel work is serialized (epoch phase B runs the CPUs in order), so
+  // there is exactly one at any moment; hot-path dispatch code receives its
+  // Cpu& explicitly (RunThreadT and friends) instead of reading this --
+  // only cold paths (audit recreate, trace flow links) consult it.
+  Cpu& exec_cpu() { return *exec_cpu_; }
+  const Cpu& exec_cpu() const { return *exec_cpu_; }
+
+  // All simulated CPUs; cpus()[0] is the boot CPU (--stats per-CPU rows).
+  const std::vector<Cpu>& cpus() const { return cpus_; }
+
+  // Thread/space -> CPU affinity (epoch dispatcher). A space's home CPU is
+  // its affinity domain's home; domains are unioned when a Mapping connects
+  // two spaces, because connected spaces can come to share physical frames,
+  // which phase-A bursts must never touch from two host threads at once.
+  // Merges are deterministic (the lower home id wins) and re-home the
+  // losing domain's threads (stats.migrations).
+  int HomeCpuOf(Space* s);
+  // True when an IPC page lend between the two spaces is allowed: always at
+  // num_cpus == 1, never under MP (a lend's copy-on-write break allocates a
+  // frame mid-burst, racing the global allocator between CPUs; the copy
+  // path is taken instead -- virtual time is identical either way).
+  bool LendAllowed(Space* to, Space* from);
+  // Merged (CPU-order) digest of every CPU's dispatch history: the MP
+  // determinism witness. Zero-cost and zero at num_cpus == 1.
+  uint64_t MpDigest() const;
 
   // Kernel-stack byte accounting hooks (called from KTask's operator
   // new/delete via the globals set around handler execution). Inline: the
@@ -369,13 +421,36 @@ class Kernel {
   // thread that is once per syscall, and letting the inliner outline these
   // (it flip-flops as RunLoop grows) costs measurable ns/syscall.
   template <bool Instrumented>
-  __attribute__((always_inline)) inline void RunThreadT(Thread* t, Time horizon);
+  __attribute__((always_inline)) inline void RunThreadT(Cpu& cpu, Thread* t, Time horizon);
   template <bool Instrumented>
-  void EnterSyscallT(Thread* t);
+  void EnterSyscallT(Cpu& cpu, Thread* t);
   template <bool Instrumented>
-  __attribute__((always_inline)) inline void HandleOpOutcomeT(Thread* t);
+  __attribute__((always_inline)) inline void HandleOpOutcomeT(Cpu& cpu, Thread* t);
   template <bool Instrumented>
   void HandleUserFaultT(Thread* t, uint32_t addr, bool is_write);
+
+  // Multi-CPU epoch dispatcher (dispatch.cc). One epoch = every CPU runs
+  // its own virtual-time lane from the epoch base to a common horizon;
+  // kernel work (picks, syscalls, wakeups) is strictly serial in CPU order
+  // with the global clock loaned to the running CPU's lane, and only pure
+  // interpreter bursts (phase A) execute on host workers. Timers, IRQs and
+  // device events fire at epoch boundaries on the global clock.
+  template <bool Instrumented>
+  void RunMpLoop(Time until, bool parallel);
+  // Serial: advances CPU `c` (picks/kernel work) until it has a user burst
+  // staged (returns true), its lane reached `horizon`, or it idled.
+  template <bool Instrumented>
+  bool MpAdvance(Cpu& c, Time horizon);
+  // Serial: charges a finished burst and handles its trap on `c`'s lane.
+  template <bool Instrumented>
+  void MpConsume(Cpu& c);
+  // Runs every staged burst -- on the worker pool or a serial for-loop;
+  // the results are identical by construction (bursts share no state).
+  void MpRunBursts(bool parallel);
+  void MpMergeShards();
+  Thread* PickNextOn(Cpu& c);
+  Space* AffinityRep(Space* s);
+  void MergeAffinity(Space* a, Space* b);
 
   void DetachFromIpc(Thread* t);
 
@@ -383,7 +458,6 @@ class Kernel {
   // at `now`; fires everything due, merged by (deadline, seq).
   void FireDueTimers(Time now);
 
-  ReadyQueue ready_;
   // Live latency-probe threads (see SetLatencyProbe); threads are removed
   // at exit so DispatchIrqs never sees a dead probe.
   IntrusiveList<Thread, &Thread::probe_node> latency_probes_;
@@ -396,7 +470,11 @@ class Kernel {
   // initialization on the hot path.
   const SyscallDef* const* syscalls_by_num_ = nullptr;
   std::vector<Cpu> cpus_;
-  int active_cpu_ = 0;
+  Cpu* cpu_ = nullptr;       // cpus_.data(): MakeRunnable's one indexed load
+  Cpu* exec_cpu_ = nullptr;  // the CPU kernel work is executing on (serial)
+  bool mp_running_ = false;  // inside RunMpLoop (gates cross-CPU accounting)
+  int next_space_home_ = 0;  // round-robin CreateSpace home assignment
+  std::unique_ptr<MpPool> mp_pool_;  // lazy; parallel backend only
 
   std::vector<std::shared_ptr<Space>> spaces_;
   std::vector<std::shared_ptr<Thread>> threads_;

@@ -1,0 +1,123 @@
+// Persistent host worker pool for the parallel MP backend.
+//
+// The epoch dispatcher (src/kern/dispatch.cc) hands the pool one batch of
+// independent phase-A interpreter bursts per round; RunBatch runs fn(i) for
+// every index across the workers plus the calling thread and returns when
+// all are done. All coordination is under one mutex: bursts are large
+// relative to a lock handoff, and the lock is what gives TSan (and the
+// memory model) the happens-before edges between the serial kernel phases
+// and the parallel bursts. The pool is created lazily on the first parallel
+// epoch and joined by its destructor.
+
+#ifndef SRC_KERN_MPPOOL_H_
+#define SRC_KERN_MPPOOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fluke {
+
+class MpPool {
+ public:
+  explicit MpPool(int workers) {
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~MpPool() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) {
+      w.join();
+    }
+  }
+
+  MpPool(const MpPool&) = delete;
+  MpPool& operator=(const MpPool&) = delete;
+
+  // Runs fn(i) for i in [0, n); the calling thread participates. Returns
+  // the number of tasks that were still in flight on other workers when the
+  // caller ran dry (the caller's barrier waits).
+  int RunBatch(int n, const std::function<void(int)>& fn) {
+    if (n <= 0) {
+      return 0;
+    }
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      fn_ = &fn;
+      n_ = n;
+      next_ = 0;
+      done_ = 0;
+      ++gen_;
+    }
+    work_cv_.notify_all();
+    Drain();
+    std::unique_lock<std::mutex> lk(mu_);
+    const int waited_for = n_ - done_;
+    done_cv_.wait(lk, [&] { return done_ == n_; });
+    fn_ = nullptr;
+    return waited_for;
+  }
+
+ private:
+  // Claims and runs tasks of the current batch until none remain.
+  void Drain() {
+    for (;;) {
+      int i;
+      const std::function<void(int)>* fn;
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        if (fn_ == nullptr || next_ >= n_) {
+          return;
+        }
+        i = next_++;
+        fn = fn_;
+      }
+      (*fn)(i);
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        if (++done_ == n_) {
+          done_cv_.notify_all();
+        }
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        work_cv_.wait(lk, [&] { return stop_ || gen_ != seen; });
+        if (stop_) {
+          return;
+        }
+        seen = gen_;
+      }
+      Drain();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // batch published / stop
+  std::condition_variable done_cv_;   // batch complete
+  const std::function<void(int)>* fn_ = nullptr;
+  int n_ = 0;
+  int next_ = 0;
+  int done_ = 0;
+  uint64_t gen_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_MPPOOL_H_

@@ -93,6 +93,10 @@ struct Thread final : public KernelObject {
   // --- Scheduling ---
   int priority = 4;  // 0..7, higher runs first
   ThreadRun run_state = ThreadRun::kEmbryo;
+  // Home CPU: index of the per-CPU run queue this thread is made runnable
+  // on. Follows the space's affinity domain (Kernel::HomeCpuOf); updated by
+  // the kernel on domain merges. Always 0 at num_cpus == 1.
+  int home_cpu = 0;
   ListNode rq_node;             // run-queue linkage
   uint32_t slice_ticks = 0;     // remaining timeslice
   Time wake_time = 0;           // when last made runnable (latency probe)

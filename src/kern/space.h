@@ -164,6 +164,16 @@ class Space final : public KernelObject, public MemoryBus {
   // Threads currently bound to this space (maintained by the kernel).
   std::vector<Thread*> threads;
 
+  // --- CPU affinity domain (maintained by Kernel::HomeCpuOf/MergeAffinity;
+  //     see kernel.h). Spaces connected by Mappings form a domain homed on
+  //     one CPU, so their shared frames are only ever touched by one host
+  //     thread during a parallel epoch. aff_rep is a union-find parent
+  //     (null = this space is its domain's representative); aff_home and
+  //     aff_members are meaningful only on the representative. ---
+  Space* aff_rep = nullptr;
+  int aff_home = 0;
+  std::vector<Space*> aff_members;
+
  private:
   bool CowBreak(uint32_t vaddr, Pte& pte);
   uint8_t* PageData(uint32_t vaddr, uint32_t want_prot, uint32_t* fault_addr) const;

@@ -166,6 +166,21 @@ struct KernelStats {
   uint64_t slab_thread_allocs = 0;  // TCBs carved from the thread slab
   uint64_t sched_bitmap_scans = 0;  // O(1) ready-bitmap picks (PickNext calls)
 
+  // Multi-CPU epoch dispatcher (src/kern/dispatch.cc). Semantic counters:
+  // the epoch schedule is deterministic, so these are identical across both
+  // interpreter engines and both MP backends (serial and parallel) of the
+  // same workload -- tests/mp_test.cc compares them. All zero when
+  // num_cpus == 1.
+  uint64_t mp_epochs = 0;          // epochs opened (barriers crossed)
+  uint64_t cross_cpu_ipc = 0;      // wakeups targeting another CPU's queue
+  uint64_t migrations = 0;         // threads re-homed by affinity-domain merges
+  uint64_t shootdowns_remote = 0;  // TLB shootdowns against a remote CPU's space
+  // Host-side observability only (like tlb_*): phase-A barrier joins where
+  // at least one other CPU was still running, counted by the parallel
+  // backend's workers. Zero in the serial backend -- the only MP counter
+  // allowed to differ between backends.
+  uint64_t mp_barrier_waits = 0;
+
   // Rollback accounting (Table 3): virtual time of work discarded and
   // redone because an operation rolled back to its last commit point, and
   // virtual time spent remedying faults.

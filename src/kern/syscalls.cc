@@ -102,7 +102,7 @@ KTask SysClockGet(SysCtx& ctx) {
 KTask SysCpuId(SysCtx& ctx) {
   Kernel& k = *ctx.kernel;
   k.Charge(k.costs.trivial_body);
-  k.FinishWith(ctx.thread, kFlukeOk, static_cast<uint32_t>(k.cur_cpu().id));
+  k.FinishWith(ctx.thread, kFlukeOk, static_cast<uint32_t>(ctx.thread->home_cpu));
   co_return KStatus::kOk;
 }
 
@@ -158,7 +158,7 @@ bool FastTrivial(Kernel& k, Thread* t, const SyscallDef& def) {
       k.FinishWith(t, kFlukeOk, static_cast<uint32_t>(k.clock.now() / kNsPerUs));
       break;
     case kSysCpuId:
-      k.FinishWith(t, kFlukeOk, static_cast<uint32_t>(k.cur_cpu().id));
+      k.FinishWith(t, kFlukeOk, static_cast<uint32_t>(t->home_cpu));
       break;
     case kSysPageSize:
       k.FinishWith(t, kFlukeOk, kPageSize);

@@ -54,6 +54,12 @@ class Program {
     return DecodedSlow(fresh);
   }
 
+  // True once the decoded cache is built AND linked: from then on the
+  // threaded engine only reads it, so concurrent bursts of this program may
+  // run on different host threads (the MP parallel backend checks this and
+  // runs first-touch bursts serially).
+  bool DecodedReady() const { return decoded_ != nullptr && decoded_->linked(); }
+
  private:
   DecodedProgram& DecodedSlow(bool* fresh) const;
 

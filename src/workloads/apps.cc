@@ -383,16 +383,33 @@ constexpr uint32_t kC1mSlotBase = 0x20000;  // per-thread spill slots, 8 B each
 std::vector<Thread*> BuildC1mWorkload(Kernel& k, const C1mParams& p) {
   auto ss = k.CreateSpace("c1m-server");
   ss->SetAnonRange(0x10000, 1 << 16);
-  auto cs = k.CreateSpace("c1m-client");
-  // Covers the shared RPC buffers plus one 8-byte spill slot per handle
-  // (slots are indexed by thread_self, which follows the port refs).
-  cs->SetAnonRange(0x10000, kC1mSlotBase - 0x10000 + 8 * (p.clients + kC1mPorts + 8));
+  // Client population. At num_cpus > 1 the clients are dealt round-robin
+  // across one client space per CPU: CreateSpace assigns space-affinity
+  // homes round-robin, so the population spreads over every CPU's run
+  // queue and the epoch dispatcher's phase-A bursts actually parallelize.
+  // (All spaces share the one program and the one server pool; nothing
+  // about the per-client work changes.)
+  const uint32_t shards =
+      k.cfg.num_cpus > 1 ? static_cast<uint32_t>(k.cfg.num_cpus) : 1u;
+  const uint32_t anon_size =
+      kC1mSlotBase - 0x10000 + 8 * (p.clients + kC1mPorts + 8);
+  std::vector<std::shared_ptr<Space>> css;
+  for (uint32_t s = 0; s < shards; ++s) {
+    // Covers the shared RPC buffers plus one 8-byte spill slot per handle
+    // (slots are indexed by thread_self, which follows the port refs).
+    auto cs = k.CreateSpace(shards == 1 ? "c1m-client"
+                                        : "c1m-client" + std::to_string(s));
+    cs->SetAnonRange(0x10000, anon_size);
+    css.push_back(std::move(cs));
+  }
   auto ms = k.CreateSpace("c1m-master");
   ms->SetAnonRange(0x10000, 1 << 14);
 
   // The pool: kC1mPorts ports behind one portset (host-side membership;
   // portset_add is what a server boot thread would run). Clients get refs
-  // at contiguous handles so they can pick a port with arithmetic.
+  // at contiguous handles so they can pick a port with arithmetic; the refs
+  // are installed into every client shard first, so ref_base is the same
+  // handle in each (fresh tables, identical install order).
   auto pset = k.NewPortset();
   const Handle ps_h = k.Install(ss.get(), pset);
   Handle ref_base = 0;
@@ -401,9 +418,12 @@ std::vector<Thread*> BuildC1mWorkload(Kernel& k, const C1mParams& p) {
     k.Install(ss.get(), port);
     port->member_of = pset.get();
     pset->ports.push_back(port.get());
-    const Handle r = k.Install(cs.get(), k.NewReference(port));
-    if (i == 0) ref_base = r;
-    assert(r == ref_base + i && "port refs must be contiguous");
+    for (uint32_t s = 0; s < shards; ++s) {
+      const Handle r = k.Install(css[s].get(), k.NewReference(port));
+      if (i == 0 && s == 0) ref_base = r;
+      assert(r == ref_base + i && "port refs must be contiguous");
+      (void)r;
+    }
   }
 
   // Server: serve whichever port fires until the client goes away, then
@@ -461,7 +481,7 @@ std::vector<Thread*> BuildC1mWorkload(Kernel& k, const C1mParams& p) {
   std::vector<Handle> client_handles;
   client_handles.reserve(p.clients);
   for (uint32_t i = 0; i < p.clients; ++i) {
-    Thread* t = k.CreateThread(cs.get(), client_prog, /*priority=*/2);
+    Thread* t = k.CreateThread(css[i % shards].get(), client_prog, /*priority=*/2);
     client_handles.push_back(k.Install(ms.get(), k.threads().back()));
     k.StartThread(t);
     done_order.push_back(t);

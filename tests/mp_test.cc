@@ -1,10 +1,17 @@
-// Multiprocessor configurations (functional interleave; see DESIGN.md §8:
-// the paper's measurements are uniprocessor, and so are ours -- MP here is
-// a big-kernel-lock interleave on a shared virtual clock, verified for
-// correctness, not speedup).
+// Multiprocessor configurations: the per-CPU epoch dispatcher
+// (src/kern/dispatch.cc). Threads are routed to CPUs by space-affinity
+// domain; each CPU runs its own virtual-time lane between epoch barriers,
+// with kernel work strictly serialized in CPU order. The acceptance bar is
+// determinism: the parallel backend (host worker threads for phase-A
+// interpreter bursts) must be bit-identical -- schedule digest, stats,
+// final state -- to the serial backend, in both interpreter engines, at
+// every CPU count.
 
 #include <set>
+#include <string>
 
+#include "src/kern/inspect.h"
+#include "src/workloads/apps.h"
 #include "tests/test_util.h"
 
 namespace fluke {
@@ -21,40 +28,98 @@ TEST(MpTest, ConfigValidation) {
   KernelConfig cfg;
   cfg.num_cpus = 8;
   EXPECT_TRUE(cfg.Valid());
-  cfg.num_cpus = 9;
+  cfg.num_cpus = 9;  // the old interleave's cap; fine for the epoch dispatcher
+  EXPECT_TRUE(cfg.Valid());
+  cfg.num_cpus = kMaxCpus;
+  EXPECT_TRUE(cfg.Valid());
+  cfg.num_cpus = kMaxCpus + 1;
   EXPECT_FALSE(cfg.Valid());
+  EXPECT_NE(cfg.Validate().find("num_cpus must be <="), std::string::npos)
+      << cfg.Validate();
+  cfg.num_cpus = 0;
+  EXPECT_FALSE(cfg.Valid());
+  EXPECT_NE(cfg.Validate().find("num_cpus must be >= 1"), std::string::npos)
+      << cfg.Validate();
+  cfg.num_cpus = -3;
+  EXPECT_FALSE(cfg.Valid());
+  EXPECT_NE(cfg.Validate().find("num_cpus must be >= 1"), std::string::npos)
+      << cfg.Validate();
+  cfg.num_cpus = 4;
+  cfg.mp_epoch_ns = 0;
+  EXPECT_FALSE(cfg.Valid());
+  EXPECT_NE(cfg.Validate().find("mp_epoch_ns"), std::string::npos) << cfg.Validate();
+  cfg.mp_epoch_ns = 1;
+  EXPECT_TRUE(cfg.Valid());
+  cfg.num_cpus = 1;
+  cfg.mp_epoch_ns = 0;  // irrelevant at one CPU
+  EXPECT_TRUE(cfg.Valid());
   cfg.num_cpus = 2;
+  cfg.mp_epoch_ns = 100000;
   cfg.model = ExecModel::kInterrupt;
   cfg.preempt = PreemptMode::kFull;
   EXPECT_FALSE(cfg.Valid());  // FP still requires the process model
+  EXPECT_NE(cfg.Validate().find("process model"), std::string::npos) << cfg.Validate();
 }
 
-TEST(MpTest, ThreadsObserveMultipleCpuIds) {
+// Space-affinity routing: spaces get round-robin home CPUs, threads follow
+// their space, and cpu_id reports the home. With one space per CPU, every
+// CPU runs user code and each space observes its own id.
+TEST(MpTest, SpacesObserveDistinctHomeCpus) {
   for (ExecModel model : {ExecModel::kProcess, ExecModel::kInterrupt}) {
-    SimpleWorld w(MpConfig(model, 2));
-    // Two threads repeatedly sample cpu_id into disjoint memory words.
-    auto sampler = [&](const char* name, uint32_t slot) {
-      Assembler a(name);
-      for (int i = 0; i < 32; ++i) {
-        EmitSys(a, kSysCpuId);
-        a.MovImm(kRegC, SimpleWorld::kAnonBase + slot + 4 * (i % 8));
-        a.StoreW(kRegB, kRegC, 0);
-        a.Compute(2000);
-      }
-      a.Halt();
-      return a.Build();
-    };
-    w.Spawn(sampler("s1", 0));
-    w.Spawn(sampler("s2", 64));
-    w.RunAll();
+    constexpr int kCpus = 4;
+    Kernel k(MpConfig(model, kCpus));
+    Assembler a("sampler");
+    EmitSys(a, kSysCpuId);
+    a.MovImm(kRegC, 0x10000);
+    a.StoreW(kRegB, kRegC, 0);
+    a.Compute(20000);
+    a.Halt();
+    ProgramRef prog = a.Build();
+    std::vector<std::shared_ptr<Space>> spaces;
+    for (int i = 0; i < kCpus; ++i) {
+      auto sp = k.CreateSpace("s" + std::to_string(i));
+      sp->SetAnonRange(0x10000, 1 << 16);
+      k.StartThread(k.CreateThread(sp.get(), prog));
+      spaces.push_back(std::move(sp));
+    }
+    ASSERT_TRUE(k.RunUntilQuiescent(60ull * 1000 * kNsPerMs));
     std::set<uint32_t> seen;
-    for (uint32_t off = 0; off < 128; off += 4) {
-      uint32_t v = 0;
-      ASSERT_TRUE(w.space->HostRead(SimpleWorld::kAnonBase + off, &v, 4));
+    for (int i = 0; i < kCpus; ++i) {
+      uint32_t v = ~0u;
+      ASSERT_TRUE(spaces[i]->HostRead(0x10000, &v, 4));
+      EXPECT_EQ(v, static_cast<uint32_t>(i)) << "space " << i;
       seen.insert(v);
     }
-    EXPECT_GE(seen.size(), 2u) << "both CPUs should have run user code";
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kCpus));
   }
+}
+
+// A Mapping between two spaces folds their affinity domains into one (they
+// can come to share frames): the lower home wins, the losing domain's
+// spaces take a remote TLB shootdown, and its threads migrate run queues.
+TEST(MpTest, MappingMergesAffinityDomainsAndMigrates) {
+  Kernel k(MpConfig(ExecModel::kProcess, 2));
+  auto sa = k.CreateSpace("exporter");  // home 0
+  auto sb = k.CreateSpace("importer");  // home 1
+  sa->SetAnonRange(0x10000, 1 << 16);
+  sb->SetAnonRange(0x10000, 1 << 16);
+  Assembler a("w");
+  a.Compute(5000);
+  a.Halt();
+  Thread* t = k.CreateThread(sb.get(), a.Build());
+  k.StartThread(t);
+  EXPECT_EQ(t->home_cpu, 1);
+  EXPECT_EQ(k.HomeCpuOf(sb.get()), 1);
+
+  auto region = k.NewRegion(sa.get(), 0x10000, 0x1000, kProtReadWrite);
+  k.NewMapping(sb.get(), 0x40000, region.get(), 0, 0x1000, kProtRead);
+
+  EXPECT_EQ(k.HomeCpuOf(sb.get()), 0) << "lower home id absorbs";
+  EXPECT_EQ(k.HomeCpuOf(sa.get()), 0);
+  EXPECT_EQ(t->home_cpu, 0) << "queued thread must follow its space";
+  EXPECT_GE(k.stats.migrations, 1u);
+  EXPECT_GE(k.stats.shootdowns_remote, 1u);
+  ASSERT_TRUE(k.RunUntilQuiescent(60ull * 1000 * kNsPerMs));
 }
 
 TEST(MpTest, IpcAndSyncCorrectOnTwoCpus) {
@@ -105,6 +170,104 @@ TEST(MpTest, CheckpointWorksUnderMp) {
   w.RunAll();
   EXPECT_EQ(w.kernel.console.output(), "ok");
 }
+
+// --- Serial vs parallel backend equivalence -------------------------------
+//
+// The determinism witness: MpDigest folds every CPU's (lane, tid/event)
+// dispatch history in CPU order. The c1m storm (sharded client spaces, one
+// shared server pool, timer storms, the master's interrupt sweep) crosses
+// CPUs constantly; both backends and both engines must agree bit-for-bit.
+
+struct MpRun {
+  bool completed = true;
+  uint64_t mp_digest = 0;
+  Time final_time = 0;
+  uint64_t context_switches = 0;
+  uint64_t syscalls = 0;
+  uint64_t user_instructions = 0;
+  uint64_t mp_epochs = 0;
+  uint64_t cross_cpu_ipc = 0;
+  uint64_t migrations = 0;
+  uint64_t timer_arms = 0;
+  uint64_t timer_cancels = 0;
+  std::string dump;
+};
+
+MpRun RunC1mMp(ExecModel model, int cpus, bool parallel, bool threaded) {
+  KernelConfig cfg = MpConfig(model, cpus);
+  cfg.mp_parallel = parallel;
+  cfg.enable_threaded_interp = threaded;
+  Kernel k(cfg);
+  C1mParams p;
+  p.clients = 48;
+  p.sweep_delay_us = 3000;
+  p.park_us = 20000;
+  std::vector<Thread*> threads = BuildC1mWorkload(k, p);
+  MpRun r;
+  const Time deadline = k.clock.now() + 4000 * kNsPerMs;
+  for (Thread* t : threads) {
+    if (!k.RunUntilThreadDone(t, deadline - k.clock.now())) {
+      r.completed = false;
+      break;
+    }
+  }
+  r.mp_digest = k.MpDigest();
+  r.final_time = k.clock.now();
+  r.context_switches = k.stats.context_switches;
+  r.syscalls = k.stats.syscalls;
+  r.user_instructions = k.stats.user_instructions;
+  r.mp_epochs = k.stats.mp_epochs;
+  r.cross_cpu_ipc = k.stats.cross_cpu_ipc;
+  r.migrations = k.stats.migrations;
+  r.timer_arms = k.stats.timer_arms;
+  r.timer_cancels = k.stats.timer_cancels;
+  r.dump = DumpKernel(k);
+  return r;
+}
+
+void ExpectSameRun(const MpRun& a, const MpRun& b, const char* what) {
+  EXPECT_EQ(a.mp_digest, b.mp_digest) << what;
+  EXPECT_EQ(a.final_time, b.final_time) << what;
+  EXPECT_EQ(a.context_switches, b.context_switches) << what;
+  EXPECT_EQ(a.syscalls, b.syscalls) << what;
+  EXPECT_EQ(a.user_instructions, b.user_instructions) << what;
+  EXPECT_EQ(a.mp_epochs, b.mp_epochs) << what;
+  EXPECT_EQ(a.cross_cpu_ipc, b.cross_cpu_ipc) << what;
+  EXPECT_EQ(a.migrations, b.migrations) << what;
+  EXPECT_EQ(a.timer_arms, b.timer_arms) << what;
+  EXPECT_EQ(a.timer_cancels, b.timer_cancels) << what;
+  EXPECT_EQ(a.dump, b.dump) << what;
+}
+
+class MpBackendTest : public testing::TestWithParam<ExecModel> {};
+
+TEST_P(MpBackendTest, SerialAndParallelBitIdenticalAcrossCpuCounts) {
+  for (int cpus : {2, 4, 8}) {
+    const MpRun serial = RunC1mMp(GetParam(), cpus, /*parallel=*/false, true);
+    const MpRun par = RunC1mMp(GetParam(), cpus, /*parallel=*/true, true);
+    ASSERT_TRUE(serial.completed) << cpus << " cpus";
+    ASSERT_TRUE(par.completed) << cpus << " cpus";
+    EXPECT_GT(serial.mp_epochs, 0u);
+    ExpectSameRun(serial, par, "serial vs parallel");
+    // Repeat of the parallel run: host scheduling must not leak in.
+    const MpRun par2 = RunC1mMp(GetParam(), cpus, /*parallel=*/true, true);
+    ExpectSameRun(par, par2, "parallel repeat");
+  }
+}
+
+TEST_P(MpBackendTest, EnginesBitIdenticalUnderMp) {
+  const MpRun threaded = RunC1mMp(GetParam(), 4, /*parallel=*/true, true);
+  const MpRun switched = RunC1mMp(GetParam(), 4, /*parallel=*/true, false);
+  ASSERT_TRUE(threaded.completed);
+  ASSERT_TRUE(switched.completed);
+  ExpectSameRun(threaded, switched, "threaded vs switch engine");
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, MpBackendTest,
+                         testing::Values(ExecModel::kProcess, ExecModel::kInterrupt),
+                         [](const testing::TestParamInfo<ExecModel>& i) {
+                           return i.param == ExecModel::kProcess ? "Process" : "Interrupt";
+                         });
 
 }  // namespace
 }  // namespace fluke

@@ -265,6 +265,27 @@ TEST_P(SchedTest, C1mScheduleDigestIdenticalAcrossRunsAndEngines) {
   EXPECT_GT(a.sched_bitmap_scans, 0u);
 }
 
+// Same bar under MP: with 4 CPUs the dispatch-opportunity stream is the
+// merged per-CPU-round order, which must be just as repeatable across runs
+// and engines as the 1-CPU schedule. (The fault injector keeps the kernel on
+// the instrumented serial backend; serial-vs-parallel equivalence is
+// mp_test's job via the MP digest.)
+TEST_P(SchedTest, C1mScheduleDigestIdenticalUnderMp) {
+  KernelConfig cfg = GetParam();
+  cfg.num_cpus = 4;
+  const SchedDigestRun a = RunC1mDigest(cfg, /*threaded=*/false);
+  const SchedDigestRun b = RunC1mDigest(cfg, /*threaded=*/false);
+  const SchedDigestRun c = RunC1mDigest(cfg, /*threaded=*/true);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.digest, c.digest);
+  EXPECT_EQ(a.final_time, c.final_time);
+  EXPECT_EQ(a.context_switches, c.context_switches);
+  EXPECT_GT(a.sched_bitmap_scans, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllConfigs, SchedTest, testing::ValuesIn(AllPaperConfigs()),
                          ConfigName);
 

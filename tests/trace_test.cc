@@ -338,6 +338,29 @@ TEST_P(TraceKernelTest, CrossEngineTraceDigestsIdentical) {
   EXPECT_EQ(a->clock.now(), b->clock.now());
 }
 
+// The same contract under MP: with 4 CPUs the trace is emitted in the merged
+// per-CPU-round order (tracing itself forces the instrumented serial
+// backend), and the full event stream must be bit-identical across repeated
+// runs and across both interpreter engines.
+TEST_P(TraceKernelTest, MpTraceDigestsIdenticalAcrossRunsAndEngines) {
+  KernelConfig sw = GetParam();
+  sw.num_cpus = 4;
+  sw.enable_threaded_interp = false;
+  KernelConfig th = sw;
+  th.enable_threaded_interp = true;
+  auto a = RunRpc(sw, /*traced=*/true);
+  auto b = RunRpc(sw, /*traced=*/true);
+  auto c = RunRpc(th, /*traced=*/true);
+  ASSERT_EQ(a->trace.dropped(), 0u);
+  const auto ea = a->trace.Snapshot();
+  EXPECT_FALSE(ea.empty());
+  EXPECT_EQ(TraceDigest(ea), TraceDigest(b->trace.Snapshot()));
+  EXPECT_EQ(TraceDigest(ea), TraceDigest(c->trace.Snapshot()));
+  EXPECT_EQ(a->clock.now(), b->clock.now());
+  EXPECT_EQ(a->clock.now(), c->clock.now());
+  EXPECT_GT(a->stats.mp_epochs, 0u);
+}
+
 // The profiler partitions the run's virtual time exactly: per-class cpu_ns
 // sums to the total with nothing lost or double-counted.
 TEST_P(TraceKernelTest, ProfilePartitionsVirtualTimeExactly) {

@@ -99,9 +99,13 @@ def distill(raw):
             entry["items_per_second"] = b["items_per_second"]
         if "bytes_per_second" in b:
             entry["bytes_per_second"] = b["bytes_per_second"]
-        # User counters exported by BM_ThreadScale: per-thread blocked-frame
-        # memory and wakeup throughput, the paper's 100k-thread scaling axes.
-        for counter in ("bytes_per_thread", "wakeups_per_vsec"):
+        # User counters exported by BM_ThreadScale (per-thread blocked-frame
+        # memory and wakeup throughput, the paper's 100k-thread scaling axes)
+        # and BM_MpScale (host time per c1m run, host speedup over the 1-CPU
+        # dispatcher, and the MP epoch/cross-CPU traffic that produced it).
+        for counter in ("bytes_per_thread", "wakeups_per_vsec",
+                        "host_ms_per_run", "speedup_vs_1cpu",
+                        "mp_epochs", "cross_cpu_ipc"):
             if counter in b:
                 entry[counter] = b[counter]
         out.append(entry)

@@ -6,6 +6,12 @@
 // Each file becomes one thread (all in one space, sharing memory). Options:
 //   --model=process|interrupt     execution model        (default process)
 //   --preempt=np|pp|fp            preemption mode        (default np)
+//   --cpus=N                      simulated CPUs (default 1). N > 1 runs the
+//                                 per-CPU epoch dispatcher; the rpc and c1m
+//                                 workloads shard across the CPUs
+//   --mp-serial                   run multi-CPU epochs on the serial backend
+//                                 (bit-identical to the parallel one; for
+//                                 A/B determinism checks)
 //   --anon=BYTES                  anonymous memory size  (default 16 MiB)
 //   --max-ms=N                    virtual time budget    (default 10000)
 //   --paged                       run under a user-mode demand pager instead
@@ -65,6 +71,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: fluke_run [--model=process|interrupt] [--preempt=np|pp|fp]\n"
+               "                 [--cpus=N] [--mp-serial]\n"
                "                 [--anon=BYTES] [--max-ms=N] [--paged] [--stats] [--trace] [--ps]\n"
                "                 [--stats-json=FILE] [--trace-out=FILE] [--trace-cap=N]\n"
                "                 [--profile] [--workload=rpc[:N]] [--workload=c1m[:N]]\n"
@@ -162,6 +169,10 @@ int Main(int argc, char** argv) {
       cfg.preempt = PreemptMode::kPartial;
     } else if (arg == "--preempt=fp") {
       cfg.preempt = PreemptMode::kFull;
+    } else if (arg.rfind("--cpus=", 0) == 0) {
+      cfg.num_cpus = static_cast<int>(std::stol(arg.substr(7), nullptr, 0));
+    } else if (arg == "--mp-serial") {
+      cfg.mp_parallel = false;
     } else if (arg.rfind("--anon=", 0) == 0) {
       anon_bytes = static_cast<uint32_t>(std::stoul(arg.substr(7), nullptr, 0));
     } else if (arg.rfind("--max-ms=", 0) == 0) {
@@ -217,7 +228,7 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   if (!cfg.Valid()) {
-    std::fprintf(stderr, "fluke_run: --preempt=fp requires --model=process\n");
+    std::fprintf(stderr, "fluke_run: invalid configuration: %s\n", cfg.Validate().c_str());
     return 2;
   }
 
@@ -259,8 +270,14 @@ int Main(int argc, char** argv) {
   std::vector<Thread*> threads;
   std::vector<std::string> names;
   if (workload_rpc) {
-    threads.push_back(BuildRpcWorkload(kernel, rpc_rounds));
-    names.push_back("workload:rpc");
+    // Under MP, one independent client/server pair per CPU: the round-robin
+    // space homing lands each pair on its own CPU, so the epochs genuinely
+    // run user bursts in parallel.
+    const int pairs = cfg.num_cpus > 1 ? cfg.num_cpus : 1;
+    for (int i = 0; i < pairs; ++i) {
+      threads.push_back(BuildRpcWorkload(kernel, rpc_rounds));
+      names.push_back("workload:rpc");
+    }
   } else if (workload_c1m) {
     C1mParams cp;
     cp.clients = c1m_clients;
@@ -347,6 +364,24 @@ int Main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.timer_cascades),
                  static_cast<unsigned long long>(s.slab_thread_allocs),
                  static_cast<unsigned long long>(s.sched_bitmap_scans));
+    if (cfg.num_cpus > 1) {
+      std::fprintf(stderr,
+                   "  mp: %d cpus (%s) | %llu epochs | %llu cross-cpu ipc | "
+                   "%llu migrations | %llu remote shootdowns | %llu barrier waits | "
+                   "digest %016llx\n",
+                   cfg.num_cpus, cfg.mp_parallel ? "parallel" : "serial",
+                   static_cast<unsigned long long>(s.mp_epochs),
+                   static_cast<unsigned long long>(s.cross_cpu_ipc),
+                   static_cast<unsigned long long>(s.migrations),
+                   static_cast<unsigned long long>(s.shootdowns_remote),
+                   static_cast<unsigned long long>(s.mp_barrier_waits),
+                   static_cast<unsigned long long>(kernel.MpDigest()));
+      for (const Cpu& c : kernel.cpus()) {
+        std::fprintf(stderr, "    cpu%d: %llu dispatches, %llu bursts\n", c.id,
+                     static_cast<unsigned long long>(c.dispatches),
+                     static_cast<unsigned long long>(c.bursts));
+      }
+    }
     if (workload_c1m && c1m_clients != 0 && kernel.clock.now() != 0) {
       std::fprintf(stderr,
                    "  c1m: %u clients | %.1f blocked bytes/thread (peak) | "
