@@ -11,6 +11,7 @@
 #include "src/kern/kernel.h"
 #include "src/workloads/apps.h"
 #include "src/workloads/checkpoint.h"
+#include "src/workloads/ckpt_image.h"
 #include "src/workloads/pager.h"
 
 namespace fluke {
@@ -330,6 +331,76 @@ void BM_CheckpointCapture(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64 * kPageSize);
 }
 BENCHMARK(BM_CheckpointCapture);
+
+// The rpc ping-pong with incremental concurrent checkpoints every virtual
+// millisecond (Arg 1) vs none (Arg 0). Arg 0 must track BM_RpcRoundTrip:
+// with no capture attached the dispatcher stays on the fast path. Arg 1 is
+// the honest host-time cost of mark + background drain + save-on-write plus
+// image serialization; ckpt_pause_p95_ns carries the serial-pause bound and
+// ckpt_cow_saves reports how often a user write beat the drain to a marked
+// page (near zero here: this working set drains in one batch).
+void BM_CkptOverhead(benchmark::State& state) {
+  const bool ckpt = state.range(0) != 0;
+  KernelConfig cfg;
+  Kernel k(cfg);
+  auto cs = k.CreateSpace("cl");
+  auto ss = k.CreateSpace("sv");
+  cs->SetAnonRange(0x10000, 1 << 20);
+  ss->SetAnonRange(0x10000, 1 << 20);
+  auto port = k.NewPort(1);
+  const Handle sp = k.Install(ss.get(), port);
+  const Handle cr = k.Install(cs.get(), k.NewReference(port));
+
+  Assembler ca("client");
+  EmitSys(ca, kSysIpcClientConnect, cr);
+  const auto loop = ca.NewLabel();
+  ca.Bind(loop);
+  EmitSys(ca, kSysIpcClientSendOverReceive, kUlibKeep, 0x10000, 1, 0x10100, 1);
+  ca.Jmp(loop);
+  cs->program = ca.Build();
+  Assembler sa("server");
+  EmitSys(sa, kSysIpcWaitReceive, sp, 0, 0, 0x10000, 1);
+  const auto sloop = sa.NewLabel();
+  sa.Bind(sloop);
+  EmitSys(sa, kSysIpcServerAckSendOverReceive, 0, 0x10100, 1, 0x10000, 1);
+  sa.Jmp(sloop);
+  ss->program = sa.Build();
+  k.StartThread(k.CreateThread(ss.get()));
+  k.StartThread(k.CreateThread(cs.get()));
+
+  ConcurrentCkpt cc;
+  uint64_t generations = 0;
+  Time next_ckpt = k.clock.now() + kNsPerMs;
+  uint64_t switches = 0;
+  for (auto _ : state) {
+    if (ckpt && !cc.active() && k.clock.now() >= next_ckpt) {
+      std::string err;
+      if (cc.Begin(k, /*delta=*/k.stats.ckpt_generations > 0, &err)) {
+        next_ckpt += kNsPerMs;
+      }
+    }
+    const uint64_t before = k.stats.context_switches;
+    k.Run(k.clock.now() + 1 * kNsPerMs);
+    switches += k.stats.context_switches - before;
+    if (cc.active() && cc.done()) {
+      MachineImage img = cc.Finish();
+      img.generation = static_cast<uint32_t>(++generations);
+      const std::vector<uint8_t> bytes = SerializeMachine(img);
+      benchmark::DoNotOptimize(bytes.size());
+    }
+  }
+  if (cc.active()) {
+    cc.Abort();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(switches / 2));
+  if (ckpt) {
+    state.counters["ckpt_generations"] = static_cast<double>(generations);
+    state.counters["ckpt_pause_p95_ns"] =
+        static_cast<double>(k.stats.ckpt_pause_hist.Percentile(0.95));
+    state.counters["ckpt_cow_saves"] = static_cast<double>(k.stats.ckpt_cow_saves);
+  }
+}
+BENCHMARK(BM_CkptOverhead)->Arg(0)->Arg(1);
 
 // The c1m scaling workload at N threads (Args: N, model 0=process
 // 1=interrupt). Each iteration is a full build-boot-storm-quiesce cycle;

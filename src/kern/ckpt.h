@@ -1,0 +1,56 @@
+// Concurrent-checkpoint session state shared between Space (write hooks),
+// Kernel (the drain tick) and the capture layer (workloads/checkpoint.*).
+//
+// A capture begins with a short serial mark phase: every page to be captured
+// gets its PTE flagged ckpt_marked and a CkptPage record appended here. The
+// kernel then keeps running; pages reach the image by either path:
+//
+//   * drain -- Kernel::CkptDrainTick() copies a batch of still-marked pages
+//     per dispatch-loop iteration, clearing the marks;
+//   * save-on-write -- any mutation of a still-marked page (interpreter or
+//     kernel-copy write, MapPage replace, UnmapPage) first copies the OLD
+//     contents into its record (Space::CkptSaveMarked), so the image always
+//     reflects the mark instant no matter how the race goes.
+//
+// Neither path advances virtual time or allocates simulated frames, so a
+// checkpointed run is bit-identical to an uncheckpointed one.
+
+#ifndef SRC_KERN_CKPT_H_
+#define SRC_KERN_CKPT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fluke {
+
+class Space;
+
+// One page owed to the in-progress image, identified by its page number
+// (vaddr >> kPageShift). `data` is filled exactly once, by whichever of the
+// drain / save-on-write paths reaches the page first.
+struct CkptPage {
+  uint32_t pagenum = 0;
+  uint32_t prot = 0;
+  bool captured = false;
+  std::vector<uint8_t> data;
+};
+
+struct CkptSpaceCapture {
+  Space* space = nullptr;
+  std::vector<CkptPage> pages;                 // sorted by pagenum (mark order)
+  std::unordered_map<uint32_t, size_t> index;  // pagenum -> pages[] slot
+  size_t cursor = 0;                           // drain progress
+};
+
+struct CkptSession {
+  std::vector<CkptSpaceCapture> spaces;
+  size_t pending = 0;     // records with captured == false
+  uint64_t cow_saves = 0;  // records filled by the save-on-write path
+  bool done() const { return pending == 0; }
+};
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_CKPT_H_

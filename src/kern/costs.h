@@ -80,6 +80,14 @@ struct CostModel {
 
   // --- Legacy (user-mode-in-kernel-space) support ---
   uint32_t kernel_call_gate = 40;  // mode switch into the core kernel and back
+
+  // --- Checkpointing (modeled pause costs; see stats.h ckpt_pause_hist) ---
+  // These scale the *recorded* serial-pause model only; capture never
+  // advances the virtual clock, so a checkpointed run stays bit-identical
+  // to an uncheckpointed one.
+  uint32_t ckpt_begin = 400;       // fixed capture-begin overhead
+  uint32_t ckpt_mark_page = 40;    // flip one PTE to checkpoint-CoW
+  uint32_t ckpt_copy_page = 1100;  // copy one 4 KiB page stop-the-world
 };
 
 }  // namespace fluke

@@ -50,9 +50,47 @@ void Kernel::Run(Time until) {
   }
 }
 
+void Kernel::CkptDrainTick(size_t batch) {
+  CkptSession* s = ckpt_;
+  if (s == nullptr || s->done()) {
+    return;
+  }
+  uint32_t drained = 0;
+  for (CkptSpaceCapture& sc : s->spaces) {
+    while (sc.cursor < sc.pages.size()) {
+      CkptPage& rec = sc.pages[sc.cursor];
+      if (!rec.captured) {
+        if (batch == 0) {
+          break;
+        }
+        sc.space->CkptCapturePage(rec);
+        --batch;
+        ++drained;
+      }
+      ++sc.cursor;
+    }
+    if (batch == 0) {
+      break;
+    }
+  }
+  if (drained != 0 && trace.enabled()) {
+    trace.Record(clock.now(), TraceKind::kCkptDrain, 0, drained,
+                 static_cast<uint32_t>(s->pending));
+  }
+}
+
 template <bool Instrumented>
 void Kernel::RunLoop(Time until) {
   while (!crashed_ && clock.now() < until) {
+    if constexpr (Instrumented) {
+      // Concurrent-checkpoint drain: a few owed pages per dispatch, on the
+      // host only -- virtual time and the simulated machine are untouched,
+      // so the checkpointed run stays bit-identical to an uncheckpointed
+      // one (tests/ckpt_concurrent_test.cc).
+      if (ckpt_ != nullptr) {
+        CkptDrainTick();
+      }
+    }
     RunDueTimers();
     if (irqs.AnyPending()) {
       DispatchIrqs();

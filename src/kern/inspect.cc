@@ -133,6 +133,18 @@ std::string DumpKernel(const Kernel& k) {
                   static_cast<unsigned long long>(k.stats.user_instructions));
     out += line;
   }
+  if (k.stats.ckpt_generations != 0) {
+    std::snprintf(line, sizeof(line),
+                  "CKPT generations=%llu pages_full=%llu pages_delta=%llu "
+                  "mark_pages=%llu cow_saves=%llu pause_max_ns=%llu\n",
+                  static_cast<unsigned long long>(k.stats.ckpt_generations),
+                  static_cast<unsigned long long>(k.stats.ckpt_pages_full),
+                  static_cast<unsigned long long>(k.stats.ckpt_pages_delta),
+                  static_cast<unsigned long long>(k.stats.ckpt_mark_pages),
+                  static_cast<unsigned long long>(k.stats.ckpt_cow_saves),
+                  static_cast<unsigned long long>(k.stats.ckpt_pause_hist.Max()));
+    out += line;
+  }
   return out + DumpThreads(k) + DumpSpaces(k);
 }
 
@@ -219,6 +231,11 @@ std::string StatsJson(const Kernel& k) {
   field("blocked_frame_bytes_peak", s.blocked_frame_bytes_peak);
   field("probe_runs", s.probe_runs);
   field("probe_misses", s.probe_misses);
+  field("ckpt_generations", s.ckpt_generations);
+  field("ckpt_pages_full", s.ckpt_pages_full);
+  field("ckpt_pages_delta", s.ckpt_pages_delta);
+  field("ckpt_cow_saves", s.ckpt_cow_saves);
+  field("ckpt_mark_pages", s.ckpt_mark_pages);
   field("trace_events_recorded", k.trace.total_recorded());
   field("trace_events_dropped", k.trace.dropped());
 
@@ -259,6 +276,7 @@ std::string StatsJson(const Kernel& k) {
 
   out += "  \"probe_hist\": " + HistJson(s.probe_hist) + ",\n";
   out += "  \"block_hist\": " + HistJson(s.block_hist) + ",\n";
+  out += "  \"ckpt_pause_hist\": " + HistJson(s.ckpt_pause_hist) + ",\n";
   out += "  \"syscalls_hist\": {";
   bool first = true;
   for (uint32_t sys = 0; sys < kSysCount; ++sys) {

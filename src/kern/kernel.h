@@ -396,12 +396,33 @@ class Kernel {
   void UncountBlockedBytes(Thread* t);
 
   // True while any hot-path instrumentation must fire (an armed fault
-  // injector or an enabled trace buffer). Run() checks this once and
-  // selects the Instrumented=false dispatch loop otherwise, whose compiled
-  // body contains no hook code at all -- the zero-cost-when-disarmed rule
+  // injector, an enabled trace buffer, or an in-progress concurrent
+  // checkpoint drain). Run() checks this once and selects the
+  // Instrumented=false dispatch loop otherwise, whose compiled body
+  // contains no hook code at all -- the zero-cost-when-disarmed rule
   // (DESIGN.md). The fast-path handlers are likewise only consulted on the
   // uninstrumented loop, so arming a FaultPlan forces the slow path.
-  bool InstrumentationLive() const { return finj.armed() || trace.enabled(); }
+  bool InstrumentationLive() const {
+    return finj.armed() || trace.enabled() || ckpt_ != nullptr;
+  }
+
+  // --- Concurrent checkpointing (src/kern/ckpt.h; workloads/checkpoint.*
+  //     owns the capture protocol) ---
+  // Attaches a marked session: the instrumented dispatch loop drains a small
+  // batch of still-marked pages per iteration (CkptDrainTick). Detach once
+  // the session is done. At most one session per kernel.
+  void CkptAttachSession(CkptSession* s) { ckpt_ = s; }
+  void CkptDetachSession() { ckpt_ = nullptr; }
+  CkptSession* ckpt_session() const { return ckpt_; }
+  // Copies up to `batch` owed pages into the session (host-side: no virtual
+  // time, no simulated frames). Called from the dispatch loop and by hosts
+  // that want to finish a capture synchronously (CkptDrainAll).
+  void CkptDrainTick(size_t batch = 8);
+  void CkptDrainAll() {
+    while (ckpt_ != nullptr && !ckpt_->done()) {
+      CkptDrainTick(256);
+    }
+  }
 
   // Applies the execution model to a fast-path bare block (ipc.cc): the
   // thread blocks with synthetically accounted kstack bytes and no retained
@@ -482,6 +503,8 @@ class Kernel {
   // pointers held in kernel structures stay valid even if every handle to
   // an object is dropped.
   std::vector<std::shared_ptr<KernelObject>> anchors_;
+
+  CkptSession* ckpt_ = nullptr;  // in-progress concurrent capture, if any
 
   uint64_t next_obj_id_ = 1;
   uint32_t ticks_seen_ = 0;

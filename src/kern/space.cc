@@ -1,6 +1,7 @@
 #include "src/kern/space.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 namespace fluke {
@@ -61,6 +62,89 @@ void Space::Uninstall(Handle h) {
 
 size_t Space::handle_count() const { return live_handles_; }
 
+void Space::ReplaceHandle(Handle h, std::shared_ptr<KernelObject> obj) {
+  assert(h != kInvalidHandle && h < handles_.size() && handles_[h] != nullptr);
+  handles_[h] = std::move(obj);
+}
+
+void Space::SetDirtyTracking() {
+  if (dirty_track_) {
+    return;
+  }
+  dirty_track_ = true;
+  // Clean pages must stop being cached so their first write reaches the
+  // dirty hook; cached span pointers revalidate against pt_gen.
+  ++pt_gen_;
+  TlbFlushAll();
+}
+
+size_t Space::CkptMark(bool delta) {
+  assert(ckpt_session_ != nullptr);
+  CkptSpaceCapture& sc = ckpt_session_->spaces[ckpt_space_index_];
+  size_t marked = 0;
+  for (auto& [page, pte] : pages_) {
+    if (delta && !pte.dirty) {
+      continue;
+    }
+    pte.ckpt_marked = true;
+    pte.dirty = false;
+    CkptPage rec;
+    rec.pagenum = page;
+    rec.prot = pte.prot;
+    sc.pages.push_back(std::move(rec));
+    ++marked;
+  }
+  // Deterministic drain/image order independent of hash-map iteration.
+  std::sort(sc.pages.begin(), sc.pages.end(),
+            [](const CkptPage& a, const CkptPage& b) { return a.pagenum < b.pagenum; });
+  sc.index.clear();
+  for (size_t i = 0; i < sc.pages.size(); ++i) {
+    sc.index.emplace(sc.pages[i].pagenum, i);
+  }
+  ckpt_session_->pending += marked;
+  // Marked pages must never be served from the TLB: any cached write
+  // pointer would bypass the save-on-write hook.
+  ++pt_gen_;
+  TlbFlushAll();
+  return marked;
+}
+
+void Space::CkptCapturePage(CkptPage& rec) {
+  auto it = pages_.find(rec.pagenum);
+  // An uncaptured record implies the PTE still exists and is still marked:
+  // every path that unmaps, remaps or writes the page saves it first.
+  assert(it != pages_.end() && it->second.ckpt_marked);
+  const uint8_t* src = phys_->Data(it->second.frame);
+  rec.data.assign(src, src + kPageSize);
+  rec.captured = true;
+  it->second.ckpt_marked = false;  // page becomes TLB-cacheable again lazily
+  --ckpt_session_->pending;
+}
+
+void Space::CkptSaveMarked(uint32_t page, Pte& pte) {
+  pte.ckpt_marked = false;
+  if (ckpt_session_ == nullptr) {
+    return;  // stale mark after a detached session; nothing is owed
+  }
+  CkptSpaceCapture& sc = ckpt_session_->spaces[ckpt_space_index_];
+  auto it = sc.index.find(page);
+  if (it == sc.index.end()) {
+    return;
+  }
+  CkptPage& rec = sc.pages[it->second];
+  if (rec.captured) {
+    return;
+  }
+  const uint8_t* src = phys_->Data(pte.frame);
+  rec.data.assign(src, src + kPageSize);
+  rec.captured = true;
+  --ckpt_session_->pending;
+  ++ckpt_session_->cow_saves;
+  if (stats_ != nullptr) {
+    ++stats_->ckpt_cow_saves;
+  }
+}
+
 bool Space::PagePresent(uint32_t vaddr) const {
   return pages_.count(vaddr >> kPageShift) != 0;
 }
@@ -76,10 +160,15 @@ void Space::MapPage(uint32_t vaddr, FrameId frame, uint32_t prot) {
   phys_->Ref(frame);  // ref first: replacing a page with itself must not free it
   auto it = pages_.find(vaddr >> kPageShift);
   if (it != pages_.end()) {
+    if (it->second.ckpt_marked) {
+      // Replacing a page an in-progress checkpoint still owes: save the old
+      // contents first (covers CowBreak remaps, lends, remedy installs).
+      CkptSaveMarked(vaddr >> kPageShift, it->second);
+    }
     if (it->second.frame != kInvalidFrame) {
       phys_->Unref(it->second.frame);
     }
-    it->second = Pte{frame, prot};
+    it->second = Pte{frame, prot};  // dirty defaults true: content changed
   } else {
     pages_.emplace(vaddr >> kPageShift, Pte{frame, prot});
   }
@@ -90,6 +179,9 @@ void Space::UnmapPage(uint32_t vaddr) {
   TlbInvalidatePage(vaddr >> kPageShift);  // shootdown: no stale translation
   auto it = pages_.find(vaddr >> kPageShift);
   if (it != pages_.end()) {
+    if (it->second.ckpt_marked) {
+      CkptSaveMarked(vaddr >> kPageShift, it->second);
+    }
     if (it->second.frame != kInvalidFrame) {
       phys_->Unref(it->second.frame);
     }
@@ -312,12 +404,25 @@ uint8_t* Space::PageData(uint32_t vaddr, uint32_t want_prot, uint32_t* fault_add
       return nullptr;
     }
   }
+  if ((want_prot & kProtWrite) != 0 && (it->second.prot & want_prot) == want_prot) {
+    // Permitted write to the page: satisfy an in-progress checkpoint first
+    // (save the pre-write contents) and record the page dirty for delta
+    // tracking. Host-side bookkeeping like CowBreak above, hence const_cast.
+    Pte& pte = const_cast<Pte&>(it->second);
+    if (pte.ckpt_marked) {
+      const_cast<Space*>(this)->CkptSaveMarked(page, pte);
+    }
+    pte.dirty = true;
+  }
   uint8_t* base = phys_->Data(it->second.frame);
-  if (tlb_enabled_ && !it->second.cow) {
+  if (tlb_enabled_ && !it->second.cow && !it->second.ckpt_marked &&
+      (it->second.dirty || !dirty_track_)) {
     // Fill even when the access is about to prot-fault: the entry still
     // mirrors the PTE, and the next permitted access hits. Cow pages are
     // never cached: a TLB hit carrying write permission would bypass the
-    // copy-on-write break above.
+    // copy-on-write break above. Checkpoint-marked pages are never cached
+    // (a hit would bypass the save-on-write hook), and under dirty tracking
+    // clean pages are never cached (a hit would bypass the dirty hook).
     tlb_.Fill(page, it->second.prot, base);
   }
   if ((it->second.prot & want_prot) != want_prot) {
@@ -420,6 +525,15 @@ bool Space::HostWrite(uint32_t vaddr, const void* data, uint32_t len) {
     const uint32_t addr = vaddr + i;
     if (!EnsurePrivateFrame(addr)) {  // prot-blind, but cow still breaks
       return false;
+    }
+    // Prot-blind translation below bypasses PageData's write hook, so an
+    // in-progress checkpoint and the dirty bit are handled explicitly here.
+    auto pit = pages_.find(addr >> kPageShift);
+    if (pit != pages_.end()) {
+      if (pit->second.ckpt_marked) {
+        CkptSaveMarked(addr >> kPageShift, pit->second);
+      }
+      pit->second.dirty = true;
     }
     Span s = TranslateSpanConst(addr, len - i, kProtNone);
     if (s.len == 0) {

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/kern/ckpt.h"
 #include "src/kern/objects.h"
 #include "src/kern/stats.h"
 #include "src/kern/tlb.h"
@@ -38,6 +39,16 @@ struct Pte {
   // first (Space::CowBreak); cow pages are never cached in the software TLB
   // so the break cannot be bypassed by a cached translation.
   bool cow = false;
+  // Owed to an in-progress checkpoint (src/kern/ckpt.h): any mutation must
+  // first save the old contents into the checkpoint session
+  // (Space::CkptSaveMarked). Marked pages are never cached in the software
+  // TLB, so the save cannot be bypassed by a cached translation.
+  bool ckpt_marked = false;
+  // Written since the last checkpoint mark phase (delta-checkpoint
+  // tracking). Defaults to true so fresh mappings are always captured.
+  // While dirty tracking is on, clean pages are never cached in the TLB so
+  // the first write always reaches the dirty hook.
+  bool dirty = true;
 };
 
 // Outcome of a soft-fault resolution attempt.
@@ -137,6 +148,35 @@ class Space final : public KernelObject, public MemoryBus {
   bool HostRead(uint32_t vaddr, void* out, uint32_t len) const;
   bool HostWrite(uint32_t vaddr, const void* data, uint32_t len);
 
+  // --- Concurrent checkpointing (src/kern/ckpt.h) ---
+  // Attaches this space to an in-progress capture session as spaces[index];
+  // CkptMark then records every page to capture (all pages, or only dirty
+  // ones for a delta) and flips it to checkpoint-CoW. Detach after Finish.
+  void CkptAttach(CkptSession* session, uint32_t index) {
+    ckpt_session_ = session;
+    ckpt_space_index_ = index;
+  }
+  void CkptDetach() { ckpt_session_ = nullptr; }
+  bool CkptAttached() const { return ckpt_session_ != nullptr; }
+  // Enables per-page dirty tracking (sticky; delta checkpoints need it from
+  // the first full image on). Flushes the TLB so clean pages stop being
+  // write-cached.
+  void SetDirtyTracking();
+  bool dirty_tracking() const { return dirty_track_; }
+  // The serial mark phase for this space: appends one CkptPage record per
+  // page to capture, sets ckpt_marked, clears dirty. Returns pages marked.
+  size_t CkptMark(bool delta);
+  // Drains one still-uncaptured record: copies the page and clears its mark.
+  void CkptCapturePage(CkptPage& rec);
+  // Saves the old contents of a still-marked page into the session record
+  // and clears the mark; called from every PTE/content mutation path.
+  void CkptSaveMarked(uint32_t page, Pte& pte);
+
+  // Replaces the object a live handle slot points at, preserving the slot
+  // number (checkpoint restore: forward references are installed as
+  // placeholders and patched once the target exists).
+  void ReplaceHandle(Handle h, std::shared_ptr<KernelObject> obj);
+
   // --- Software TLB (src/kern/tlb.h) ---
   // Wired by Kernel::CreateSpace; counters land in KernelStats::tlb_*.
   void ConfigureTlb(bool enabled, KernelStats* stats) {
@@ -189,6 +229,12 @@ class Space final : public KernelObject, public MemoryBus {
   uint32_t anon_base_ = 0;
   uint32_t anon_size_ = 0;
   uint64_t pt_gen_ = 0;
+
+  // In-progress checkpoint capture (null when none) and this space's slot in
+  // it; see CkptAttach.
+  CkptSession* ckpt_session_ = nullptr;
+  uint32_t ckpt_space_index_ = 0;
+  bool dirty_track_ = false;
 
   // Translation cache. Mutable: filling it from a read path is caching, not
   // a semantic mutation of the space.

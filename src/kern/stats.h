@@ -181,6 +181,22 @@ struct KernelStats {
   // allowed to differ between backends.
   uint64_t mp_barrier_waits = 0;
 
+  // Incremental concurrent checkpointing (src/kern/ckpt.h, workloads/
+  // checkpoint.*). Semantic counters: capture runs host-side between
+  // dispatches at deterministic virtual times, so these are identical
+  // across both interpreter engines and fast-path on/off runs of the same
+  // checkpointed workload (tests/ckpt_concurrent_test.cc compares them).
+  uint64_t ckpt_generations = 0;  // completed checkpoint generations
+  uint64_t ckpt_pages_full = 0;   // pages captured into full (base) images
+  uint64_t ckpt_pages_delta = 0;  // pages captured into delta images
+  uint64_t ckpt_cow_saves = 0;    // still-marked pages saved at a write hook
+  uint64_t ckpt_mark_pages = 0;   // pages flipped to ckpt-CoW by mark phases
+  // Modeled serial-pause time per capture begin: the stop phase a real
+  // kernel would take. Stop-the-world captures log begin + copy-all-pages;
+  // concurrent captures log begin + mark-all-pages (mark << copy, which is
+  // the whole point -- the histogram proves the pause shrinks).
+  LogHistogram ckpt_pause_hist;
+
   // Rollback accounting (Table 3): virtual time of work discarded and
   // redone because an operation rolled back to its last commit point, and
   // virtual time spent remedying faults.

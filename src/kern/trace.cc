@@ -44,6 +44,12 @@ const char* TraceKindName(TraceKind k) {
       return "idle";
     case TraceKind::kIpcFlow:
       return "ipc-flow";
+    case TraceKind::kCkptMark:
+      return "ckpt-mark";
+    case TraceKind::kCkptDrain:
+      return "ckpt-drain";
+    case TraceKind::kCkptSave:
+      return "ckpt-save";
   }
   return "?";
 }

@@ -55,6 +55,10 @@ enum class TraceKind : uint8_t {
   kFaultRemedy,     // span: fault remedy (a=addr; end b: 0=soft, 2=hard, ...)
   kIdle,            // span on tid 0: no runnable thread, clock advancing
   kIpcFlow,         // flow out/in pair: causal wake (IPC handoff etc.)
+  // --- Added with incremental checkpointing (PR 8) ---
+  kCkptMark,   // instant: mark phase flipped a space's pages (a=space, b=pages)
+  kCkptDrain,  // instant: drain tick captured owed pages (a=pages, b=left)
+  kCkptSave,   // instant: save-on-write captured a page (a=space, b=pagenum)
 };
 
 const char* TraceKindName(TraceKind k);

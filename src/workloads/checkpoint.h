@@ -86,6 +86,157 @@ RestoreResult RestoreSpace(Kernel& k, const CheckpointImage& img,
 // Convenience: destroys every thread of `space` (after capture).
 void DestroySpaceThreads(Kernel& k, Space& space);
 
+// ---------------------------------------------------------------------------
+// Machine-wide images (PR 8: incremental concurrent checkpointing).
+//
+// A MachineImage captures the whole machine -- every space, every thread
+// (with its live IPC-connection TCB fields), and the IPC objects (ports,
+// portsets, references) the rpc/c1m workloads wire across spaces. It comes
+// in two flavors: full (base_generation == 0, data for every resident page)
+// and delta (data only for pages dirtied since the parent image, chained by
+// generation number and parent digest -- see workloads/restart_log.h for
+// the chain loader).
+//
+// Deliberate scope limits (checked at capture; structured errors, never
+// asserts): single CPU, no Mappings/Regions/keeper ports, no undelivered
+// fault IPC (KernelMsg with a victim), no legacy threads. Dead objects in
+// handle tables are captured as kEmpty and restored as null References --
+// join-on-zombie across a checkpoint is not preserved (DESIGN.md).
+// ---------------------------------------------------------------------------
+
+struct MachineImage {
+  uint32_t generation = 1;
+  // 0 = full image; otherwise the generation of the image this delta chains
+  // to (must be generation - 1 when loaded through the restart log).
+  uint32_t base_generation = 0;
+  uint64_t parent_digest = 0;  // ImageDigest of the serialized parent (delta)
+  Time clock_ns = 0;           // virtual time at the capture instant
+
+  enum class ObjKind : int {
+    kEmpty = 0,
+    kSpaceSelf,
+    kThreadSelf,  // thread whose self slot this is (global thread index)
+    kThreadRef,   // another thread installed directly (c1m master's handles)
+    kMutex,
+    kCond,
+    kPort,      // port object installed directly (global port key)
+    kPortRef,   // Reference to a port (global port key)
+    kPortset,   // portset object installed directly (global portset key)
+  };
+  struct ObjImage {
+    ObjKind kind = ObjKind::kEmpty;
+    int index = -1;  // thread index / port key / portset key, per kind
+    bool mutex_locked = false;
+    int mutex_owner_thread = -1;  // global thread index, or -1
+  };
+  struct ResidentPage {
+    uint32_t vaddr = 0;
+    uint32_t prot = 0;
+  };
+  struct SpaceImage {
+    std::string name;
+    std::string program_name;
+    uint32_t anon_base = 0;
+    uint32_t anon_size = 0;
+    // Every page mapped at the capture instant (delta images need the full
+    // directory to represent unmaps; for a full image this equals `pages`).
+    std::vector<ResidentPage> resident;
+    std::vector<CheckpointImage::PageImage> pages;  // data-carrying pages
+    std::vector<ObjImage> objects;                  // handle slots, in order
+  };
+  std::vector<SpaceImage> spaces;
+
+  struct KMsgImage {
+    uint32_t words[8] = {};
+    uint32_t len = 0;
+    uint32_t badge = 0;
+  };
+  struct PortImage {
+    uint32_t badge = 0;
+    std::vector<KMsgImage> kmsgs;  // undelivered kernel-synthesized messages
+  };
+  std::vector<PortImage> ports;  // keyed by discovery order (space, slot)
+
+  struct PortsetImage {
+    std::vector<uint32_t> member_ports;  // port keys, membership order
+  };
+  std::vector<PortsetImage> portsets;
+
+  struct ThreadImage {
+    uint32_t space_index = 0;
+    ThreadState state;
+    std::string program_name;
+    bool was_runnable = false;  // runnable/blocked/running (vs stopped/embryo)
+    int ipc_peer = -1;          // global thread index of the connected peer
+    bool ipc_is_server = false;
+    uint32_t port_badge = 0;
+  };
+  std::vector<ThreadImage> threads;  // global order: space order, then TCB order
+
+  size_t TotalPages() const {
+    size_t n = 0;
+    for (const SpaceImage& s : spaces) {
+      n += s.pages.size();
+    }
+    return n;
+  }
+};
+
+// A concurrent capture in progress. Begin() runs the serial mark phase
+// (metadata snapshot + flip every page to checkpoint-CoW) and records the
+// modeled pause in stats.ckpt_pause_hist; the caller then keeps running the
+// kernel while the dispatch loop drains pages, and calls Finish() once
+// done() (or forces completion first with Kernel::CkptDrainAll). Abort()
+// detaches without producing an image.
+class ConcurrentCkpt {
+ public:
+  ~ConcurrentCkpt() { Abort(); }
+
+  // `delta` captures only pages dirtied since the previous capture (refused
+  // unless this kernel has completed a capture before). `stw` is the
+  // stop-the-world cost model: the recorded pause covers copying every page
+  // rather than marking it (used by CaptureMachine; the image itself is
+  // identical either way).
+  bool Begin(Kernel& k, bool delta, std::string* error, bool stw = false);
+  bool active() const { return kernel_ != nullptr; }
+  bool done() const { return session_.done(); }
+  MachineImage Finish();
+  void Abort();
+
+ private:
+  MachineImage img_;
+  CkptSession session_;
+  Kernel* kernel_ = nullptr;
+  bool delta_ = false;
+};
+
+// Stop-the-world machine capture: mark + drain everything at one instant,
+// recording the full copy cost as the pause. The resulting image is
+// byte-identical to what a ConcurrentCkpt begun at the same instant
+// produces after draining -- that equivalence is the concurrent
+// checkpointer's correctness witness (tests/ckpt_concurrent_test.cc).
+bool CaptureMachine(Kernel& k, bool delta, MachineImage* out, std::string* error);
+
+// Restores a full (merged) machine image into `k`, which must be freshly
+// booted. Structured errors, never asserts; on failure partially-restored
+// objects remain but no thread has been started.
+struct MachineRestoreResult {
+  bool ok = true;
+  std::string error;
+  std::vector<std::shared_ptr<Space>> spaces;
+  std::vector<Thread*> threads;  // global order, matching img.threads
+};
+MachineRestoreResult RestoreMachine(Kernel& k, const MachineImage& img,
+                                    const ProgramRegistry& programs, bool start = true);
+
+// Merges a delta chain, oldest first (chain[0] must be a full image), into
+// one full image carrying the newest generation's metadata and resident
+// set. Returns false with `error` set on a malformed chain (generation gap,
+// base/full mismatch). Digest validation is the loader's job
+// (workloads/restart_log.h); this checks structure only.
+bool MergeImageChain(const std::vector<const MachineImage*>& chain, MachineImage* out,
+                     std::string* error);
+
 }  // namespace fluke
 
 #endif  // SRC_WORKLOADS_CHECKPOINT_H_

@@ -24,6 +24,10 @@ namespace fluke {
 
 inline constexpr uint32_t kCkptMagic = 0x464C4B31;  // "FLK1"
 inline constexpr uint32_t kCkptVersion = 2;  // v2: CRC32 trailer + semantic checks
+// v3: machine-wide images (every space + cross-space IPC objects), delta
+// chaining (generation / base_generation / parent digest), resident page
+// directories, and per-chunk page CRCs on top of the v2 stream trailer.
+inline constexpr uint32_t kCkptVersion3 = 3;
 
 // Serializes `img` to bytes.
 std::vector<uint8_t> SerializeCheckpoint(const CheckpointImage& img);
@@ -33,6 +37,19 @@ std::vector<uint8_t> SerializeCheckpoint(const CheckpointImage& img);
 // hostile input.
 bool DeserializeCheckpoint(const std::vector<uint8_t>& bytes, CheckpointImage* out,
                            std::string* error);
+
+// Serializes a machine-wide image (v3 stream).
+std::vector<uint8_t> SerializeMachine(const MachineImage& img);
+
+// Parses a v3 machine image -- or, for backward compatibility, a v2
+// single-space image, which is wrapped as a one-space full MachineImage --
+// with the same hostile-input guarantees as DeserializeCheckpoint.
+bool DeserializeImage(const std::vector<uint8_t>& bytes, MachineImage* out,
+                      std::string* error);
+
+// FNV-1a over the serialized stream: the identity a delta image's
+// parent_digest names, and what the restart log records per generation.
+uint64_t ImageDigest(const std::vector<uint8_t>& bytes);
 
 }  // namespace fluke
 

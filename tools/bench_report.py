@@ -100,12 +100,16 @@ def distill(raw):
         if "bytes_per_second" in b:
             entry["bytes_per_second"] = b["bytes_per_second"]
         # User counters exported by BM_ThreadScale (per-thread blocked-frame
-        # memory and wakeup throughput, the paper's 100k-thread scaling axes)
-        # and BM_MpScale (host time per c1m run, host speedup over the 1-CPU
-        # dispatcher, and the MP epoch/cross-CPU traffic that produced it).
+        # memory and wakeup throughput, the paper's 100k-thread scaling axes),
+        # BM_MpScale (host time per c1m run, host speedup over the 1-CPU
+        # dispatcher, and the MP epoch/cross-CPU traffic that produced it),
+        # and BM_CkptOverhead (generations committed, serial-pause p95, and
+        # how often a user write beat the background drain to a marked page).
         for counter in ("bytes_per_thread", "wakeups_per_vsec",
                         "host_ms_per_run", "speedup_vs_1cpu",
-                        "mp_epochs", "cross_cpu_ipc"):
+                        "mp_epochs", "cross_cpu_ipc",
+                        "ckpt_generations", "ckpt_pause_p95_ns",
+                        "ckpt_cow_saves"):
             if counter in b:
                 entry[counter] = b[counter]
         out.append(entry)

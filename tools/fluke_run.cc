@@ -41,6 +41,19 @@
 //                                 extraction at every dispatch boundary)
 //                                 instead of programs; exits 4 and dumps the
 //                                 diverging kernel if any boundary fails
+//   --ckpt-every=N                take an incremental concurrent checkpoint
+//                                 every N virtual ms: a short mark phase, then
+//                                 the kernel keeps serving syscalls while the
+//                                 drain ktask writes the image (single CPU)
+//   --ckpt-dir=DIR                checkpoint store directory (images +
+//                                 restart log; default "ckpt")
+//   --ckpt-delta                  after the first full image, write delta
+//                                 images (pages dirtied since the parent)
+//   --restore=DIR                 recover the newest complete generation from
+//                                 DIR's restart log (falling back across
+//                                 broken chains) and continue the run from it;
+//                                 combine with the same workload flags so the
+//                                 programs can be re-bound by name
 //
 // Example program (echo.fasm):
 //   start:
@@ -48,6 +61,7 @@
 //     sys  clock_get
 //     halt
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -63,7 +77,10 @@
 #include "src/uvm/asmparse.h"
 #include "src/workloads/apps.h"
 #include "src/workloads/audit.h"
+#include "src/workloads/checkpoint.h"
+#include "src/workloads/ckpt_image.h"
 #include "src/workloads/pager.h"
+#include "src/workloads/restart_log.h"
 
 namespace fluke {
 namespace {
@@ -76,6 +93,8 @@ int Usage() {
                "                 [--stats-json=FILE] [--trace-out=FILE] [--trace-cap=N]\n"
                "                 [--profile] [--workload=rpc[:N]] [--workload=c1m[:N]]\n"
                "                 [--fault-plan=SPEC] [--audit]\n"
+               "                 [--ckpt-every=MS] [--ckpt-dir=DIR] [--ckpt-delta]\n"
+               "                 [--restore=DIR]\n"
                "                 program.fasm [more.fasm ...]\n");
   return 2;
 }
@@ -155,6 +174,10 @@ int Main(int argc, char** argv) {
   uint32_t rpc_rounds = 200;
   bool workload_c1m = false;
   uint32_t c1m_clients = 1000;
+  uint64_t ckpt_every_ms = 0;
+  std::string ckpt_dir = "ckpt";
+  bool ckpt_delta = false;
+  std::string restore_dir;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -211,6 +234,14 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "fluke_run: unknown workload '%s'\n", spec.c_str());
         return 2;
       }
+    } else if (arg.rfind("--ckpt-every=", 0) == 0) {
+      ckpt_every_ms = std::stoull(arg.substr(13), nullptr, 0);
+    } else if (arg.rfind("--ckpt-dir=", 0) == 0) {
+      ckpt_dir = arg.substr(11);
+    } else if (arg == "--ckpt-delta") {
+      ckpt_delta = true;
+    } else if (arg.rfind("--restore=", 0) == 0) {
+      restore_dir = arg.substr(10);
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
       std::string err;
       if (!ParseFaultPlan(arg.substr(13), &cfg.fault_plan, &err)) {
@@ -229,6 +260,10 @@ int Main(int argc, char** argv) {
   }
   if (!cfg.Valid()) {
     std::fprintf(stderr, "fluke_run: invalid configuration: %s\n", cfg.Validate().c_str());
+    return 2;
+  }
+  if ((ckpt_every_ms != 0 || !restore_dir.empty()) && cfg.num_cpus > 1) {
+    std::fprintf(stderr, "fluke_run: checkpointing requires --cpus=1\n");
     return 2;
   }
 
@@ -255,7 +290,8 @@ int Main(int argc, char** argv) {
     return 0;
   }
 
-  Kernel kernel(cfg);
+  ProgramRegistry registry;
+  Kernel kernel(cfg, &registry);
   if (trace || profile || !trace_out.empty()) {
     // Any trace consumer forces the instrumented slow path. The exported /
     // profiled runs default to a ring big enough for a whole run.
@@ -267,61 +303,177 @@ int Main(int argc, char** argv) {
     kernel.trace.Enable();
   }
 
+  // Builds the selected workload in `k`; fills `out` with the threads whose
+  // completion ends the run and `out_names` with matching labels. Returns 0,
+  // or a process exit code on error.
+  auto build_workload = [&](Kernel& k, std::vector<Thread*>* out,
+                            std::vector<std::string>* out_names) -> int {
+    if (workload_rpc) {
+      // Under MP, one independent client/server pair per CPU: the round-robin
+      // space homing lands each pair on its own CPU, so the epochs genuinely
+      // run user bursts in parallel.
+      const int pairs = cfg.num_cpus > 1 ? cfg.num_cpus : 1;
+      for (int i = 0; i < pairs; ++i) {
+        out->push_back(BuildRpcWorkload(k, rpc_rounds));
+        out_names->push_back("workload:rpc");
+      }
+    } else if (workload_c1m) {
+      C1mParams cp;
+      cp.clients = c1m_clients;
+      *out = BuildC1mWorkload(k, cp);
+      out_names->assign(out->size(), "workload:c1m");
+    } else {
+      std::shared_ptr<Space> space;
+      if (paged) {
+        ManagedSetup m = BuildManagedSpace(k, anon_bytes, "cli");
+        k.StartThread(m.manager_thread);
+        space = m.child_space;
+      } else {
+        space = k.CreateSpace("cli");
+        space->SetAnonRange(0, anon_bytes);
+      }
+
+      for (const std::string& path : files) {
+        std::ifstream in(path);
+        if (!in) {
+          std::fprintf(stderr, "fluke_run: cannot open '%s'\n", path.c_str());
+          return 1;
+        }
+        std::ostringstream src;
+        src << in.rdbuf();
+        AsmParseResult r = ParseAsm(path, src.str());
+        if (r.program == nullptr) {
+          std::fprintf(stderr, "fluke_run: %s: %s\n", path.c_str(), r.error.c_str());
+          return 1;
+        }
+        Thread* t = k.CreateThread(space.get(), r.program);
+        k.StartThread(t);
+        out->push_back(t);
+        out_names->push_back(path);
+      }
+    }
+    return 0;
+  };
+
   std::vector<Thread*> threads;
   std::vector<std::string> names;
-  if (workload_rpc) {
-    // Under MP, one independent client/server pair per CPU: the round-robin
-    // space homing lands each pair on its own CPU, so the epochs genuinely
-    // run user bursts in parallel.
-    const int pairs = cfg.num_cpus > 1 ? cfg.num_cpus : 1;
-    for (int i = 0; i < pairs; ++i) {
-      threads.push_back(BuildRpcWorkload(kernel, rpc_rounds));
-      names.push_back("workload:rpc");
-    }
-  } else if (workload_c1m) {
-    C1mParams cp;
-    cp.clients = c1m_clients;
-    threads = BuildC1mWorkload(kernel, cp);
-    names.assign(threads.size(), "workload:c1m");
-  } else {
-    std::shared_ptr<Space> space;
-    if (paged) {
-      ManagedSetup m = BuildManagedSpace(kernel, anon_bytes, "cli");
-      kernel.StartThread(m.manager_thread);
-      space = m.child_space;
-    } else {
-      space = kernel.CreateSpace("cli");
-      space->SetAnonRange(0, anon_bytes);
-    }
-
-    for (const std::string& path : files) {
-      std::ifstream in(path);
-      if (!in) {
-        std::fprintf(stderr, "fluke_run: cannot open '%s'\n", path.c_str());
-        return 1;
+  if (!restore_dir.empty()) {
+    // Recovery: mint the workload's programs in a scratch kernel so the
+    // registry can re-bind them by name, then restore the newest complete
+    // generation from the store into the real kernel.
+    {
+      Kernel scratch(cfg);
+      std::vector<Thread*> st;
+      std::vector<std::string> sn;
+      if (const int rc = build_workload(scratch, &st, &sn); rc != 0) {
+        return rc;
       }
-      std::ostringstream src;
-      src << in.rdbuf();
-      AsmParseResult r = ParseAsm(path, src.str());
-      if (r.program == nullptr) {
-        std::fprintf(stderr, "fluke_run: %s: %s\n", path.c_str(), r.error.c_str());
-        return 1;
+      for (const auto& sp : scratch.spaces()) {
+        if (sp->program != nullptr) {
+          registry.Register(sp->program);
+        }
       }
-      Thread* t = kernel.CreateThread(space.get(), r.program);
-      kernel.StartThread(t);
-      threads.push_back(t);
-      names.push_back(path);
+      for (const auto& th : scratch.threads()) {
+        if (th->program != nullptr) {
+          registry.Register(th->program);
+        }
+      }
     }
+    FileCkptStore store(restore_dir);
+    MachineImage img;
+    uint64_t gen = 0;
+    std::string err;
+    if (!RecoverLatest(store, &img, &gen, &err)) {
+      std::fprintf(stderr, "fluke_run: restore from '%s' failed: %s\n", restore_dir.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    const MachineRestoreResult r = RestoreMachine(kernel, img, registry, true);
+    if (!r.ok) {
+      std::fprintf(stderr, "fluke_run: restore from '%s' failed: %s\n", restore_dir.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "fluke_run: restored generation %llu (%zu spaces, %zu threads)\n",
+                 static_cast<unsigned long long>(gen), r.spaces.size(), r.threads.size());
+    threads = r.threads;
+    names.assign(threads.size(), "restored");
+  } else if (const int rc = build_workload(kernel, &threads, &names); rc != 0) {
+    return rc;
   }
   // Injection begins only now: boot-loader setup is never failed.
   kernel.finj.Arm();
 
   // Run until every program thread finishes (daemons like the pager run
-  // forever) or the virtual-time budget expires.
+  // forever) or the virtual-time budget expires. With --ckpt-every the run is
+  // sliced at checkpoint instants: a short serial mark phase flips pages, then
+  // the kernel keeps executing while the drain ktask copies them out; a
+  // finished capture is committed (image first, restart-log record second)
+  // before the next one begins. A crash mid-capture commits nothing -- the
+  // marks are abandoned and recovery falls back to the previous generation.
   const Time deadline = kernel.clock.now() + max_ms * kNsPerMs;
-  for (Thread* t : threads) {
-    if (!kernel.RunUntilThreadDone(t, deadline - kernel.clock.now())) {
+  ConcurrentCkpt cc;
+  bool cc_delta = false;
+  uint32_t prev_gen = 0;
+  uint64_t prev_digest = 0;
+  uint64_t next_gen = 1;
+  FileCkptStore store(ckpt_dir);
+  const Time ckpt_every_ns = ckpt_every_ms * kNsPerMs;
+  Time next_ckpt = ckpt_every_ns != 0 ? kernel.clock.now() + ckpt_every_ns : 0;
+  auto commit_capture = [&]() -> bool {
+    MachineImage img = cc.Finish();
+    img.generation = static_cast<uint32_t>(next_gen);
+    if (cc_delta) {
+      img.base_generation = prev_gen;
+      img.parent_digest = prev_digest;
+    } else {
+      img.base_generation = 0;
+      img.parent_digest = 0;
+    }
+    const std::vector<uint8_t> bytes = SerializeMachine(img);
+    if (!CommitGeneration(store, next_gen, bytes)) {
+      std::fprintf(stderr, "fluke_run: cannot write checkpoint generation %llu to '%s'\n",
+                   static_cast<unsigned long long>(next_gen), ckpt_dir.c_str());
+      return false;
+    }
+    prev_gen = img.generation;
+    prev_digest = ImageDigest(bytes);
+    ++next_gen;
+    return true;
+  };
+  size_t ti = 0;
+  while (ti < threads.size() && !kernel.crashed()) {
+    if (cc.active() && cc.done() && !commit_capture()) {
+      return 1;
+    }
+    if (ckpt_every_ns != 0 && !cc.active() && kernel.clock.now() >= next_ckpt) {
+      std::string err;
+      const bool delta = ckpt_delta && kernel.stats.ckpt_generations > 0;
+      if (cc.Begin(kernel, delta, &err)) {
+        cc_delta = delta;
+      } else {
+        std::fprintf(stderr, "fluke_run: checkpoint skipped: %s\n", err.c_str());
+      }
+      next_ckpt += ckpt_every_ns;
+    }
+    if (kernel.clock.now() >= deadline) {
       break;
+    }
+    // Slice at the next checkpoint instant; if that instant is already past
+    // (a capture is still draining), poll in 1 ms slices instead.
+    Time target = deadline;
+    if (ckpt_every_ns != 0) {
+      target = std::min<Time>(deadline,
+                              std::max<Time>(next_ckpt, kernel.clock.now() + kNsPerMs));
+    }
+    if (kernel.RunUntilThreadDone(threads[ti], target - kernel.clock.now())) {
+      ++ti;
+    }
+  }
+  if (cc.active() && !kernel.crashed()) {
+    kernel.CkptDrainAll();
+    if (!commit_capture()) {
+      return 1;
     }
   }
   std::fputs(kernel.console.output().c_str(), stdout);
@@ -404,6 +556,24 @@ int Main(int argc, char** argv) {
                    static_cast<unsigned long long>(s.block_hist.Percentile(0.95)),
                    static_cast<unsigned long long>(s.block_hist.Max()),
                    static_cast<unsigned long long>(s.block_hist.count));
+    }
+    if (s.ckpt_generations != 0) {
+      std::fprintf(stderr,
+                   "  ckpt: %llu generations | pages: %llu full, %llu delta | "
+                   "%llu mark flips | %llu cow saves\n",
+                   static_cast<unsigned long long>(s.ckpt_generations),
+                   static_cast<unsigned long long>(s.ckpt_pages_full),
+                   static_cast<unsigned long long>(s.ckpt_pages_delta),
+                   static_cast<unsigned long long>(s.ckpt_mark_pages),
+                   static_cast<unsigned long long>(s.ckpt_cow_saves));
+      if (!s.ckpt_pause_hist.empty()) {
+        std::fprintf(stderr,
+                     "  ckpt pause:     p50=%lluns p95=%lluns max=%lluns (%llu pauses)\n",
+                     static_cast<unsigned long long>(s.ckpt_pause_hist.Percentile(0.50)),
+                     static_cast<unsigned long long>(s.ckpt_pause_hist.Percentile(0.95)),
+                     static_cast<unsigned long long>(s.ckpt_pause_hist.Max()),
+                     static_cast<unsigned long long>(s.ckpt_pause_hist.count));
+      }
     }
   }
   if (trace) {
