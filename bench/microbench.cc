@@ -221,11 +221,23 @@ BENCHMARK(BM_UserMemLoop);
 // measure the host's store-to-load forwarding latency -- identical for both
 // engines, with dispatch hidden under it by out-of-order execution -- not
 // the dispatch work this benchmark exists to expose. Arg 0 forces the
-// portable switch loop, Arg 1 the threaded engine, so a single report
-// carries the comparison; items = retired user instructions.
+// portable switch loop, Arg 1 the threaded engine, Arg 2 the template jit,
+// so a single report carries the three-way comparison; items = retired
+// user instructions.
+InterpEngine BenchEngine(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return InterpEngine::kSwitch;
+    case 1:
+      return InterpEngine::kThreaded;
+    default:
+      return InterpEngine::kJit;
+  }
+}
+
 void BM_InterpAluLoop(benchmark::State& state) {
   KernelConfig cfg;
-  cfg.enable_threaded_interp = state.range(0) != 0;
+  cfg.interp_engine = BenchEngine(state.range(0));
   Kernel k(cfg);
   auto space = k.CreateSpace("alu");
   space->SetAnonRange(0x10000, 1 << 20);
@@ -261,7 +273,55 @@ void BM_InterpAluLoop(benchmark::State& state) {
   state.SetItemsProcessed(
       static_cast<int64_t>(passes * (kIters * kInstrPerIter)));
 }
-BENCHMARK(BM_InterpAluLoop)->Arg(0)->Arg(1);
+BENCHMARK(BM_InterpAluLoop)->Arg(0)->Arg(1)->Arg(2);
+
+// The memory-bound counterpart: a streaming loadw/storew loop over a warm
+// 64 KiB window. The dispatch win shrinks (every instruction also pays the
+// translation probe) -- this is where the jit's inlined MiniTlb front-slot
+// check is measured. Same Arg mapping as BM_InterpAluLoop; items = retired
+// user instructions.
+void BM_InterpMemLoop(benchmark::State& state) {
+  KernelConfig cfg;
+  cfg.interp_engine = BenchEngine(state.range(0));
+  Kernel k(cfg);
+  auto space = k.CreateSpace("mem");
+  space->SetAnonRange(0x10000, 1 << 20);
+  constexpr uint32_t kBuf = 0x20000;
+  constexpr uint32_t kBufBytes = 64 * 1024;
+  constexpr uint32_t kInstrPerIter = 7;  // 2 ld, 2 st, 2 add, 1 branch
+
+  Assembler a("memloop");
+  const auto outer = a.NewLabel();
+  a.Bind(outer);
+  a.MovImm(kRegB, kBuf);
+  a.MovImm(kRegC, kBuf + kBufBytes);
+  const auto inner = a.NewLabel();
+  a.Bind(inner);
+  a.LoadW(kRegD, kRegB, 0);
+  a.AddImm(kRegD, kRegD, 3);
+  a.StoreW(kRegD, kRegB, 0);
+  a.LoadW(kRegSI, kRegB, 4);
+  a.StoreW(kRegSI, kRegB, 8);
+  a.AddImm(kRegB, kRegB, 16);
+  a.Blt(kRegB, kRegC, inner);
+  EmitSys(a, kSysNull);  // pass marker
+  a.Jmp(outer);
+  space->program = a.Build();
+  k.StartThread(k.CreateThread(space.get()));
+  // Warm: fault in the window and settle the caches (predecode / compile).
+  k.Run(k.clock.now() + 2 * kNsPerMs);
+
+  constexpr uint32_t kItersPerPass = kBufBytes / 16;
+  uint64_t passes = 0;
+  for (auto _ : state) {
+    const uint64_t before = k.stats.syscalls;
+    k.Run(k.clock.now() + 2 * kNsPerMs);
+    passes += k.stats.syscalls - before;
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(passes * (kItersPerPass * kInstrPerIter)));
+}
+BENCHMARK(BM_InterpMemLoop)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_HardFaultRoundTrip(benchmark::State& state) {
   KernelConfig cfg;

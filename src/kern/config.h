@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/uvm/engine.h"
+
 namespace fluke {
 
 // Deterministic fault-injection plan (src/kern/faultinject.h). All knobs
@@ -75,12 +77,23 @@ struct KernelConfig {
   // side caching: results are bit-identical either way (tested by
   // tests/tlb_test.cc); off exists for that A/B check and for debugging.
   bool enable_tlb = true;
-  // Threaded-dispatch interpreter over predecoded programs (src/uvm/
-  // predecode.h). Pure host-side execution engine swap: results are
-  // bit-identical either way (tested by tests/interp_dispatch_test.cc); off
-  // exists for that A/B check and for debugging. No effect when the
-  // computed-goto engine is not compiled in (FLUKE_INTERP_COMPUTED_GOTO).
+  // Interpreter engine selection (src/uvm/engine.h). Pure host-side
+  // execution engine swap: results are bit-identical across all three
+  // engines (tested by tests/interp_dispatch_test.cc). kThreaded degrades
+  // to kSwitch when the computed-goto engine is not compiled in
+  // (FLUKE_INTERP_COMPUTED_GOTO); kJit degrades to kThreaded (then kSwitch)
+  // when the host target is unsupported or refuses executable pages.
+  InterpEngine interp_engine = InterpEngine::kThreaded;
+  // Deprecated alias, kept so older call sites and scripts keep working:
+  // when false it forces the switch engine regardless of interp_engine.
+  // New code should set interp_engine and leave this alone.
   bool enable_threaded_interp = true;
+
+  // The engine the kernel actually runs: interp_engine unless the
+  // deprecated alias demands the switch reference engine.
+  InterpEngine EffectiveEngine() const {
+    return enable_threaded_interp ? interp_engine : InterpEngine::kSwitch;
+  }
   // Syscall/IPC fast paths (src/kern/dispatch.cc): trivial syscalls and the
   // reliable-IPC direct-handoff send run outside the coroutine machinery
   // when instrumentation is disarmed, charging the identical virtual-time

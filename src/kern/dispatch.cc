@@ -273,8 +273,8 @@ void Kernel::RunThreadT(Cpu& cpu, Thread* t, Time horizon) {
         }
         finj.Note(FaultHook::kInterpBoundary);
       }
-      const RunResult r =
-          RunUser(*t->program, &t->regs, t->space, budget, interp_opts_);
+      const RunResult r = RunUser(*t->program, &t->regs, t->space, budget,
+                                  Instrumented ? interp_opts_instr_ : interp_opts_);
       clock.Advance(r.cycles * kNsPerCycle);
       switch (r.event) {
         case UserEvent::kBudget:
@@ -719,6 +719,14 @@ void Kernel::MpMergeShards() {
     s.interp_block_charges = 0;
     stats.interp_predecodes += s.interp_predecodes;
     s.interp_predecodes = 0;
+    stats.jit_compiles += s.jit_compiles;
+    s.jit_compiles = 0;
+    stats.jit_block_entries += s.jit_block_entries;
+    s.jit_block_entries = 0;
+    stats.jit_deopts += s.jit_deopts;
+    s.jit_deopts = 0;
+    stats.jit_bytes += s.jit_bytes;
+    s.jit_bytes = 0;
     stats.user_instructions += s.user_instructions;
     s.user_instructions = 0;
   }
@@ -830,15 +838,23 @@ void Kernel::MpRunBursts(bool parallel) {
     }
     return;
   }
-  // The threaded engine's first run of a program builds and links its
-  // per-Program decoded cache (shared, lazily initialized): run those on
-  // this thread first, then fan the already-linked rest out to the pool.
+  // Engines with lazy per-Program caches mutate them on first touch, so
+  // first-touch bursts run serially on this thread and only already-built
+  // programs fan out to the pool. Threaded: the decoded side-table until
+  // DecodedReady(). Jit: hotness counting, compilation, AND the cold
+  // (threaded) bursts before the compile all happen under !JitReady();
+  // once ready the arena is sealed/immutable and compiled bursts never
+  // touch the decode cache, so JitReady() alone is the pinning predicate.
   int par[kMaxCpus];
   int np = 0;
-  const bool threaded = cfg.enable_threaded_interp && ThreadedDispatchCompiledIn();
+  const InterpEngine engine = cfg.EffectiveEngine();
+  const bool jit = engine == InterpEngine::kJit && JitCompiledIn() && JitAvailable();
+  const bool threaded =
+      !jit && engine != InterpEngine::kSwitch && ThreadedDispatchCompiledIn();
   for (int i = 0; i < n; ++i) {
     Cpu& c = cpus_[staged[i]];
-    if (threaded && !c.current->program->DecodedReady()) {
+    const Program& p = *c.current->program;
+    if ((jit && !p.JitReady()) || (threaded && !p.DecodedReady())) {
       run_one(c);
     } else {
       par[np++] = staged[i];

@@ -202,6 +202,10 @@ std::string StatsJson(const Kernel& k) {
   field("tlb_flushes", s.tlb_flushes);
   field("interp_block_charges", s.interp_block_charges);
   field("interp_predecodes", s.interp_predecodes);
+  field("jit_compiles", s.jit_compiles);
+  field("jit_block_entries", s.jit_block_entries);
+  field("jit_deopts", s.jit_deopts);
+  field("jit_bytes", s.jit_bytes);
   field("user_instructions", s.user_instructions);
   field("faults_injected", s.faults_injected);
   field("extractions_forced", s.extractions_forced);

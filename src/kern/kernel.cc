@@ -28,16 +28,28 @@ Kernel::Kernel(const KernelConfig& config, ProgramRegistry* program_registry)
       // Per-CPU stat shard + engine options: phase-A bursts on this CPU
       // count into the shard, merged into `stats` at every epoch barrier.
       cpus_[i].shard = std::make_unique<KernelStats>();
-      cpus_[i].interp_opts.threaded = cfg.enable_threaded_interp;
+      cpus_[i].interp_opts.engine = cfg.EffectiveEngine();
       cpus_[i].interp_opts.block_charges = &cpus_[i].shard->interp_block_charges;
       cpus_[i].interp_opts.predecodes = &cpus_[i].shard->interp_predecodes;
       cpus_[i].interp_opts.instructions = &cpus_[i].shard->user_instructions;
+      cpus_[i].interp_opts.jit_compiles = &cpus_[i].shard->jit_compiles;
+      cpus_[i].interp_opts.jit_block_entries = &cpus_[i].shard->jit_block_entries;
+      cpus_[i].interp_opts.jit_deopts = &cpus_[i].shard->jit_deopts;
+      cpus_[i].interp_opts.jit_bytes = &cpus_[i].shard->jit_bytes;
     }
   }
-  interp_opts_.threaded = cfg.enable_threaded_interp;
+  interp_opts_.engine = cfg.EffectiveEngine();
   interp_opts_.block_charges = &stats.interp_block_charges;
   interp_opts_.predecodes = &stats.interp_predecodes;
   interp_opts_.instructions = &stats.user_instructions;
+  interp_opts_.jit_compiles = &stats.jit_compiles;
+  interp_opts_.jit_block_entries = &stats.jit_block_entries;
+  interp_opts_.jit_deopts = &stats.jit_deopts;
+  interp_opts_.jit_bytes = &stats.jit_bytes;
+  interp_opts_instr_ = interp_opts_;
+  if (interp_opts_instr_.engine == InterpEngine::kJit) {
+    interp_opts_instr_.engine = InterpEngine::kSwitch;
+  }
   syscalls_by_num_ = SyscallsByNum();
   finj.Configure(cfg.fault_plan, &stats);
   timers.BindCascadeCounter(&stats.timer_cascades);

@@ -125,6 +125,16 @@ struct KernelStats {
   uint64_t interp_block_charges = 0;  // whole-block batched cycle charges
   uint64_t interp_predecodes = 0;     // programs decoded into side-tables
 
+  // JIT-engine accounting (src/uvm/jit.cc). Host-side observability only,
+  // same contract as interp_*: the only counters (with those and tlb_*)
+  // allowed to differ between engine variants of the same workload. A
+  // deopt is a compiled burst that bailed to the switch core (budget edge,
+  // fault, instrumentation) -- it still produces bit-identical results.
+  uint64_t jit_compiles = 0;       // programs compiled into the arena
+  uint64_t jit_block_entries = 0;  // basic blocks entered in compiled code
+  uint64_t jit_deopts = 0;         // compiled bursts resumed by the switch core
+  uint64_t jit_bytes = 0;          // host code bytes emitted
+
   // Retired user instructions. Unlike the interp_* counters this is a
   // semantic count -- both engines retire the same instructions in the same
   // order -- so it must be bit-identical between threaded and switch runs

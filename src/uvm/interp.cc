@@ -1,14 +1,16 @@
 #include "src/uvm/interp.h"
 
+#include <cstdio>
 #include <cstring>
 
+#include "src/uvm/jit.h"
 #include "src/uvm/minitlb.h"
 #include "src/uvm/predecode.h"
 
 // The threaded engine needs GNU computed goto (`&&label`). The CMake option
 // FLUKE_INTERP_COMPUTED_GOTO (default ON) gates it so the portable switch
-// loop can be forced for odd toolchains; the runtime InterpOptions.threaded
-// flag then selects between the two compiled-in engines.
+// loop can be forced for odd toolchains; the runtime InterpOptions.engine
+// field then selects between the compiled-in engines.
 #if defined(FLUKE_INTERP_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
 #define FLUKE_HAVE_THREADED_DISPATCH 1
 #else
@@ -679,10 +681,52 @@ commit:
 
 bool ThreadedDispatchCompiledIn() { return FLUKE_HAVE_THREADED_DISPATCH != 0; }
 
+namespace {
+
+// One warning per process, not per burst: the fallback is a performance
+// note, and the degraded engine is bit-identical anyway.
+void WarnJitFallbackOnce(const char* why) {
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "fluke: jit engine unavailable (%s); falling back to the "
+                 "threaded interpreter\n",
+                 why);
+  }
+}
+
+}  // namespace
+
 RunResult RunUser(const Program& program, UserRegisters* regs, MemoryBus* bus,
                   uint64_t budget_cycles, const InterpOptions& opts) {
+  InterpEngine engine = opts.engine;
+  if (engine == InterpEngine::kJit) {
+    if (!JitCompiledIn()) {
+      WarnJitFallbackOnce("not compiled in on this target");
+      engine = InterpEngine::kThreaded;
+    } else if (!JitAvailable()) {
+      WarnJitFallbackOnce("host refused executable pages");
+      engine = InterpEngine::kThreaded;
+    } else {
+      JitProgram& jp = program.JitState();
+      if (!jp.ready() && !jp.failed() && jp.NoteEntry(regs->pc)) {
+        jp.Compile(program, opts);
+      }
+      if (jp.ready()) {
+        return jit_internal::RunUserJit(program, jp, regs, bus, budget_cycles,
+                                        opts);
+      }
+      if (jp.failed()) {
+        WarnJitFallbackOnce("host refused executable pages");
+      }
+      // Cold (or failed) program: the threaded engine is bit-identical, so
+      // warm-up bursts cost nothing but the hotness count.
+      engine = InterpEngine::kThreaded;
+    }
+  }
 #if FLUKE_HAVE_THREADED_DISPATCH
-  if (opts.threaded) {
+  if (engine == InterpEngine::kThreaded) {
     bool fresh = false;
     DecodedProgram& decoded = program.Decoded(&fresh);
     if (fresh && opts.predecodes != nullptr) {
@@ -691,8 +735,6 @@ RunResult RunUser(const Program& program, UserRegisters* regs, MemoryBus* bus,
     return RunUserThreaded(decoded, regs, bus, budget_cycles, opts.block_charges,
                            opts.instructions);
   }
-#else
-  (void)opts;
 #endif
   return RunUserSwitch(program, regs, bus, budget_cycles, opts.instructions);
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "src/api/abi.h"
+#include "src/uvm/engine.h"
 #include "src/uvm/program.h"
 
 namespace fluke {
@@ -68,23 +69,42 @@ struct RunResult {
 // engine dispatches via computed goto over the program's predecoded
 // side-table and charges cycles per straight-line block; it requires
 // compiler support compiled in (ThreadedDispatchCompiledIn()) -- otherwise
-// the portable switch loop runs regardless of `threaded`. Both engines
-// produce bit-identical RunResults, register state and memory effects; the
-// counters are host-side observability only.
+// the portable switch loop runs regardless of the request. The JIT engine
+// runs compiled basic blocks from a per-program executable arena; it
+// requires an x86-64 build (JitCompiledIn()) and a host that grants
+// executable pages (JitAvailable()) -- otherwise it degrades to the
+// threaded engine with a one-time logged warning. All engines produce
+// bit-identical RunResults, register state and memory effects; the counters
+// are host-side observability only.
 struct InterpOptions {
-  bool threaded = true;
+  InterpEngine engine = InterpEngine::kThreaded;
   uint64_t* block_charges = nullptr;  // += 1 per whole-block cycle charge
   uint64_t* predecodes = nullptr;     // += 1 per program decode performed
   // += 1 per retired instruction. A semantic count, not an engine artifact:
-  // both engines must produce identical values for the same run (an
+  // every engine must produce identical values for the same run (an
   // instruction whose effect did not happen -- a faulting access, a
   // syscall/break trap re-executed on resume -- does not count).
   uint64_t* instructions = nullptr;
+  // JIT observability (all host-side): programs compiled, compiled blocks
+  // entered (each entry charges the block's whole cycle sum), deopts into
+  // the switch core, and bytes of host code emitted.
+  uint64_t* jit_compiles = nullptr;
+  uint64_t* jit_block_entries = nullptr;
+  uint64_t* jit_deopts = nullptr;
+  uint64_t* jit_bytes = nullptr;
 };
 
 // True when the computed-goto engine was compiled in (GCC/Clang with the
 // FLUKE_INTERP_COMPUTED_GOTO CMake option, default ON).
 bool ThreadedDispatchCompiledIn();
+
+// True when the template JIT was compiled in (x86-64 Unix hosts).
+bool JitCompiledIn();
+
+// True when the host actually grants W^X executable pages (probed once).
+// False (e.g. under a hardened mmap policy) makes engine=kJit fall back to
+// the threaded engine at run time instead of crashing.
+bool JitAvailable();
 
 // Executes at most `budget_cycles` worth of instructions of `program`
 // starting from regs->pc. Mutates `regs` in place.

@@ -21,10 +21,13 @@ namespace interp_internal {
 
 // It keeps the code pointer, PC and cycle counter in locals (hoisted out of
 // the per-instruction Program::At/RunResult accesses) and writes them back
-// at every exit.
-RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
-                        MemoryBus* bus, uint64_t budget_cycles,
-                        uint64_t* instr_counter) {
+// at every exit. The Core form is resumable: the JIT deopts into it with a
+// warm MiniTlb and the packed account it accumulated in compiled code, and
+// the loop finishes the burst exactly as if it had run from the start.
+RunResult RunUserSwitchCore(const Program& program, UserRegisters* regs,
+                            MemoryBus* bus, uint64_t budget_cycles,
+                            MiniTlb& tlb, uint64_t acct_in,
+                            uint64_t* instr_counter) {
   RunResult result;
   uint32_t* r = regs->gpr;
   const Instr* code = program.code();
@@ -39,9 +42,7 @@ RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
   // halves cannot interact: the kernel caps a burst at 2^31 cycles and every
   // per-instruction cost is far below 2^31, so the cycle half stays under
   // 2^32.
-  uint64_t acct = 0;
-
-  MiniTlb tlb(bus);
+  uint64_t acct = acct_in;
 
   // Every exit funnels through done: so the pc/account locals are committed
   // on all paths. The PC is NOT advanced past a faulting load/store, a
@@ -236,6 +237,14 @@ done:
     *instr_counter += acct >> 32;
   }
   return result;
+}
+
+RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
+                        MemoryBus* bus, uint64_t budget_cycles,
+                        uint64_t* instr_counter) {
+  MiniTlb tlb(bus);
+  return RunUserSwitchCore(program, regs, bus, budget_cycles, tlb,
+                           /*acct_in=*/0, instr_counter);
 }
 
 }  // namespace interp_internal

@@ -80,7 +80,6 @@ struct MiniTlb {
     return FillWrite(page);
   }
 
- private:
   // The fills are kept out of line so the hit path -- an index, a compare
   // and a load -- doesn't drag TranslateSpan's register pressure into every
   // interpreter memory handler.
@@ -123,6 +122,13 @@ struct MiniTlb {
   // and the CoW drop above clears both together. Same for w0page_. That is
   // what makes the slot a pure fast path: any access pattern reaches the
   // bus on exactly the probes the array alone would have sent there.
+  //
+  // Members are public (standard layout) because the JIT templates inline
+  // the last-page-slot probe by offsetof: a compiled loadw/storew compares
+  // the page against r0page_/w0page_ and indexes off r0base_/w0base_
+  // directly, falling back to a helper that calls ReadBase/WriteBase on the
+  // same instance -- so the bus sees the exact fill pattern the other two
+  // engines produce. Copying stays deleted; one instance per RunUser call.
   uint32_t r0page_ = kNoPage;
   uint32_t w0page_ = kNoPage;
   uint8_t* r0base_ = nullptr;
@@ -142,6 +148,19 @@ struct MiniTlb {
 RunResult RunUserSwitch(const Program& program, UserRegisters* regs,
                         MemoryBus* bus, uint64_t budget_cycles,
                         uint64_t* instr_counter = nullptr);
+
+// Resumable form of the switch loop, used as the JIT's deopt target: picks
+// up mid-burst with an already-accumulated packed account (`acct_in`,
+// predecode.h layout) and the caller's MiniTlb, so a burst that started in
+// compiled code and fell back finishes with exactly the cycles, retired
+// instructions, register state and bus access pattern the switch engine
+// alone would have produced. The returned cycles and the instr_counter
+// increment cover the WHOLE burst (acct_in included), matching what RunUser
+// reports. RunUserSwitch is this with a cold tlb and acct_in == 0.
+RunResult RunUserSwitchCore(const Program& program, UserRegisters* regs,
+                            MemoryBus* bus, uint64_t budget_cycles,
+                            MiniTlb& tlb, uint64_t acct_in,
+                            uint64_t* instr_counter = nullptr);
 
 }  // namespace interp_internal
 }  // namespace fluke

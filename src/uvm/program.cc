@@ -2,7 +2,23 @@
 
 #include <cassert>
 
+#include "src/uvm/jit.h"
+
 namespace fluke {
+
+Program::Program(std::string name, std::vector<Instr> code)
+    : name_(std::move(name)), code_(std::move(code)) {}
+
+Program::~Program() = default;
+
+JitProgram& Program::JitState() const {
+  if (jit_ == nullptr) {
+    jit_ = std::make_unique<JitProgram>(size());
+  }
+  return *jit_;
+}
+
+bool Program::JitReady() const { return jit_ != nullptr && jit_->ready(); }
 
 void ProgramRegistry::Register(ProgramRef program) {
   assert(program != nullptr);

@@ -24,10 +24,14 @@
 
 namespace fluke {
 
+class JitProgram;  // per-program JIT state (src/uvm/jit.h)
+
 class Program {
  public:
-  Program(std::string name, std::vector<Instr> code)
-      : name_(std::move(name)), code_(std::move(code)) {}
+  // Out of line: the jit_ member's unique_ptr needs JitProgram complete at
+  // the points the constructor/destructor are instantiated.
+  Program(std::string name, std::vector<Instr> code);
+  ~Program();
 
   const std::string& name() const { return name_; }
   const Instr* At(uint32_t pc) const {
@@ -60,14 +64,25 @@ class Program {
   // runs first-touch bursts serially).
   bool DecodedReady() const { return decoded_ != nullptr && decoded_->linked(); }
 
+  // Per-program JIT state (hotness counters, then the sealed executable
+  // arena), created on first use by the jit engine and destroyed -- arena
+  // unmapped -- with the program. Same caching discipline as Decoded():
+  // mutation (counting, compiling) happens only on the main thread while
+  // the MP dispatcher pins this program's bursts serial; JitReady() is the
+  // pinning predicate, after which the state is immutable and compiled
+  // bursts may run on any host thread.
+  JitProgram& JitState() const;
+  bool JitReady() const;
+
  private:
   DecodedProgram& DecodedSlow(bool* fresh) const;
 
   std::string name_;
   std::vector<Instr> code_;
-  // Lazy per-program cache. The simulator is single-threaded (one kernel
-  // event loop), so no synchronisation is needed around the build.
+  // Lazy per-program caches. The simulator is single-threaded (one kernel
+  // event loop), so no synchronisation is needed around the builds.
   mutable std::unique_ptr<DecodedProgram> decoded_;
+  mutable std::unique_ptr<JitProgram> jit_;
 };
 
 using ProgramRef = std::shared_ptr<const Program>;

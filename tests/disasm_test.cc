@@ -125,6 +125,160 @@ TEST(Disasm, RoundTripRandomPrograms) {
   }
 }
 
+// --- Superinstruction source shapes ---
+//
+// The threaded/jit decoders fuse adjacent pairs (simple ALU followed by a
+// simple ALU or an in-range conditional branch; word load/store followed by
+// AddImm) and triples (word access + AddImm + branch) into one dispatch.
+// Fusion lives entirely in the decoded side-table, so Disassemble must print
+// the *component* instructions and ParseAsm must rebuild a stream the decoder
+// re-fuses identically. These tests pin that: every fusable shape round-trips
+// through Disassemble -> ParseAsm with identical execution (the Execute runs
+// use the default engine, so the re-fused decode actually runs).
+
+TEST(Disasm, RoundTripAluPairShapes) {
+  // All 8x8 simple-ALU pair combinations, adjacent, separated by a
+  // non-fusable barrier (mul) so each intended pair is what the decoder sees.
+  using AluEmit = void (*)(Assembler&, int, int, int);
+  const AluEmit kAlu[] = {
+      [](Assembler& a, int d, int s, int t) { a.Add(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.Sub(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.And(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.Or(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.Xor(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.Shl(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.Shr(d, s, t); },
+      [](Assembler& a, int d, int s, int) { a.AddImm(d, s, 3); },
+  };
+  Assembler a("alu-pairs");
+  a.MovImm(kRegB, 0x1234);
+  a.MovImm(kRegD, 7);
+  a.MovImm(kRegSI, 2);
+  for (const AluEmit first : kAlu) {
+    for (const AluEmit second : kAlu) {
+      first(a, kRegB, kRegB, kRegD);
+      second(a, kRegB, kRegB, kRegSI);
+      a.Mul(kRegD, kRegD, kRegSI);  // barrier: mul never fuses
+      a.AddImm(kRegD, kRegD, 1);
+    }
+  }
+  a.MovImm(kRegC, SimpleWorld::kAnonBase);
+  a.StoreW(kRegB, kRegC, 0);
+  a.Halt();
+  auto p = a.Build();
+
+  AsmParseResult r = ParseAsm("rt", Disassemble(*p));
+  ASSERT_EQ(r.error, "");
+  KernelConfig cfg;
+  auto [o1, v1] = Execute(cfg, p);
+  auto [o2, v2] = Execute(cfg, r.program);
+  EXPECT_EQ(o1, o2);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(Disasm, RoundTripAluBranchPairShapes) {
+  // All 8 ALU firsts x 4 branch seconds, each as a small loop so the fused
+  // pair's branch executes both taken and not-taken. blt/bne use a back-edge
+  // shape; beq/bge a forward-exit shape (their conditions fire on loop end).
+  using AluEmit = void (*)(Assembler&, int, int, int);
+  const AluEmit kAlu[] = {
+      [](Assembler& a, int d, int s, int t) { a.Add(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.Sub(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.And(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.Or(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.Xor(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.Shl(d, s, t); },
+      [](Assembler& a, int d, int s, int t) { a.Shr(d, s, t); },
+      [](Assembler& a, int d, int s, int) { a.AddImm(d, s, 5); },
+  };
+  Assembler a("alu-br-pairs");
+  a.MovImm(kRegB, 0x9e37);
+  a.MovImm(kRegSI, 3);
+  for (const AluEmit alu : kAlu) {
+    for (int br = 0; br < 4; ++br) {
+      a.MovImm(kRegD, 0);
+      a.MovImm(kRegSP, 4);
+      const auto loop = a.NewLabel();
+      const auto done = a.NewLabel();
+      a.Bind(loop);
+      a.AddImm(kRegD, kRegD, 1);      // counter (not a fusable pair: next is mul)
+      a.Mul(kRegA, kRegD, kRegSI);    // barrier before the intended pair
+      alu(a, kRegB, kRegB, kRegA);    // pair first
+      switch (br) {                   // pair second: the loop-control branch
+        case 0: a.Blt(kRegD, kRegSP, loop); break;
+        case 1: a.Bne(kRegD, kRegSP, loop); break;
+        case 2: a.Beq(kRegD, kRegSP, done); a.Jmp(loop); break;
+        default: a.Bge(kRegD, kRegSP, done); a.Jmp(loop); break;
+      }
+      a.Bind(done);
+    }
+  }
+  a.MovImm(kRegC, SimpleWorld::kAnonBase);
+  a.StoreW(kRegB, kRegC, 0);
+  a.Halt();
+  auto p = a.Build();
+
+  AsmParseResult r = ParseAsm("rt", Disassemble(*p));
+  ASSERT_EQ(r.error, "");
+  KernelConfig cfg;
+  auto [o1, v1] = Execute(cfg, p);
+  auto [o2, v2] = Execute(cfg, r.program);
+  EXPECT_EQ(o1, o2);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(Disasm, RoundTripMemPairAndTripleShapes) {
+  // ldw/stw + addi pointer-bump pairs, and the full access+bump+branch
+  // triples, in streaming loops over the anonymous window; final pass sums
+  // the stores back into the checked word so divergence shows up in memory.
+  Assembler a("mem-pairs");
+  const auto wloop = a.NewLabel();
+  const auto rloop = a.NewLabel();
+  a.MovImm(kRegB, 0);
+  a.MovImm(kRegD, 0);
+  a.MovImm(kRegSP, 16);
+  a.MovImm(kRegC, SimpleWorld::kAnonBase + 4);
+  a.Bind(wloop);                 // triple: stw + addi + bne
+  a.AddImm(kRegD, kRegD, 1);
+  a.StoreW(kRegD, kRegC, 0);
+  a.AddImm(kRegC, kRegC, 4);
+  a.Bne(kRegD, kRegSP, wloop);
+  a.MovImm(kRegD, 0);
+  a.MovImm(kRegA, 0);
+  a.MovImm(kRegC, SimpleWorld::kAnonBase + 4);
+  a.Bind(rloop);
+  a.AddImm(kRegD, kRegD, 1);     // addi+add: ALU pair
+  a.Add(kRegB, kRegB, kRegA);    // folds the previous iteration's load
+  a.LoadW(kRegA, kRegC, 0);      // triple: ldw + addi + blt
+  a.AddImm(kRegC, kRegC, 4);
+  a.Blt(kRegD, kRegSP, rloop);
+  a.Add(kRegB, kRegB, kRegA);    // fold the final load
+  // Straight-line pairs (no branch third): ldw+addi and stw+addi.
+  a.MovImm(kRegC, SimpleWorld::kAnonBase + 4);
+  a.LoadW(kRegA, kRegC, 0);
+  a.AddImm(kRegC, kRegC, 8);
+  a.Mul(kRegA, kRegA, kRegA);    // barrier
+  a.StoreW(kRegB, kRegC, 0);
+  a.AddImm(kRegC, kRegC, 4);
+  a.Add(kRegB, kRegB, kRegA);
+  a.MovImm(kRegC, SimpleWorld::kAnonBase);
+  a.StoreW(kRegB, kRegC, 0);
+  a.Halt();
+  auto p = a.Build();
+
+  AsmParseResult r = ParseAsm("rt", Disassemble(*p));
+  ASSERT_EQ(r.error, "");
+  KernelConfig cfg;
+  auto [o1, v1] = Execute(cfg, p);
+  auto [o2, v2] = Execute(cfg, r.program);
+  EXPECT_EQ(o1, o2);
+  EXPECT_EQ(v1, v2);
+  // 1+..+16 = 136 summed twice into b (read loop + straight-line stw), plus
+  // the squared first element folded in; pin the exact value so both sides
+  // agreeing on a wrong answer still fails.
+  EXPECT_EQ(v1, 136u + 1u * 1u);
+}
+
 TEST(Disasm, RoundTripFasmSources) {
   // The shipped example programs round-trip too.
   const char* kSources[] = {

@@ -1,18 +1,22 @@
-// Threaded-dispatch interpreter determinism tests (src/uvm/interp.cc,
-// src/uvm/predecode.h).
+// Interpreter-engine determinism tests (src/uvm/interp.cc,
+// src/uvm/predecode.h, src/uvm/jit.cc).
 //
-// The threaded engine is a host-side execution strategy only: any program,
-// any budget, any fault pattern must produce bit-identical RunResults,
-// registers, memory and kernel statistics with the predecoded/computed-goto
-// path on or off. Two layers of proof:
-//   1. Direct lockstep: run the same program under both engines for *every*
-//      budget value (and in resumed bursts), comparing full machine state.
-//      The budget sweep lands an exhaustion on every instruction of every
-//      block, including mid-block and exactly-at-a-zero-cost-trap.
+// The threaded and jit engines are host-side execution strategies only: any
+// program, any budget, any fault pattern must produce bit-identical
+// RunResults, registers, memory and kernel statistics under all three
+// engines (switch reference, threaded dispatch, template JIT). Two layers
+// of proof:
+//   1. Direct lockstep: run the same program under every available engine
+//      for *every* budget value (and in resumed bursts), comparing full
+//      machine state against the switch reference. The budget sweep lands
+//      an exhaustion on every instruction of every block, including
+//      mid-block and exactly-at-a-zero-cost-trap -- for the jit engine that
+//      exercises the deopt path on every block boundary.
 //   2. Kernel A/B (modeled on tlb_test.cc): a workload with user loops,
 //      soft faults, IPC and a breakpoint, across the five paper configs,
 //      comparing end time, console, memory, final thread registers and all
-//      pre-existing stats (interp_* counters excepted, by definition).
+//      pre-existing stats (interp_*/jit_* counters excepted, by
+//      definition) pairwise against the switch engine.
 
 #include <algorithm>
 #include <cstring>
@@ -105,20 +109,37 @@ struct MachineState {
 
 constexpr uint32_t kMemSize = 64 * 1024;
 
+// Engines to compare: the switch reference always, the others when they are
+// compiled in / usable on this host (a jit entry also requires the host to
+// grant executable pages).
+std::vector<InterpEngine> TestEngines() {
+  std::vector<InterpEngine> engines = {InterpEngine::kSwitch};
+  if (ThreadedDispatchCompiledIn()) {
+    engines.push_back(InterpEngine::kThreaded);
+  }
+  if (JitCompiledIn() && JitAvailable()) {
+    engines.push_back(InterpEngine::kJit);
+  }
+  return engines;
+}
+
 // Runs `program` from a zeroed machine in bursts of `budget` cycles under
 // one engine, acting as a minimal kernel: budget exhaustion re-runs,
 // syscalls and breakpoints are stepped over (PC rests on the trapping
 // instruction, so advance it and continue), anything else ends the run.
-// Stops after `max_bursts` RunUser calls regardless.
-MachineState RunBursts(const Program& program, bool threaded, uint64_t budget,
-                       int max_bursts, uint32_t fault_lo = 1,
-                       uint32_t fault_hi = 0, uint32_t start_pc = 0) {
+// Stops after `max_bursts` RunUser calls regardless. `instructions`
+// accumulates the semantic retired-instruction count when non-null.
+MachineState RunBursts(const Program& program, InterpEngine engine,
+                       uint64_t budget, int max_bursts, uint32_t fault_lo = 1,
+                       uint32_t fault_hi = 0, uint32_t start_pc = 0,
+                       uint64_t* instructions = nullptr) {
   MachineState s;
   FlatBus bus(kMemSize);
   bus.SetFaultWindow(fault_lo, fault_hi);
   s.regs.pc = start_pc;
   InterpOptions opts;
-  opts.threaded = threaded;
+  opts.engine = engine;
+  opts.instructions = instructions;
   for (int i = 0; i < max_bursts; ++i) {
     s.r = RunUser(program, &s.regs, &bus, budget, opts);
     if (s.r.event == UserEvent::kSyscall || s.r.event == UserEvent::kBreak) {
@@ -134,16 +155,29 @@ MachineState RunBursts(const Program& program, bool threaded, uint64_t budget,
 void ExpectLockstep(const Program& program, uint64_t budget, int max_bursts,
                     uint32_t fault_lo = 1, uint32_t fault_hi = 0,
                     uint32_t start_pc = 0) {
-  const MachineState off = RunBursts(program, false, budget, max_bursts,
-                                     fault_lo, fault_hi, start_pc);
-  const MachineState on = RunBursts(program, true, budget, max_bursts,
-                                    fault_lo, fault_hi, start_pc);
-  EXPECT_TRUE(on == off) << "engines diverged: budget=" << budget
-                         << " bursts=" << max_bursts << " pc0=" << start_pc
-                         << " | off: event=" << static_cast<int>(off.r.event)
-                         << " cycles=" << off.r.cycles << " pc=" << off.regs.pc
-                         << " | on: event=" << static_cast<int>(on.r.event)
-                         << " cycles=" << on.r.cycles << " pc=" << on.regs.pc;
+  uint64_t ref_instrs = 0;
+  const MachineState ref =
+      RunBursts(program, InterpEngine::kSwitch, budget, max_bursts, fault_lo,
+                fault_hi, start_pc, &ref_instrs);
+  for (InterpEngine engine : TestEngines()) {
+    if (engine == InterpEngine::kSwitch) {
+      continue;
+    }
+    uint64_t instrs = 0;
+    const MachineState on = RunBursts(program, engine, budget, max_bursts,
+                                      fault_lo, fault_hi, start_pc, &instrs);
+    EXPECT_TRUE(on == ref)
+        << "engine " << InterpEngineName(engine)
+        << " diverged: budget=" << budget << " bursts=" << max_bursts
+        << " pc0=" << start_pc
+        << " | ref: event=" << static_cast<int>(ref.r.event)
+        << " cycles=" << ref.r.cycles << " pc=" << ref.regs.pc
+        << " | got: event=" << static_cast<int>(on.r.event)
+        << " cycles=" << on.r.cycles << " pc=" << on.regs.pc;
+    EXPECT_EQ(instrs, ref_instrs)
+        << "retired-instruction count diverged under "
+        << InterpEngineName(engine) << " at budget=" << budget;
+  }
 }
 
 // Total cycles a program consumes under the reference engine with an ample
@@ -153,7 +187,7 @@ uint64_t TotalCycles(const Program& program) {
   UserRegisters regs;
   FlatBus bus(kMemSize);
   InterpOptions opts;
-  opts.threaded = false;
+  opts.engine = InterpEngine::kSwitch;
   uint64_t total = 0;
   for (int i = 0; i < 100; ++i) {
     const RunResult r = RunUser(program, &regs, &bus, 1u << 30, opts);
@@ -238,7 +272,7 @@ TEST(InterpLockstep, BudgetExactlyExhaustedAtTrap) {
     }
     // The reference semantics themselves: budget 5 is exhausted at the
     // trap's door, so the exit is kBudget with PC resting on the trap.
-    const MachineState s = RunBursts(p, true, 5, 1);
+    const MachineState s = RunBursts(p, InterpEngine::kSwitch, 5, 1);
     EXPECT_EQ(s.r.event, UserEvent::kBudget);
     EXPECT_EQ(s.regs.pc, 1u);
     EXPECT_EQ(s.r.cycles, 5u);
@@ -266,12 +300,12 @@ TEST(InterpLockstep, MidBlockFaultAndRetry) {
   }
 
   // Fault-retry under each engine: fault, widen nothing, clear, resume.
-  for (bool threaded : {false, true}) {
+  for (InterpEngine engine : TestEngines()) {
     FlatBus bus(kMemSize);
     bus.SetFaultWindow(0x210, 0x214);
     UserRegisters regs;
     InterpOptions opts;
-    opts.threaded = threaded;
+    opts.engine = engine;
     RunResult r = RunUser(*p, &regs, &bus, 1u << 30, opts);
     ASSERT_EQ(r.event, UserEvent::kFault);
     EXPECT_EQ(r.fault_addr, 0x210u);
@@ -325,7 +359,7 @@ TEST(InterpCounters, BlockChargesAndPredecodesMove) {
   FlatBus bus(kMemSize);
   uint64_t charges = 0, predecodes = 0;
   InterpOptions opts;
-  opts.threaded = true;
+  opts.engine = InterpEngine::kThreaded;
   opts.block_charges = &charges;
   opts.predecodes = &predecodes;
   (void)RunUser(*p, &regs, &bus, 1u << 30, opts);
@@ -353,8 +387,8 @@ struct DetResult {
 // The tlb_test workload -- user-mode page fill (soft faults + mini-TLB),
 // IPC send-over-receive, reply, console output -- plus a breakpoint thread,
 // so every RunUser exit class (budget, syscall, fault, halt, break) occurs.
-DetResult RunWorkload(KernelConfig cfg, bool threaded) {
-  cfg.enable_threaded_interp = threaded;
+DetResult RunWorkload(KernelConfig cfg, InterpEngine engine) {
+  cfg.interp_engine = engine;
   Kernel k(cfg);
   auto cs = k.CreateSpace("cl");
   auto ss = k.CreateSpace("sv");
@@ -428,65 +462,82 @@ DetResult RunWorkload(KernelConfig cfg, bool threaded) {
   return r;
 }
 
-TEST_P(InterpDeterminismTest, VirtualTimeAndStatsIdenticalThreadedOnOff) {
-  const DetResult on = RunWorkload(GetParam(), /*threaded=*/true);
-  const DetResult off = RunWorkload(GetParam(), /*threaded=*/false);
-
-  EXPECT_EQ(on.end_time, off.end_time);
-  EXPECT_EQ(on.console, off.console);
-  EXPECT_EQ(on.server_mem, off.server_mem);
-  EXPECT_EQ(on.final_regs, off.final_regs);
-  EXPECT_EQ(on.final_states, off.final_states);
-
-  const KernelStats& a = on.stats;
-  const KernelStats& b = off.stats;
-  EXPECT_EQ(a.context_switches, b.context_switches);
-  EXPECT_EQ(a.syscalls, b.syscalls);
-  EXPECT_EQ(a.syscall_restarts, b.syscall_restarts);
-  EXPECT_EQ(a.kernel_preemptions, b.kernel_preemptions);
-  EXPECT_EQ(a.soft_faults, b.soft_faults);
-  EXPECT_EQ(a.hard_faults, b.hard_faults);
-  EXPECT_EQ(a.user_faults, b.user_faults);
-  EXPECT_EQ(a.region_pages_scanned, b.region_pages_scanned);
-  EXPECT_EQ(a.syscall_faults, b.syscall_faults);
-  // Both engines share the mini-TLB and Space translation paths, so even
-  // the TLB counters must match exactly.
-  EXPECT_EQ(a.tlb_hits, b.tlb_hits);
-  EXPECT_EQ(a.tlb_misses, b.tlb_misses);
-  EXPECT_EQ(a.tlb_flushes, b.tlb_flushes);
-  EXPECT_EQ(a.ipc_page_lends, b.ipc_page_lends);
-  EXPECT_EQ(a.rollback_ns, b.rollback_ns);
-  EXPECT_EQ(a.remedy_soft_ns, b.remedy_soft_ns);
-  EXPECT_EQ(a.remedy_hard_ns, b.remedy_hard_ns);
-  for (int side = 0; side < 2; ++side) {
-    for (int kind = 0; kind < 2; ++kind) {
-      EXPECT_EQ(a.ipc_faults[side][kind].count, b.ipc_faults[side][kind].count);
-      EXPECT_EQ(a.ipc_faults[side][kind].remedy_ns,
-                b.ipc_faults[side][kind].remedy_ns);
-      EXPECT_EQ(a.ipc_faults[side][kind].rollback_ns,
-                b.ipc_faults[side][kind].rollback_ns);
-    }
-  }
-  EXPECT_EQ(a.frames_allocated, b.frames_allocated);
-  EXPECT_EQ(a.frame_bytes_allocated, b.frame_bytes_allocated);
-  EXPECT_EQ(a.frame_bytes_live, b.frame_bytes_live);
-  EXPECT_EQ(a.frame_bytes_live_peak, b.frame_bytes_live_peak);
-  EXPECT_EQ(a.blocked_frame_bytes_peak, b.blocked_frame_bytes_peak);
-  EXPECT_EQ(a.probe_runs, b.probe_runs);
-  EXPECT_EQ(a.probe_misses, b.probe_misses);
+TEST_P(InterpDeterminismTest, VirtualTimeAndStatsIdenticalAcrossEngines) {
+  const DetResult ref = RunWorkload(GetParam(), InterpEngine::kSwitch);
+  const KernelStats& b = ref.stats;
 
   // The workload exercised what it claims to: user-instruction soft faults
-  // (fault-retry through both engines) and the breakpoint.
-  EXPECT_GT(a.user_faults, 0u);
+  // (fault-retry through every engine) and the breakpoint.
+  EXPECT_GT(b.user_faults, 0u);
   const int kStopped = static_cast<int>(ThreadRun::kStopped);
-  EXPECT_EQ(std::count(on.final_states.begin(), on.final_states.end(), kStopped), 1);
+  EXPECT_EQ(std::count(ref.final_states.begin(), ref.final_states.end(), kStopped), 1);
+  // The reference engine never batches, predecodes or compiles.
+  EXPECT_EQ(b.interp_block_charges, 0u);
+  EXPECT_EQ(b.interp_predecodes, 0u);
+  EXPECT_EQ(b.jit_compiles, 0u);
+  EXPECT_EQ(b.jit_block_entries, 0u);
 
-  // And the threaded run actually batched (when the engine is compiled in).
-  if (ThreadedDispatchCompiledIn()) {
-    EXPECT_GT(a.interp_block_charges, 0u);
-    EXPECT_GT(a.interp_predecodes, 0u);
-    EXPECT_EQ(b.interp_block_charges, 0u);
-    EXPECT_EQ(b.interp_predecodes, 0u);
+  for (InterpEngine engine : TestEngines()) {
+    if (engine == InterpEngine::kSwitch) {
+      continue;
+    }
+    SCOPED_TRACE(InterpEngineName(engine));
+    const DetResult on = RunWorkload(GetParam(), engine);
+
+    EXPECT_EQ(on.end_time, ref.end_time);
+    EXPECT_EQ(on.console, ref.console);
+    EXPECT_EQ(on.server_mem, ref.server_mem);
+    EXPECT_EQ(on.final_regs, ref.final_regs);
+    EXPECT_EQ(on.final_states, ref.final_states);
+
+    const KernelStats& a = on.stats;
+    EXPECT_EQ(a.context_switches, b.context_switches);
+    EXPECT_EQ(a.syscalls, b.syscalls);
+    EXPECT_EQ(a.syscall_restarts, b.syscall_restarts);
+    EXPECT_EQ(a.kernel_preemptions, b.kernel_preemptions);
+    EXPECT_EQ(a.soft_faults, b.soft_faults);
+    EXPECT_EQ(a.hard_faults, b.hard_faults);
+    EXPECT_EQ(a.user_faults, b.user_faults);
+    EXPECT_EQ(a.region_pages_scanned, b.region_pages_scanned);
+    EXPECT_EQ(a.syscall_faults, b.syscall_faults);
+    EXPECT_EQ(a.user_instructions, b.user_instructions);
+    // All engines share the mini-TLB and Space translation paths -- the
+    // jit's inlined front-slot probe and its helper slow paths replicate
+    // the switch engine's exact access sequence -- so even the TLB
+    // counters must match exactly.
+    EXPECT_EQ(a.tlb_hits, b.tlb_hits);
+    EXPECT_EQ(a.tlb_misses, b.tlb_misses);
+    EXPECT_EQ(a.tlb_flushes, b.tlb_flushes);
+    EXPECT_EQ(a.ipc_page_lends, b.ipc_page_lends);
+    EXPECT_EQ(a.rollback_ns, b.rollback_ns);
+    EXPECT_EQ(a.remedy_soft_ns, b.remedy_soft_ns);
+    EXPECT_EQ(a.remedy_hard_ns, b.remedy_hard_ns);
+    for (int side = 0; side < 2; ++side) {
+      for (int kind = 0; kind < 2; ++kind) {
+        EXPECT_EQ(a.ipc_faults[side][kind].count, b.ipc_faults[side][kind].count);
+        EXPECT_EQ(a.ipc_faults[side][kind].remedy_ns,
+                  b.ipc_faults[side][kind].remedy_ns);
+        EXPECT_EQ(a.ipc_faults[side][kind].rollback_ns,
+                  b.ipc_faults[side][kind].rollback_ns);
+      }
+    }
+    EXPECT_EQ(a.frames_allocated, b.frames_allocated);
+    EXPECT_EQ(a.frame_bytes_allocated, b.frame_bytes_allocated);
+    EXPECT_EQ(a.frame_bytes_live, b.frame_bytes_live);
+    EXPECT_EQ(a.frame_bytes_live_peak, b.frame_bytes_live_peak);
+    EXPECT_EQ(a.blocked_frame_bytes_peak, b.blocked_frame_bytes_peak);
+    EXPECT_EQ(a.probe_runs, b.probe_runs);
+    EXPECT_EQ(a.probe_misses, b.probe_misses);
+
+    // And each engine actually did its thing.
+    if (engine == InterpEngine::kThreaded) {
+      EXPECT_GT(a.interp_block_charges, 0u);
+      EXPECT_GT(a.interp_predecodes, 0u);
+    } else if (engine == InterpEngine::kJit) {
+      EXPECT_GT(a.jit_compiles, 0u);
+      EXPECT_GT(a.jit_block_entries, 0u);
+      EXPECT_GT(a.jit_bytes, 0u);
+    }
   }
 }
 

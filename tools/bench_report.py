@@ -37,9 +37,35 @@ PAPER_BENCHES = (
     "BM_BulkTransferMB",
     "BM_UserMemLoop",
     "BM_InterpAluLoop",
+    "BM_InterpMemLoop",
     "BM_HardFaultRoundTrip",
     "BM_TraceOverhead",
 )
+
+# BM_Interp*/N argument -> interpreter engine, mirroring BenchEngine() in
+# bench/microbench.cc. Snapshots carry this map plus per-benchmark engine
+# speedups so the history shows which engine produced which rate.
+INTERP_ENGINE_ARGS = {"0": "switch", "1": "threaded", "2": "jit"}
+
+
+def interp_speedups(rates):
+    """Per-benchmark jit/threaded speedups over the switch baseline."""
+    out = {}
+    for name, rate in rates.items():
+        base, _, arg = name.rpartition("/")
+        if not base.startswith("BM_Interp") or arg not in INTERP_ENGINE_ARGS:
+            continue
+        engine = INTERP_ENGINE_ARGS[arg]
+        if engine == "switch" or not rate:
+            continue
+        switch_rate = rates.get(f"{base}/0")
+        threaded_rate = rates.get(f"{base}/1")
+        entry = out.setdefault(base, {})
+        if switch_rate:
+            entry[f"{engine}_vs_switch"] = round(rate / switch_rate, 3)
+        if engine == "jit" and threaded_rate:
+            entry["jit_vs_threaded"] = round(rate / threaded_rate, 3)
+    return out
 
 
 def distill_stats(path):
@@ -54,6 +80,13 @@ def distill_stats(path):
         "soft_faults": s.get("soft_faults"),
         "hard_faults": s.get("hard_faults"),
         "trace_events_recorded": s.get("trace_events_recorded"),
+        "user_instructions": s.get("user_instructions"),
+        "interp_block_charges": s.get("interp_block_charges"),
+        "interp_predecodes": s.get("interp_predecodes"),
+        "jit_compiles": s.get("jit_compiles"),
+        "jit_block_entries": s.get("jit_block_entries"),
+        "jit_deopts": s.get("jit_deopts"),
+        "jit_bytes": s.get("jit_bytes"),
     }
     for hist in ("probe_hist", "block_hist"):
         h = s.get(hist) or {}
@@ -269,7 +302,11 @@ def main():
         "label": args.label or default_label(repo_root),
         "date": datetime.datetime.now().isoformat(timespec="seconds"),
         "rates": {e["name"]: rate_of(e) for e in report["benchmarks"]},
+        "interp_engine_args": INTERP_ENGINE_ARGS,
     }
+    speedups = interp_speedups(snapshot["rates"])
+    if speedups:
+        snapshot["interp_speedups"] = speedups
     thread_scale = {
         e["name"]: {"bytes_per_thread": e["bytes_per_thread"],
                     "wakeups_per_vsec": e.get("wakeups_per_vsec")}

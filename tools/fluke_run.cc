@@ -6,6 +6,10 @@
 // Each file becomes one thread (all in one space, sharing memory). Options:
 //   --model=process|interrupt     execution model        (default process)
 //   --preempt=np|pp|fp            preemption mode        (default np)
+//   --engine=switch|threaded|jit  interpreter engine     (default threaded).
+//                                 All three are bit-identical; jit falls back
+//                                 to threaded (with a warning) on hosts that
+//                                 refuse executable pages
 //   --cpus=N                      simulated CPUs (default 1). N > 1 runs the
 //                                 per-CPU epoch dispatcher; the rpc and c1m
 //                                 workloads shard across the CPUs
@@ -88,7 +92,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: fluke_run [--model=process|interrupt] [--preempt=np|pp|fp]\n"
-               "                 [--cpus=N] [--mp-serial]\n"
+               "                 [--engine=switch|threaded|jit] [--cpus=N] [--mp-serial]\n"
                "                 [--anon=BYTES] [--max-ms=N] [--paged] [--stats] [--trace] [--ps]\n"
                "                 [--stats-json=FILE] [--trace-out=FILE] [--trace-cap=N]\n"
                "                 [--profile] [--workload=rpc[:N]] [--workload=c1m[:N]]\n"
@@ -192,6 +196,15 @@ int Main(int argc, char** argv) {
       cfg.preempt = PreemptMode::kPartial;
     } else if (arg == "--preempt=fp") {
       cfg.preempt = PreemptMode::kFull;
+    } else if (arg == "--engine=switch") {
+      cfg.interp_engine = InterpEngine::kSwitch;
+    } else if (arg == "--engine=threaded") {
+      cfg.interp_engine = InterpEngine::kThreaded;
+    } else if (arg == "--engine=jit") {
+      cfg.interp_engine = InterpEngine::kJit;
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      std::fprintf(stderr, "fluke_run: unknown engine '%s'\n", arg.c_str() + 9);
+      return 2;
     } else if (arg.rfind("--cpus=", 0) == 0) {
       cfg.num_cpus = static_cast<int>(std::stol(arg.substr(7), nullptr, 0));
     } else if (arg == "--mp-serial") {
@@ -508,6 +521,18 @@ int Main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.hard_faults),
                  static_cast<unsigned long long>(s.syscall_fast_entries),
                  static_cast<unsigned long long>(s.ipc_fast_handoffs));
+    std::fprintf(stderr,
+                 "  engine: %s | %llu instrs | interp: %llu block charges, "
+                 "%llu predecodes | jit: %llu compiles, %llu block entries, "
+                 "%llu deopts, %llu bytes\n",
+                 InterpEngineName(cfg.EffectiveEngine()),
+                 static_cast<unsigned long long>(s.user_instructions),
+                 static_cast<unsigned long long>(s.interp_block_charges),
+                 static_cast<unsigned long long>(s.interp_predecodes),
+                 static_cast<unsigned long long>(s.jit_compiles),
+                 static_cast<unsigned long long>(s.jit_block_entries),
+                 static_cast<unsigned long long>(s.jit_deopts),
+                 static_cast<unsigned long long>(s.jit_bytes));
     std::fprintf(stderr,
                  "  timers: %llu arms, %llu cancels, %llu cascades | "
                  "slab: %llu thread allocs | sched: %llu bitmap scans\n",
