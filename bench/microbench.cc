@@ -6,9 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 
 #include "src/api/ulib.h"
 #include "src/kern/kernel.h"
+#include "src/kern/trace_binary.h"
+#include "src/kern/trace_export.h"
 #include "src/workloads/apps.h"
 #include "src/workloads/checkpoint.h"
 #include "src/workloads/ckpt_image.h"
@@ -43,9 +46,10 @@ void BM_NullSyscall(benchmark::State& state) {
 }
 BENCHMARK(BM_NullSyscall)->Arg(0)->Arg(1);
 
-void BM_RpcRoundTrip(benchmark::State& state) {
-  KernelConfig cfg;
-  Kernel k(cfg);
+// The shared RPC ping-pong pair used by the round-trip and observability
+// benches: an unbounded client send-over-receive loop against an echo
+// server, one word each way.
+void StartRpcPair(Kernel& k) {
   auto cs = k.CreateSpace("cl");
   auto ss = k.CreateSpace("sv");
   cs->SetAnonRange(0x10000, 1 << 20);
@@ -70,53 +74,11 @@ void BM_RpcRoundTrip(benchmark::State& state) {
   ss->program = sa.Build();
   k.StartThread(k.CreateThread(ss.get()));
   k.StartThread(k.CreateThread(cs.get()));
-
-  uint64_t switches = 0;
-  for (auto _ : state) {
-    const uint64_t before = k.stats.context_switches;
-    k.Run(k.clock.now() + 1 * kNsPerMs);
-    switches += k.stats.context_switches - before;
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(switches / 2));  // ~2 switches per RPC
 }
-BENCHMARK(BM_RpcRoundTrip);
 
-// The RPC round trip with the tracer off (Arg 0) vs on (Arg 1). Arg 0 must
-// track BM_RpcRoundTrip exactly -- the disarmed dispatcher never reaches a
-// trace hook, so observability is free until enabled. Arg 1 measures the
-// real cost of span + flow capture on the instrumented slow path.
-void BM_TraceOverhead(benchmark::State& state) {
-  KernelConfig cfg;
-  Kernel k(cfg);
-  if (state.range(0) != 0) {
-    k.trace.SetCapacity(size_t{1} << 16);
-    k.trace.Enable();
-  }
-  auto cs = k.CreateSpace("cl");
-  auto ss = k.CreateSpace("sv");
-  cs->SetAnonRange(0x10000, 1 << 20);
-  ss->SetAnonRange(0x10000, 1 << 20);
-  auto port = k.NewPort(1);
-  const Handle sp = k.Install(ss.get(), port);
-  const Handle cr = k.Install(cs.get(), k.NewReference(port));
-
-  Assembler ca("client");
-  EmitSys(ca, kSysIpcClientConnect, cr);
-  const auto loop = ca.NewLabel();
-  ca.Bind(loop);
-  EmitSys(ca, kSysIpcClientSendOverReceive, kUlibKeep, 0x10000, 1, 0x10100, 1);
-  ca.Jmp(loop);
-  cs->program = ca.Build();
-  Assembler sa("server");
-  EmitSys(sa, kSysIpcWaitReceive, sp, 0, 0, 0x10000, 1);
-  const auto sloop = sa.NewLabel();
-  sa.Bind(sloop);
-  EmitSys(sa, kSysIpcServerAckSendOverReceive, 0, 0x10100, 1, 0x10000, 1);
-  sa.Jmp(sloop);
-  ss->program = sa.Build();
-  k.StartThread(k.CreateThread(ss.get()));
-  k.StartThread(k.CreateThread(cs.get()));
-
+// Runs the pair for 1ms of virtual time per iteration, reporting RPC
+// round trips as items (~2 context switches per RPC).
+void RunRpcIterations(benchmark::State& state, Kernel& k) {
   uint64_t switches = 0;
   for (auto _ : state) {
     const uint64_t before = k.stats.context_switches;
@@ -125,7 +87,142 @@ void BM_TraceOverhead(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(switches / 2));
 }
+
+void BM_RpcRoundTrip(benchmark::State& state) {
+  KernelConfig cfg;
+  Kernel k(cfg);
+  StartRpcPair(k);
+  RunRpcIterations(state, k);
+}
+BENCHMARK(BM_RpcRoundTrip);
+
+// The RPC round trip with the tracer off (Arg 0) vs on (Arg 1). Arg 0 must
+// track BM_RpcRoundTrip exactly -- the disarmed dispatcher never reaches a
+// trace hook, so observability is free until enabled. Arg 1 measures the
+// real cost of span + flow capture; a trace-only armed run keeps the IPC
+// fast paths (the injector and checkpointer are the slow-path forcers), so
+// this is the ring cost, not a fast-vs-slow-path artifact.
+void BM_TraceOverhead(benchmark::State& state) {
+  KernelConfig cfg;
+  Kernel k(cfg);
+  if (state.range(0) != 0) {
+    k.trace.SetCapacity(size_t{1} << 16);
+    k.trace.Enable();
+  }
+  StartRpcPair(k);
+  RunRpcIterations(state, k);
+}
 BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1);
+
+// Scratch file for benchmarked trace streams. Prefers memory-backed
+// /dev/shm so the stream measures the tracer, not the host's disk: a slow
+// container overlay (<400 MB/s) would otherwise dominate the sink cost at
+// ~25 KB of trace payload per millisecond of virtual time.
+std::string ScratchFile(const char* name) {
+  const std::string shm = std::string("/dev/shm/") + name;
+  if (std::FILE* f = std::fopen(shm.c_str(), "wb"); f != nullptr) {
+    std::fclose(f);
+    return shm;
+  }
+  return std::string("/tmp/") + name;
+}
+
+// The binary trace stream's end-to-end cost on the RPC round trip:
+//   Arg 0 -- disarmed baseline (must track BM_RpcRoundTrip);
+//   Arg 1 -- tracer on, ring only (BM_TraceOverhead/1's shape);
+//   Arg 2 -- tracer on with the FBT streaming writer attached as sink,
+//            group-varint encoding every event into CRC'd 64KB chunks;
+//   Arg 3 -- the JSON-tracing-today comparison point: the same fidelity
+//            streamed as Chrome JSON, i.e. a one-slice ring exported with
+//            ExportChromeTrace and appended to the file every slice
+//            (~100 bytes of text per event vs ~8 binary).
+// The --trace-bin acceptance bar is Arg 2 against Arg 0 (target <=1.5x)
+// and against Arg 3 (the sink must beat JSON streaming by a wide margin).
+void BM_TraceBinOverhead(benchmark::State& state) {
+  KernelConfig cfg;
+  Kernel k(cfg);
+  TraceBinaryWriter writer;
+  if (state.range(0) != 0) {
+    // Arg 3's ring holds just over one slice's events so each export
+    // approximates "everything since the last flush"; the others use the
+    // --flight-recorder default ring.
+    k.trace.SetCapacity(state.range(0) == 3 ? size_t{1} << 12 : size_t{1} << 16);
+    k.trace.Enable();
+  }
+  std::string path;
+  if (state.range(0) == 2) {
+    path = ScratchFile("bm_trace_bin.fbt");
+    if (!writer.Open(path)) {
+      state.SkipWithError("cannot open scratch trace file");
+      return;
+    }
+    k.trace.SetSink(&writer);
+  }
+  StartRpcPair(k);
+  if (state.range(0) == 3) {
+    path = ScratchFile("bm_trace_json.json");
+    std::FILE* jf = std::fopen(path.c_str(), "wb");
+    if (jf == nullptr) {
+      state.SkipWithError("cannot open scratch json file");
+      return;
+    }
+    uint64_t switches = 0, exported = 0, json_bytes = 0;
+    for (auto _ : state) {
+      const uint64_t before = k.stats.context_switches;
+      k.Run(k.clock.now() + 1 * kNsPerMs);
+      switches += k.stats.context_switches - before;
+      const std::vector<TraceEvent> snap = k.trace.Snapshot();
+      const std::string json = ExportChromeTrace(snap, {}, k.trace.dropped(), k.clock.now());
+      json_bytes += std::fwrite(json.data(), 1, json.size(), jf);
+      exported += snap.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(switches / 2));
+    state.counters["bytes_per_event"] =
+        exported == 0 ? 0.0 : static_cast<double>(json_bytes) / static_cast<double>(exported);
+    std::fclose(jf);
+    std::remove(path.c_str());
+    return;
+  }
+  RunRpcIterations(state, k);
+  if (writer.open()) {
+    k.trace.SetSink(nullptr);
+    writer.Finish(k.clock.now(), k.trace.total_recorded(), k.trace.dropped(), {});
+    state.counters["bytes_per_event"] =
+        writer.events_written() == 0
+            ? 0.0
+            : static_cast<double>(writer.bytes_written()) /
+                  static_cast<double>(writer.events_written());
+    std::remove(path.c_str());
+  }
+}
+BENCHMARK(BM_TraceBinOverhead)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// Steady-state cost of an armed flight recorder: a small ring (the
+// --flight-recorder default, 64k events) wrapping continuously under the
+// RPC load. Also reports the host cost of cutting one postmortem bundle
+// (the panic-path dump) as bundle_ms.
+void BM_FlightRecorder(benchmark::State& state) {
+  KernelConfig cfg;
+  Kernel k(cfg);
+  k.trace.SetCapacity(size_t{1} << 16);
+  k.trace.Enable();
+  StartRpcPair(k);
+  RunRpcIterations(state, k);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = WriteTraceBinarySnapshot(ScratchFile("bm_flight.fbt"), k.trace.Snapshot(),
+                                           k.clock.now(), k.trace.total_recorded(),
+                                           k.trace.dropped(), {});
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!ok) {
+    state.SkipWithError("flight bundle write failed");
+    return;
+  }
+  state.counters["bundle_ms"] =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::remove(ScratchFile("bm_flight.fbt").c_str());
+}
+BENCHMARK(BM_FlightRecorder);
 
 void BM_BulkTransferMB(benchmark::State& state) {
   KernelConfig cfg;

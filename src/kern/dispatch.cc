@@ -28,14 +28,17 @@ namespace fluke {
 void Kernel::Run(Time until) {
   // One check, hoisted out of the dispatch loop: when no instrumentation is
   // live (no armed fault injector, no enabled trace buffer), the
-  // Instrumented=false loop runs -- compiled with no hook code at all, and
-  // with the syscall/IPC fast paths eligible. Arming happens only from host
-  // code between Run() calls, so the choice is stable for the whole call.
+  // Instrumented=false loop runs -- compiled with no hook code at all.
+  // The syscall/IPC fast paths are eligible there and on the instrumented
+  // loop when tracing is the only live instrumentation (the fast handlers
+  // carry their own trace hooks; see EnterSyscallT). Arming happens only
+  // from host code between Run() calls, so the choice is stable for the
+  // whole call.
   if (cfg.num_cpus > 1) {
-    // Epoch dispatcher. Instrumentation forces the serial backend (the
-    // fast_path rule): hooks then fire in the deterministic CPU-order
-    // merge, never in host-arrival order -- and since both backends run
-    // the identical epoch schedule, nothing is observably different.
+    // Epoch dispatcher. Instrumentation forces the serial backend: hooks
+    // then fire in the deterministic CPU-order merge, never in
+    // host-arrival order -- and since both backends run the identical
+    // epoch schedule, nothing is observably different.
     if (InstrumentationLive()) {
       RunMpLoop<true>(until, /*parallel=*/false);
     } else {
@@ -389,10 +392,30 @@ void Kernel::EnterSyscallT(Cpu& cpu, Thread* t) {
     // Fast path: complete the syscall outside the coroutine machinery. A
     // fast handler either performs the whole operation -- identical
     // registers, virtual-time charges and frame accounting -- and returns
-    // true, or touches nothing and falls through to the engine below. Only
-    // consulted with instrumentation disarmed, so every hook the slow path
-    // would have skipped is provably absent rather than skipped.
+    // true, or touches nothing and falls through to the engine below. With
+    // instrumentation disarmed every hook the slow path would have skipped
+    // is provably absent rather than skipped.
     if (cfg.fast_path && def->fast != nullptr && def->fast(*this, t, *def)) {
+      return;
+    }
+  } else {
+    // Tracing alone does not forfeit the fast path: the handlers emit the
+    // same chunk/handoff/flow events the engine route would (ipc.cc), and
+    // the sys span opened above is closed or parked here exactly as
+    // HandleOpOutcomeT would have. A fault plan or checkpoint session still
+    // forces the coroutine route -- its hook points (finj.Note, save-on-
+    // write) have no fast-path twins.
+    if (cfg.fast_path && def->fast != nullptr && TraceOnlyInstrumentation() &&
+        def->fast(*this, t, *def)) {
+      if (t->run_state == ThreadRun::kBlocked) {
+        // Mirror of the kBlocked arm below: the fast handler committed a
+        // bare block (CommitFastBlock); the wake path closes both spans.
+        t->trace_block_span = trace.BeginSpan(clock.now(), TraceKind::kBlock, t->id(), t->op_sys,
+                                              static_cast<uint32_t>(t->block_kind));
+        t->trace_block_t0 = clock.now();
+      } else {
+        TraceEndSysSpan(t, t->op_sys, t->regs.gpr[kRegA]);
+      }
       return;
     }
   }
@@ -729,6 +752,24 @@ void Kernel::MpMergeShards() {
     s.jit_bytes = 0;
     stats.user_instructions += s.user_instructions;
     s.user_instructions = 0;
+    // Histogram shards: today's bursts only observe durations in serial
+    // phases (instrumented MP runs on the serial backend), so these folds
+    // are usually empty -- but the merge is part of the barrier contract
+    // so a shard-observed histogram can never be stranded.
+    if (!s.block_hist.empty()) {
+      stats.block_hist.Merge(s.block_hist);
+      s.block_hist = LogHistogram{};
+    }
+    if (!s.probe_hist.empty()) {
+      stats.probe_hist.Merge(s.probe_hist);
+      s.probe_hist = LogHistogram{};
+    }
+    for (uint32_t i = 0; i < kSysCount; ++i) {
+      if (!s.sys_time_hist[i].empty()) {
+        stats.sys_time_hist[i].Merge(s.sys_time_hist[i]);
+        s.sys_time_hist[i] = LogHistogram{};
+      }
+    }
   }
 }
 

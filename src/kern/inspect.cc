@@ -185,6 +185,11 @@ std::string StatsJson(const Kernel& k) {
     out += buf;
   };
 
+  // Schema history: 1 = the unversioned original (no "schema" key);
+  // 2 = adds the observability-pipeline counters (trace_bin_*, flight_dumps,
+  // metrics_samples). Consumers (tools/bench_report.py) reject schemas they
+  // do not know rather than silently mis-reading renamed counters.
+  out += "  \"schema\": 2,\n";
   std::snprintf(buf, sizeof(buf), "  \"config\": \"%s\",\n", k.cfg.Label().c_str());
   out += buf;
   field("virtual_time_ns", k.clock.now());
@@ -242,6 +247,10 @@ std::string StatsJson(const Kernel& k) {
   field("ckpt_mark_pages", s.ckpt_mark_pages);
   field("trace_events_recorded", k.trace.total_recorded());
   field("trace_events_dropped", k.trace.dropped());
+  field("trace_bin_chunks", s.trace_bin_chunks);
+  field("trace_bin_bytes", s.trace_bin_bytes);
+  field("flight_dumps", s.flight_dumps);
+  field("metrics_samples", s.metrics_samples);
 
   if (k.cfg.num_cpus > 1) {
     std::snprintf(buf, sizeof(buf), "  \"mp_digest\": \"%016llx\",\n",

@@ -1129,9 +1129,11 @@ bool FastIpcSend(Kernel& k, Thread* t, const SyscallDef& def) {
   }();
 
   // --- Committed: from here on, replicate the slow path exactly. ---
-  // Unreachable while tracing is on (the trace forces the instrumented slow
-  // path), so this Record is always a no-op today; it documents the kind and
-  // keeps the event if the gating rule ever changes.
+  // Reachable traced: a trace-only armed run keeps the fast path
+  // (Kernel::TraceOnlyInstrumentation), so the handoff marks itself with
+  // this instant and emits the same chunk/flow events the engine route
+  // would. The dispatcher opened the sys span before consulting us and
+  // closes/parks it after we return (dispatch.cc).
   k.trace.Record(k.clock.now(), TraceKind::kIpcFastHandoff, t->id(), d);
   t->op_sys = sys;
   t->op_aux = def.aux;
@@ -1144,6 +1146,7 @@ bool FastIpcSend(Kernel& k, Thread* t, const SyscallDef& def) {
   } else {
     k.AccountFrameAlloc(t, f_transfer);  // co_await TransferData(ctx, t, peer)
     for (int c = 0; c < nchunks; ++c) {
+      k.trace.Record(k.clock.now(), TraceKind::kIpcChunk, t->id(), plan[c].words);
       std::memcpy(plan[c].dp, plan[c].sp, 4 * plan[c].words);
       k.Charge(k.costs.ipc_chunk_setup + 2ull * plan[c].words * k.costs.ipc_per_word);
       t->regs.gpr[kRegC] += 4 * plan[c].words;

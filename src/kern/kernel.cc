@@ -374,7 +374,12 @@ void Kernel::TraceFlowTo(Thread* woken) {
   if (from == nullptr || from == woken) {
     return;  // device/timer wake: no causing thread to link from
   }
-  trace.Flow(clock.now(), from->id(), woken->id());
+  // Flag cross-CPU wakes (the MakeRunnable condition): the request-path
+  // analyzer classifies the woken side's residual wait as a cross-CPU hop
+  // rather than run-queue queueing when this is set.
+  const uint32_t xcpu =
+      cfg.num_cpus > 1 && mp_running_ && woken->home_cpu != exec_cpu_->id ? 1u : 0u;
+  trace.Flow(clock.now(), from->id(), woken->id(), xcpu);
 }
 
 void Kernel::TraceEndSysSpan(Thread* t, uint32_t sys, uint32_t result) {

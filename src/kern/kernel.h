@@ -400,10 +400,19 @@ class Kernel {
   // checkpoint drain). Run() checks this once and selects the
   // Instrumented=false dispatch loop otherwise, whose compiled body
   // contains no hook code at all -- the zero-cost-when-disarmed rule
-  // (DESIGN.md). The fast-path handlers are likewise only consulted on the
-  // uninstrumented loop, so arming a FaultPlan forces the slow path.
+  // (DESIGN.md).
   bool InstrumentationLive() const {
     return finj.armed() || trace.enabled() || ckpt_ != nullptr;
+  }
+
+  // True when tracing is the ONLY live instrumentation. The fast-path
+  // handlers carry their own span/flow hooks, so a trace-only run keeps the
+  // direct-handoff and trivial-completion fast paths (the binary trace's
+  // leave-it-armed cost target depends on this); an armed fault injector or
+  // checkpoint session still forces the coroutine slow path, whose hook
+  // points the fast handlers do not replicate.
+  bool TraceOnlyInstrumentation() const {
+    return trace.enabled() && !finj.armed() && ckpt_ == nullptr;
   }
 
   // --- Concurrent checkpointing (src/kern/ckpt.h; workloads/checkpoint.*

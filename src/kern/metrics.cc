@@ -1,0 +1,115 @@
+#include "src/kern/metrics.h"
+
+#include "src/kern/kernel.h"
+
+namespace fluke {
+namespace {
+
+// One place defines the series: a name and how to read it. Adding a column
+// updates CSV, JSON and bench_report ingestion (which reads the header row
+// / columns array) together.
+struct Column {
+  const char* name;
+  uint64_t (*get)(const Kernel& k);
+};
+
+const Column kColumns[] = {
+    {"time_ns", [](const Kernel& k) { return static_cast<uint64_t>(k.clock.now()); }},
+    {"syscalls", [](const Kernel& k) { return k.stats.syscalls; }},
+    {"syscall_restarts", [](const Kernel& k) { return k.stats.syscall_restarts; }},
+    {"context_switches", [](const Kernel& k) { return k.stats.context_switches; }},
+    {"kernel_preemptions", [](const Kernel& k) { return k.stats.kernel_preemptions; }},
+    {"soft_faults", [](const Kernel& k) { return k.stats.soft_faults; }},
+    {"hard_faults", [](const Kernel& k) { return k.stats.hard_faults; }},
+    {"user_instructions", [](const Kernel& k) { return k.stats.user_instructions; }},
+    {"syscall_fast_entries", [](const Kernel& k) { return k.stats.syscall_fast_entries; }},
+    {"ipc_fast_handoffs", [](const Kernel& k) { return k.stats.ipc_fast_handoffs; }},
+    {"timer_arms", [](const Kernel& k) { return k.stats.timer_arms; }},
+    {"timer_cancels", [](const Kernel& k) { return k.stats.timer_cancels; }},
+    {"mp_epochs", [](const Kernel& k) { return k.stats.mp_epochs; }},
+    {"cross_cpu_ipc", [](const Kernel& k) { return k.stats.cross_cpu_ipc; }},
+    {"blocked_frame_bytes_peak",
+     [](const Kernel& k) { return k.stats.blocked_frame_bytes_peak; }},
+    {"frame_bytes_live", [](const Kernel& k) { return k.stats.frame_bytes_live; }},
+    {"trace_events", [](const Kernel& k) { return k.trace.total_recorded(); }},
+    // Trace-derived histograms: zero rows in untraced runs (the histograms
+    // only mutate while tracing -- the zero-observation contract).
+    {"block_count", [](const Kernel& k) { return k.stats.block_hist.count; }},
+    {"block_p50_ns", [](const Kernel& k) { return k.stats.block_hist.Percentile(0.50); }},
+    {"block_p95_ns", [](const Kernel& k) { return k.stats.block_hist.Percentile(0.95); }},
+};
+constexpr size_t kNumColumns = sizeof(kColumns) / sizeof(kColumns[0]);
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+MetricsSampler::~MetricsSampler() {
+  if (f_ != nullptr) {
+    Close();
+  }
+}
+
+bool MetricsSampler::Open(const std::string& path, Time interval_ns) {
+  if (interval_ns == 0) {
+    return false;
+  }
+  f_ = std::fopen(path.c_str(), "w");
+  if (f_ == nullptr) {
+    return false;
+  }
+  json_ = EndsWith(path, ".json");
+  interval_ns_ = interval_ns;
+  if (json_) {
+    std::fprintf(f_, "{\"schema\":1,\"interval_ns\":%llu,\"columns\":[",
+                 static_cast<unsigned long long>(interval_ns));
+    for (size_t i = 0; i < kNumColumns; ++i) {
+      std::fprintf(f_, "%s\"%s\"", i == 0 ? "" : ",", kColumns[i].name);
+    }
+    std::fprintf(f_, "],\"samples\":[");
+  } else {
+    for (size_t i = 0; i < kNumColumns; ++i) {
+      std::fprintf(f_, "%s%s", i == 0 ? "" : ",", kColumns[i].name);
+    }
+    std::fprintf(f_, "\n");
+  }
+  return true;
+}
+
+void MetricsSampler::Sample(const Kernel& k) {
+  if (f_ == nullptr) {
+    return;
+  }
+  if (json_) {
+    std::fprintf(f_, "%s[", samples_ == 0 ? "\n" : ",\n");
+    for (size_t i = 0; i < kNumColumns; ++i) {
+      std::fprintf(f_, "%s%llu", i == 0 ? "" : ",",
+                   static_cast<unsigned long long>(kColumns[i].get(k)));
+    }
+    std::fprintf(f_, "]");
+  } else {
+    for (size_t i = 0; i < kNumColumns; ++i) {
+      std::fprintf(f_, "%s%llu", i == 0 ? "" : ",",
+                   static_cast<unsigned long long>(kColumns[i].get(k)));
+    }
+    std::fprintf(f_, "\n");
+  }
+  ++samples_;
+}
+
+bool MetricsSampler::Close() {
+  if (f_ == nullptr) {
+    return false;
+  }
+  if (json_) {
+    std::fprintf(f_, "\n]}\n");
+  }
+  const bool ok = std::ferror(f_) == 0;
+  std::fclose(f_);
+  f_ = nullptr;
+  return ok;
+}
+
+}  // namespace fluke

@@ -1,0 +1,67 @@
+// Virtual-time metrics sampler: periodic counter/histogram snapshots.
+//
+// Totals (--stats-json) tell you where a run ended up; this shows the
+// trajectory *within* the run -- the connect storm, the steady state, the
+// wakeup sweep. fluke_run slices its dispatch loop at --metrics-every=NS
+// boundaries of virtual time (the same slicing --ckpt-every uses) and
+// appends one row per boundary to --metrics-out=FILE.
+//
+// Two formats, chosen by extension: .csv (header + one row per sample) and
+// .json ({"schema":1,"interval_ns":...,"columns":[...],"samples":[[...]]}).
+// Both are ingested by tools/bench_report.py --metrics. Rows are cumulative
+// counters (not deltas), so consumers can difference adjacent rows without
+// losing the first interval.
+//
+// Sampling is host-side only: it never charges virtual time, so a sampled
+// run reaches the same states at the same virtual instants as an unsampled
+// one (MP epoch boundaries may differ across *differently sliced* runs, but
+// same-flag runs stay bit-deterministic).
+
+#ifndef SRC_KERN_METRICS_H_
+#define SRC_KERN_METRICS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/hal/clock.h"
+
+namespace fluke {
+
+class Kernel;
+
+class MetricsSampler {
+ public:
+  MetricsSampler() = default;
+  ~MetricsSampler();
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  // Opens `path` (.json => JSON, anything else CSV) for an every-
+  // `interval_ns` series and writes the header.
+  bool Open(const std::string& path, Time interval_ns);
+
+  // Appends one row snapshotting the kernel's counters at k.clock.now().
+  void Sample(const Kernel& k);
+
+  // Finalizes the file (closes the JSON arrays). Returns false on I/O error.
+  bool Close();
+
+  bool open() const { return f_ != nullptr; }
+  Time interval_ns() const { return interval_ns_; }
+  uint64_t samples() const { return samples_; }
+  // The next virtual instant a sample is due (for run-loop slicing).
+  Time next_due(Time now) const {
+    return now - (now % interval_ns_) + interval_ns_;
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool json_ = false;
+  Time interval_ns_ = 0;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_METRICS_H_

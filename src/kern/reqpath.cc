@@ -1,0 +1,330 @@
+#include "src/kern/reqpath.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+#include "src/api/abi.h"
+
+namespace fluke {
+namespace {
+
+// A closed (or end-clipped) span interval on one thread's timeline.
+struct Interval {
+  Time t0;
+  Time t1;
+};
+
+// Everything indexed per thread for window attribution.
+struct ThreadTimeline {
+  std::vector<Interval> sys;     // syscall spans, disjoint, time-sorted
+  std::vector<Interval> remedy;  // fault-remedy spans (nested in sys/user)
+  std::vector<Interval> blocks;  // block->wake windows
+};
+
+struct OpenSpan {
+  TraceEvent begin;
+};
+
+struct FlowIn {
+  Time when;
+  uint64_t from_tid;
+  bool xcpu;
+};
+
+bool IsRequestSys(uint32_t sys) {
+  return sys == kSysIpcClientSendOverReceive || sys == kSysIpcClientConnectSendOverReceive;
+}
+
+// Sum of |iv ∩ [w0,w1]| over a time-sorted disjoint interval list.
+uint64_t OverlapNs(const std::vector<Interval>& ivs, Time w0, Time w1) {
+  uint64_t sum = 0;
+  // Binary search to the first interval that can overlap.
+  size_t lo = 0, hi = ivs.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (ivs[mid].t1 <= w0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (size_t i = lo; i < ivs.size() && ivs[i].t0 < w1; ++i) {
+    const Time a = std::max(ivs[i].t0, w0);
+    const Time b = std::min(ivs[i].t1, w1);
+    if (b > a) {
+      sum += b - a;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+ReqReport BuildReqReport(const std::vector<TraceEvent>& events, Time end_ns, uint64_t dropped) {
+  ReqReport rep;
+  rep.dropped = dropped;
+
+  // Pass 1: close spans into per-thread timelines, collect flow wakes, and
+  // remember completed request spans in stream order.
+  std::unordered_map<uint64_t, TraceEvent> open;             // span id -> begin
+  std::unordered_map<uint64_t, const TraceEvent*> flow_out;  // flow id -> out
+  std::unordered_map<uint64_t, ThreadTimeline> tl;
+  std::unordered_map<uint64_t, std::vector<FlowIn>> wakes;  // tid -> flow-ins
+  struct PendingReq {
+    TraceEvent begin;
+    TraceEvent end;
+  };
+  std::vector<PendingReq> reqs;
+
+  for (const TraceEvent& e : events) {
+    switch (e.phase) {
+      case TracePhase::kBegin:
+        open.emplace(e.span_id, e);
+        break;
+      case TracePhase::kEnd: {
+        const auto it = open.find(e.span_id);
+        if (it == open.end()) {
+          break;  // begin lost to the ring
+        }
+        const TraceEvent& b = it->second;
+        ThreadTimeline& t = tl[b.thread_id];
+        switch (b.kind) {
+          case TraceKind::kSyscallEnter:
+            t.sys.push_back(Interval{b.when, e.when});
+            if (IsRequestSys(b.a) && e.b != 0xFFFFFFFFu) {
+              reqs.push_back(PendingReq{b, e});
+            }
+            break;
+          case TraceKind::kBlock:
+            t.blocks.push_back(Interval{b.when, e.when});
+            break;
+          case TraceKind::kFaultRemedy:
+            t.remedy.push_back(Interval{b.when, e.when});
+            break;
+          default:
+            break;  // idle spans etc.: not needed for attribution
+        }
+        open.erase(it);
+        break;
+      }
+      case TracePhase::kFlowOut:
+        flow_out[e.span_id] = &e;
+        break;
+      case TracePhase::kFlowIn: {
+        const auto it = flow_out.find(e.span_id);
+        if (it != flow_out.end()) {
+          wakes[e.thread_id].push_back(FlowIn{e.when, it->second->thread_id, e.a != 0});
+        }
+        break;
+      }
+      case TracePhase::kInstant:
+        break;
+    }
+  }
+
+  // Clip spans still open at snapshot time: their elapsed part can overlap
+  // a completed request's window (e.g. the server's final receive).
+  for (const auto& [id, b] : open) {
+    if (b.when >= end_ns) {
+      continue;
+    }
+    ThreadTimeline& t = tl[b.thread_id];
+    switch (b.kind) {
+      case TraceKind::kSyscallEnter:
+        t.sys.push_back(Interval{b.when, end_ns});
+        break;
+      case TraceKind::kBlock:
+        t.blocks.push_back(Interval{b.when, end_ns});
+        break;
+      case TraceKind::kFaultRemedy:
+        t.remedy.push_back(Interval{b.when, end_ns});
+        break;
+      default:
+        break;
+    }
+  }
+  for (auto& [tid, t] : tl) {
+    auto by_t0 = [](const Interval& x, const Interval& y) { return x.t0 < y.t0; };
+    std::sort(t.sys.begin(), t.sys.end(), by_t0);
+    std::sort(t.remedy.begin(), t.remedy.end(), by_t0);
+    std::sort(t.blocks.begin(), t.blocks.end(), by_t0);
+  }
+  for (auto& [tid, w] : wakes) {
+    std::sort(w.begin(), w.end(), [](const FlowIn& x, const FlowIn& y) { return x.when < y.when; });
+  }
+
+  // Pass 2: decompose each request. Exactness invariant: every nanosecond
+  // of [t0,t1] lands in exactly one segment --
+  //   blocked windows: serve_peer + remedy(peer) + residual(queue|hop)
+  //   the rest:        service + remedy(self)
+  for (const PendingReq& r : reqs) {
+    RequestPath p;
+    p.span_id = r.begin.span_id;
+    p.thread_id = r.begin.thread_id;
+    p.sys = r.begin.a;
+    p.t0 = r.begin.when;
+    p.t1 = r.end.when;
+    p.total_ns = p.t1 - p.t0;
+
+    const ThreadTimeline& self = tl[p.thread_id];
+    const auto& self_wakes = wakes[p.thread_id];
+
+    uint64_t blocked = 0;
+    for (const Interval& w : self.blocks) {
+      if (w.t0 < p.t0 || w.t1 > p.t1) {
+        continue;  // a different epoch's window
+      }
+      if (w.t1 <= w.t0) {
+        continue;
+      }
+      ++p.blocks;
+      const uint64_t win = w.t1 - w.t0;
+      blocked += win;
+
+      // The wake that ended this window: a flow-in on this thread at w.t1
+      // (CompleteBlockedOp emits the flow and the span end at the same
+      // timestamp). Timer/cancel wakes have no flow: unattributable wait.
+      const FlowIn* wake = nullptr;
+      auto lo = std::lower_bound(
+          self_wakes.begin(), self_wakes.end(), w.t1,
+          [](const FlowIn& f, Time t) { return f.when < t; });
+      if (lo != self_wakes.end() && lo->when == w.t1) {
+        wake = &*lo;
+      }
+      if (wake == nullptr) {
+        p.queue_ns += win;
+        continue;
+      }
+      const auto peer_it = tl.find(wake->from_tid);
+      uint64_t serve = 0, remedy = 0;
+      if (peer_it != tl.end()) {
+        serve = OverlapNs(peer_it->second.sys, w.t0, w.t1);
+        remedy = OverlapNs(peer_it->second.remedy, w.t0, w.t1);
+        if (remedy > serve) {
+          remedy = serve;  // remedies outside sys spans stay with serve=0
+        }
+      }
+      const uint64_t residual = win - serve;
+      p.serve_peer_ns += serve - remedy;
+      p.remedy_ns += remedy;
+      if (wake->xcpu) {
+        ++p.hops;
+        p.hop_ns += residual;
+      } else {
+        p.queue_ns += residual;
+      }
+    }
+
+    // Self time: the non-blocked part of the span, split into remedy work
+    // and plain service. Self remedies overlapping blocked windows (a hard
+    // fault parks the thread inside its own remedy span) stay with the
+    // window's segments, so subtract the overlap to keep the sum exact.
+    const uint64_t self_time = p.total_ns - blocked;
+    uint64_t self_remedy = OverlapNs(self.remedy, p.t0, p.t1);
+    for (const Interval& w : self.blocks) {
+      if (w.t0 >= p.t0 && w.t1 <= p.t1) {
+        const uint64_t ov = OverlapNs(self.remedy, w.t0, w.t1);
+        self_remedy -= std::min(self_remedy, ov);
+      }
+    }
+    self_remedy = std::min(self_remedy, self_time);
+    p.remedy_ns += self_remedy;
+    p.service_ns = self_time - self_remedy;
+
+    rep.total_ns += p.total_ns;
+    rep.service_ns += p.service_ns;
+    rep.serve_peer_ns += p.serve_peer_ns;
+    rep.remedy_ns += p.remedy_ns;
+    rep.queue_ns += p.queue_ns;
+    rep.hop_ns += p.hop_ns;
+    rep.requests.push_back(p);
+  }
+  return rep;
+}
+
+namespace {
+
+void Append(std::string* out, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+unsigned long long Pct(uint64_t part, uint64_t total) {
+  return total == 0 ? 0 : static_cast<unsigned long long>(part * 100 / total);
+}
+
+}  // namespace
+
+std::string RenderReqReport(const ReqReport& rep) {
+  std::string out;
+  Append(&out, "request critical-path report: %zu requests\n", rep.requests.size());
+  if (rep.dropped > 0) {
+    Append(&out, "  WARNING: ring dropped %llu events; paths may be incomplete\n",
+           static_cast<unsigned long long>(rep.dropped));
+  }
+  if (rep.requests.empty()) {
+    Append(&out, "  (no completed requests in trace)\n");
+    return out;
+  }
+
+  Append(&out, "  segment      total_ns          share\n");
+  const struct {
+    const char* name;
+    uint64_t ns;
+  } segs[] = {
+      {"service", rep.service_ns}, {"serve-peer", rep.serve_peer_ns},
+      {"remedy", rep.remedy_ns},   {"queue", rep.queue_ns},
+      {"xcpu-hop", rep.hop_ns},
+  };
+  for (const auto& s : segs) {
+    Append(&out, "  %-11s %12llu ns %5llu%%\n", s.name,
+           static_cast<unsigned long long>(s.ns), Pct(s.ns, rep.total_ns));
+  }
+  Append(&out, "  %-11s %12llu ns (sums exactly)\n", "total",
+         static_cast<unsigned long long>(rep.total_ns));
+
+  // Tail table: nearest-rank percentiles over request latency, each
+  // attributed via the exemplar request at that rank (ties broken by
+  // stream order for determinism).
+  std::vector<size_t> order(rep.requests.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    const uint64_t lx = rep.requests[x].total_ns, ly = rep.requests[y].total_ns;
+    return lx != ly ? lx < ly : x < y;
+  });
+  Append(&out, "  tail latency (per-request, nearest-rank):\n");
+  Append(&out, "  pct   latency_ns      service   serve-peer       remedy        queue     xcpu-hop\n");
+  const struct {
+    const char* label;
+    double q;
+  } pcts[] = {{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}, {"max", 1.0}};
+  for (const auto& pc : pcts) {
+    size_t rank = static_cast<size_t>(pc.q * static_cast<double>(order.size()));
+    if (rank > 0) {
+      --rank;
+    }
+    if (pc.q >= 1.0) {
+      rank = order.size() - 1;
+    }
+    const RequestPath& r = rep.requests[order[rank]];
+    Append(&out, "  %-4s %11llu %12llu %12llu %12llu %12llu %12llu\n", pc.label,
+           static_cast<unsigned long long>(r.total_ns),
+           static_cast<unsigned long long>(r.service_ns),
+           static_cast<unsigned long long>(r.serve_peer_ns),
+           static_cast<unsigned long long>(r.remedy_ns),
+           static_cast<unsigned long long>(r.queue_ns),
+           static_cast<unsigned long long>(r.hop_ns));
+  }
+  return out;
+}
+
+}  // namespace fluke

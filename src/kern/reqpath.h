@@ -1,0 +1,85 @@
+// Request-level critical-path analytics over the trace stream.
+//
+// Stitches span and flow events back into per-request causal paths: each
+// completed client request (an IPC send-over-receive syscall span) is
+// decomposed into the segments that made up its latency, Magpie-style:
+//
+//   service    -- the client's own execution inside the span (entry/exit
+//                 charges, copies, successor-stage work), net of remedies;
+//   serve_peer -- time the thread that eventually woke the client spent
+//                 inside its own syscall spans while the client was
+//                 blocked (the server actually serving), net of remedies;
+//   remedy     -- fault-remedy spans overlapping the request, on either
+//                 side (the cost of the atomic-rollback machinery);
+//   queue      -- residual blocked time with no attributable peer work:
+//                 run-queue wait, scheduling delay, sleeps;
+//   hop        -- the same residual when the wake crossed CPUs (the flow
+//                 event's cross-CPU flag), i.e. epoch-barrier delay in MP
+//                 runs.
+//
+// The decomposition is exact by construction -- the same partition rule as
+// the PR-5 profiler: segments of one request sum to precisely t1-t0, and
+// the whole report is a pure function of the event stream, so it is
+// byte-identical across interpreter engines and MP backends (which emit
+// bit-identical streams).
+//
+// Exposed via `fluke_run --req-report` for the rpc/c1m workloads; the tail
+// table attributes p50/p95/p99 latency to these segments (ROADMAP item 5's
+// tail-latency attribution).
+
+#ifndef SRC_KERN_REQPATH_H_
+#define SRC_KERN_REQPATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kern/trace.h"
+
+namespace fluke {
+
+// One reconstructed request and its exact latency decomposition
+// (all segment fields sum to total_ns).
+struct RequestPath {
+  uint64_t span_id = 0;    // the request's syscall span
+  uint64_t thread_id = 0;  // the client
+  uint32_t sys = 0;        // request syscall number
+  Time t0 = 0;
+  Time t1 = 0;
+  uint64_t total_ns = 0;
+  uint64_t service_ns = 0;
+  uint64_t serve_peer_ns = 0;
+  uint64_t remedy_ns = 0;
+  uint64_t queue_ns = 0;
+  uint64_t hop_ns = 0;
+  uint32_t blocks = 0;  // blocked windows inside the span
+  uint32_t hops = 0;    // wakes that crossed CPUs
+};
+
+struct ReqReport {
+  std::vector<RequestPath> requests;  // in stream (completion) order
+  // Aggregates over all requests.
+  uint64_t total_ns = 0;
+  uint64_t service_ns = 0;
+  uint64_t serve_peer_ns = 0;
+  uint64_t remedy_ns = 0;
+  uint64_t queue_ns = 0;
+  uint64_t hop_ns = 0;
+  uint64_t dropped = 0;  // ring drops poison causality; reported, not fatal
+};
+
+// Reconstructs request paths from a chronological event stream. `end_ns`
+// clips peer spans still open at snapshot time. Only completed request
+// spans count (a cancelled epoch's span, result 0xFFFFFFFF, is skipped);
+// restart epochs that complete are analyzed as their own request.
+ReqReport BuildReqReport(const std::vector<TraceEvent>& events, Time end_ns,
+                         uint64_t dropped = 0);
+
+// Renders the aggregate decomposition plus the tail table: p50/p95/p99/max
+// latency, each attributed to segments via the nearest-rank exemplar
+// request. Deterministic formatting (integers only).
+std::string RenderReqReport(const ReqReport& rep);
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_REQPATH_H_

@@ -54,6 +54,21 @@ struct LogHistogram {
     }
   }
 
+  // Folds another histogram in (the per-CPU shard fold at the MP epoch
+  // barrier). Bucket counts, count and sum are plain sums and max is an
+  // associative/commutative max, so a fold in CPU order is independent of
+  // how the host scheduled the shard owners.
+  void Merge(const LogHistogram& o) {
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets[b] += o.buckets[b];
+    }
+    count += o.count;
+    sum += o.sum;
+    if (o.max > max) {
+      max = o.max;
+    }
+  }
+
   bool empty() const { return count == 0; }
   Time Avg() const { return count == 0 ? 0 : sum / count; }
   Time Max() const { return max; }
@@ -234,12 +249,22 @@ struct KernelStats {
 
   // Trace-derived latency histograms: per-syscall-number virtual-time
   // (syscall entry to completion) and block duration (block to wake).
-  // These mutate ONLY while the trace buffer is enabled -- tracing forces
-  // the slow path, so like the trace stream itself they must be
-  // bit-identical across both interpreter engines and fast-path on/off,
-  // and exactly zero in a disarmed run (tests/trace_test.cc asserts both).
+  // These mutate ONLY while the trace buffer is enabled. The durations are
+  // virtual-time, so they are bit-identical across both interpreter
+  // engines and fast-path on/off (fast handlers close the same spans at
+  // the same virtual instants), and exactly zero in a disarmed run
+  // (tests/trace_test.cc asserts both).
   LogHistogram sys_time_hist[kSysCount];
   LogHistogram block_hist;
+
+  // Observability-pipeline accounting: binary trace streaming (--trace-bin),
+  // flight-recorder postmortem bundles and metrics sampling. Host-side
+  // only -- none of these charge virtual time -- and surfaced through the
+  // schema-2 stats JSON so runs can audit their own instrumentation cost.
+  uint64_t trace_bin_chunks = 0;  // FBT chunks sealed by the stream writer
+  uint64_t trace_bin_bytes = 0;   // FBT bytes written (header + chunks)
+  uint64_t flight_dumps = 0;      // postmortem bundles written
+  uint64_t metrics_samples = 0;   // time-series rows appended
 
   void RecordProbe(Time when, Time latency) {
     (void)when;

@@ -143,8 +143,10 @@ std::vector<SyscallDef> BuildTable() {
   add(kSysIpcReplyWaitReceive, SysCat::kMultiStage, SysIpcEngine);
   add(kSysIpcExceptionSend, SysCat::kMultiStage, SysIpcEngine);
 
-  // Fast-path wiring (dispatch.cc consults `fast` only when instrumentation
-  // is disarmed): every trivial syscall completes through FastTrivial; the
+  // Fast-path wiring (dispatch.cc consults `fast` when instrumentation is
+  // disarmed or trace-only -- Kernel::TraceOnlyInstrumentation; the injector
+  // and checkpointer are the slow-path forcers): every trivial syscall
+  // completes through FastTrivial; the
   // six reliable-IPC send entrypoints may take the direct-handoff path.
   for (auto& d : defs) {
     if (d.cat == SysCat::kTrivial) {

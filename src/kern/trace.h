@@ -16,13 +16,22 @@
 //
 // Off by default and costless when off: every entry point checks enabled_
 // first, and the dispatcher only reaches the hook sites at all in its
-// Instrumented instantiation (see dispatch.cc). Enabling the trace forces
-// the slow path, which is what makes the event stream bit-identical across
-// both interpreter engines and fast-path on/off -- tests assert equality of
-// the FNV-1a digest over the stream (src/kern/profile.h).
+// Instrumented instantiation (see dispatch.cc). Tracing alone does NOT
+// force the coroutine slow path: the fast-path handlers carry the same
+// span/flow hooks as the engine route, so a trace-only armed run keeps the
+// direct-handoff and trivial-completion fast paths (what makes the stream
+// affordable at c1m scale). Fault plans and checkpointing still force the
+// slow path. The stream is bit-identical across both interpreter engines
+// and across serial/parallel MP backends -- tests assert equality of the
+// FNV-1a digest over the stream (src/kern/profile.h).
 //
-// The fluke_run CLI exposes the tracer as --trace (human-readable Dump())
-// and --trace-out=FILE (Chrome/Perfetto JSON, src/kern/trace_export.h).
+// An optional TraceSink observes every pushed event in stream order; the
+// binary writer (src/kern/trace_binary.h) attaches here so a full-fidelity
+// stream can outlive the ring on c1m-scale runs.
+//
+// The fluke_run CLI exposes the tracer as --trace (human-readable Dump()),
+// --trace-out=FILE (Chrome/Perfetto JSON, src/kern/trace_export.h) and
+// --trace-bin=FILE (compact binary, src/kern/trace_binary.h).
 
 #ifndef SRC_KERN_TRACE_H_
 #define SRC_KERN_TRACE_H_
@@ -83,6 +92,14 @@ struct TraceEvent {
   uint32_t b = 0;  // kind-specific: result, block kind, ...
 };
 
+// Observes every event pushed into an enabled TraceBuffer, in stream order
+// (exactly the order and fields the ring stores, before any wrap loss).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& e) = 0;
+};
+
 class TraceBuffer {
  public:
   explicit TraceBuffer(size_t capacity = 4096) { SetCapacity(capacity); }
@@ -126,6 +143,8 @@ class TraceBuffer {
 
   // Causal link: emits a FlowOut on `from_tid` and a FlowIn on `to_tid` at
   // the same timestamp with a shared flow id. Returns the id (0 when off).
+  // `a` carries a kind-specific flag on both halves (the kernel passes 1
+  // when the wake crosses CPUs, 0 otherwise -- see Kernel::TraceFlowTo).
   uint64_t Flow(Time when, uint64_t from_tid, uint64_t to_tid, uint32_t a = 0) {
     if (!enabled_) {
       return 0;
@@ -155,6 +174,12 @@ class TraceBuffer {
   // Renders the snapshot as one line per event.
   std::string Dump() const;
 
+  // Attaches a sink that sees every pushed event (nullptr detaches). The
+  // sink outlives ring truncation, so a streaming writer loses nothing even
+  // with a small ring.
+  void SetSink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
+
  private:
   void Push(Time when, TraceKind kind, TracePhase phase, uint64_t span_id, uint64_t tid,
             uint32_t a, uint32_t b) {
@@ -165,11 +190,15 @@ class TraceBuffer {
       events_[next_ & mask_] = e;
     }
     ++next_;
+    if (sink_ != nullptr) {
+      sink_->OnEvent(e);
+    }
   }
 
   size_t capacity_ = 0;
   size_t mask_ = 0;
   bool enabled_ = false;
+  TraceSink* sink_ = nullptr;
   std::vector<TraceEvent> events_;
   uint64_t next_ = 0;
   uint64_t last_span_id_ = 0;

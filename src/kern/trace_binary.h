@@ -1,0 +1,185 @@
+// Compact binary trace format ("FBT"): the full-fidelity event stream at
+// c1m scale.
+//
+// The JSON exporter renders the ring snapshot, so a 100k-thread or MP run
+// either drops events or pays for a gigantic ring plus ~100 bytes of text
+// per event. This writer instead streams every pushed event (attached as
+// the TraceBuffer's sink) into varint-packed records, so the on-disk cost
+// is a few bytes per event and the ring can stay small. The existing JSON
+// tooling keeps working through the converter (ConvertToChromeJson /
+// tools/trace_convert), which reproduces trace_export output byte for byte.
+//
+// Wire format (all integers little-endian or LEB128 varints):
+//
+//   file   := magic "FBT1" | u8 version(=1) | u8 reserved[3] | chunk*
+//   chunk  := u8 type | u32 count | u32 payload_len | u32 crc32(payload)
+//             | payload[payload_len]
+//
+//   type 'S' (string table, once, first): count interned entries, each
+//            varint id | varint len | bytes. Ids 0..N are TraceKind names;
+//            0x100+sys are syscall names. Self-describing: a reader needs
+//            no kernel headers to render names.
+//   type 'E' (events): count events, group-varint packed. Per event:
+//            u8     kind | phase<<5
+//            u16le  desc         (five 3-bit length codes, LSB-first:
+//                                 delta_when, thread_id, span_id, a, b;
+//                                 code 0..6 = that many bytes, 7 = 8 bytes)
+//            then the five fields back to back, each little-endian,
+//            truncated to its coded length:
+//              delta_when  (vs previous event in chunk; first is absolute --
+//                           the encoder resets at chunk boundaries so chunks
+//                           decode standalone)
+//              thread_id
+//              span_id     (0 for instants)
+//              a
+//              b
+//            The length prefix lives in a fixed-size descriptor instead of
+//            LEB128 continuation bits so the encoder is branch-free on the
+//            tracing hot path; a typical event is ~8-10 bytes either way.
+//   type 'M' (trailer metadata, once, last): count thread-name entries.
+//            varint end_ns | varint total_recorded | varint dropped, then
+//            per thread varint tid | varint len | bytes.
+//
+// Every chunk carries its own CRC-32 (IEEE, the ckpt_image polynomial) so a
+// truncated or corrupt postmortem bundle fails loudly at the damaged chunk
+// instead of decoding garbage.
+
+#ifndef SRC_KERN_TRACE_BINARY_H_
+#define SRC_KERN_TRACE_BINARY_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/kern/trace.h"
+
+namespace fluke {
+
+class Kernel;
+
+// --- Streaming writer -------------------------------------------------------
+
+class TraceBinaryWriter : public TraceSink {
+ public:
+  TraceBinaryWriter() = default;
+  ~TraceBinaryWriter() override;
+  TraceBinaryWriter(const TraceBinaryWriter&) = delete;
+  TraceBinaryWriter& operator=(const TraceBinaryWriter&) = delete;
+
+  // Opens `path`, writes the file header and the string-table chunk.
+  bool Open(const std::string& path);
+
+  // Appends one event to the current chunk; seals and writes the chunk when
+  // it reaches the target size. This is the hot path: five branch-free
+  // group-varint field stores into a preallocated buffer.
+  void OnEvent(const TraceEvent& e) override {
+    if (buf_used_ + kMaxEventBytes > kChunkBytes) {
+      SealChunk();
+    }
+    uint8_t* const base = buf_ + buf_used_;
+    base[0] = static_cast<uint8_t>(static_cast<uint8_t>(e.kind) |
+                                   (static_cast<uint8_t>(e.phase) << 5));
+    uint32_t desc = 0;
+    uint8_t* q = base + 3;
+    q = PutField(q, e.when - prev_when_, &desc, 0);
+    prev_when_ = e.when;
+    q = PutField(q, e.thread_id, &desc, 3);
+    q = PutField(q, e.span_id, &desc, 6);
+    q = PutField(q, e.a, &desc, 9);
+    q = PutField(q, e.b, &desc, 12);
+    base[1] = static_cast<uint8_t>(desc);
+    base[2] = static_cast<uint8_t>(desc >> 8);
+    buf_used_ = static_cast<size_t>(q - buf_);
+    ++chunk_count_;
+    ++events_written_;
+  }
+
+  // Seals the final event chunk, writes the metadata trailer and closes the
+  // file. `thread_names` are (tid, name) pairs for the converter's thread
+  // metadata; `end_ns`/`total`/`dropped` mirror ExportChromeTrace's inputs.
+  bool Finish(Time end_ns, uint64_t total, uint64_t dropped,
+              const std::vector<std::pair<uint64_t, std::string>>& thread_names);
+
+  bool open() const { return f_ != nullptr; }
+  uint64_t events_written() const { return events_written_; }
+  uint64_t chunks_written() const { return chunks_written_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  // Group-varint field store: writes all 8 little-endian bytes of `v`
+  // unconditionally (kMaxEventBytes guarantees headroom), records the value's
+  // minimal byte length as a 3-bit code at `shift` in *desc, and advances by
+  // that length. Length 7 is never coded -- code 7 means 8 bytes -- so the
+  // decoder's mapping is `len = code == 7 ? 8 : code`. No branches, no
+  // per-byte continuation loop.
+  static uint8_t* PutField(uint8_t* q, uint64_t v, uint32_t* desc, int shift) {
+    q[0] = static_cast<uint8_t>(v);
+    q[1] = static_cast<uint8_t>(v >> 8);
+    q[2] = static_cast<uint8_t>(v >> 16);
+    q[3] = static_cast<uint8_t>(v >> 24);
+    q[4] = static_cast<uint8_t>(v >> 32);
+    q[5] = static_cast<uint8_t>(v >> 40);
+    q[6] = static_cast<uint8_t>(v >> 48);
+    q[7] = static_cast<uint8_t>(v >> 56);
+    const unsigned bytes = (static_cast<unsigned>(std::bit_width(v)) + 7u) >> 3;  // 0..8
+    const unsigned code = bytes < 7u ? bytes : 7u;
+    *desc |= code << shift;
+    return q + (bytes < 7u ? bytes : 8u);
+  }
+
+ private:
+  // 1 packed byte + 2 descriptor bytes + 5 fields at <=8 bytes each (43),
+  // rounded up. The encoder's unconditional 8-byte stores may overshoot the
+  // consumed length by up to 7 bytes; this headroom covers that too.
+  static constexpr size_t kMaxEventBytes = 64;
+  static constexpr size_t kChunkBytes = 64 * 1024;
+
+  void SealChunk();
+  void WriteChunk(uint8_t type, uint32_t count, const uint8_t* payload, size_t len);
+
+  std::FILE* f_ = nullptr;
+  uint8_t buf_[kChunkBytes];
+  size_t buf_used_ = 0;
+  uint32_t chunk_count_ = 0;
+  Time prev_when_ = 0;
+  uint64_t events_written_ = 0;
+  uint64_t chunks_written_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+// --- Reader -----------------------------------------------------------------
+
+struct TraceBinaryData {
+  std::vector<TraceEvent> events;
+  std::map<uint64_t, std::string> strings;  // interned id -> name
+  std::vector<std::pair<uint64_t, std::string>> thread_names;
+  Time end_ns = 0;
+  uint64_t total_recorded = 0;
+  uint64_t dropped = 0;
+  bool has_trailer = false;
+};
+
+// Parses an FBT file. Returns false and sets `error` on malformed input
+// (bad magic/version, truncated chunk, CRC mismatch, varint overrun).
+bool ReadTraceBinary(const std::string& path, TraceBinaryData* out, std::string* error);
+
+// Renders a parsed FBT file as the exact Chrome/Perfetto JSON that
+// --trace-out would have produced for the same events (byte-identical when
+// the ring did not drop: the digest-equality CI leg relies on this).
+std::string ConvertToChromeJson(const TraceBinaryData& data);
+
+// One-call convenience for postmortem bundles: writes header, string table,
+// a snapshot's events and the trailer to `path`.
+bool WriteTraceBinarySnapshot(const std::string& path, const std::vector<TraceEvent>& events,
+                              Time end_ns, uint64_t total, uint64_t dropped,
+                              const std::vector<std::pair<uint64_t, std::string>>& thread_names);
+
+// The kernel's thread list rendered the way trace_export names threads
+// ("name#id"), for writers that stream from a live kernel.
+std::vector<std::pair<uint64_t, std::string>> TraceThreadNames(const Kernel& k);
+
+}  // namespace fluke
+
+#endif  // SRC_KERN_TRACE_BINARY_H_

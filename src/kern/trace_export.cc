@@ -1,5 +1,6 @@
 #include "src/kern/trace_export.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <unordered_map>
@@ -157,9 +158,20 @@ std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
     }
   }
 
-  // Close spans still open at the end of the snapshot so every B has an E.
+  // Close spans still open at the end of the snapshot so every B has an E:
+  // tids in ascending order (the map iterates in hash order, which would
+  // make the export nondeterministic), spans in reverse-begin order per tid
+  // (Perfetto rejects interleaved E events).
   const Time close_at = end_ns >= last_ts ? end_ns : last_ts;
-  for (auto& [tid, stack] : open) {
+  std::vector<uint64_t> open_tids;
+  for (const auto& [tid, stack] : open) {
+    if (!stack.empty()) {
+      open_tids.push_back(tid);
+    }
+  }
+  std::sort(open_tids.begin(), open_tids.end());
+  for (const uint64_t tid : open_tids) {
+    auto& stack = open[tid];
     while (!stack.empty()) {
       Line(&lines,
            "{\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":%llu,\"cat\":\"kernel\","

@@ -6,6 +6,7 @@
 
 #include "src/api/ulib.h"
 #include "src/kern/inspect.h"
+#include "src/kern/trace_binary.h"
 
 namespace fluke {
 
@@ -16,11 +17,19 @@ namespace {
 // quiesce or left no finished thread.
 bool RunOnce(const KernelConfig& base_cfg, const FaultPlan& plan, const ProgramRef& prog,
              uint32_t anon_base, uint32_t anon_size, Time max_time, ProgramRegistry* registry,
-             AuditSnapshot* out, uint64_t* boundaries, uint64_t* extractions,
-             uint64_t* restart_audits, std::string* dump, std::string* why) {
+             size_t flight_events, AuditFlight* flight, AuditSnapshot* out, uint64_t* boundaries,
+             uint64_t* extractions, uint64_t* restart_audits, std::string* dump,
+             std::string* why) {
   KernelConfig cfg = base_cfg;
   cfg.fault_plan = plan;
   Kernel k(cfg, registry);
+  if (flight_events != 0) {
+    // Flight ring for the postmortem bundle. The armed injector already
+    // forces the instrumented slow path, so turning the tracer on changes
+    // nothing the oracle compares (tracing is host-side).
+    k.trace.SetCapacity(flight_events);
+    k.trace.Enable();
+  }
   auto space = k.CreateSpace("audit");
   space->SetAnonRange(anon_base, anon_size);
   space->program = prog;
@@ -29,6 +38,16 @@ bool RunOnce(const KernelConfig& base_cfg, const FaultPlan& plan, const ProgramR
   k.finj.Arm();
 
   const bool quiesced = k.RunUntilQuiescent(max_time);
+  if (flight != nullptr && flight_events != 0) {
+    flight->captured = true;
+    flight->events = k.trace.Snapshot();
+    flight->end_ns = k.clock.now();
+    flight->total = k.trace.total_recorded();
+    flight->dropped = k.trace.dropped();
+    flight->thread_names = TraceThreadNames(k);
+    ++k.stats.flight_dumps;  // the bundle's stats self-report the capture
+    flight->stats_json = StatsJson(k);
+  }
   if (boundaries != nullptr) {
     *boundaries = k.finj.dispatch_boundaries();
   }
@@ -206,7 +225,8 @@ ProgramRef BuildAuditProgram(uint32_t anon_base) {
 }
 
 AuditResult RunAtomicityAudit(const KernelConfig& base_cfg, const ProgramRef& prog,
-                              uint32_t anon_base, uint32_t anon_size, Time max_time) {
+                              uint32_t anon_base, uint32_t anon_size, Time max_time,
+                              size_t flight_events) {
   AuditResult result;
   ProgramRegistry registry;
   registry.Register(prog);
@@ -216,8 +236,8 @@ AuditResult RunAtomicityAudit(const KernelConfig& base_cfg, const ProgramRef& pr
   golden_plan.single_step = true;
   AuditSnapshot golden;
   std::string why;
-  if (!RunOnce(base_cfg, golden_plan, prog, anon_base, anon_size, max_time, &registry, &golden,
-               &result.boundaries, nullptr, nullptr, nullptr, &why)) {
+  if (!RunOnce(base_cfg, golden_plan, prog, anon_base, anon_size, max_time, &registry, 0, nullptr,
+               &golden, &result.boundaries, nullptr, nullptr, nullptr, &why)) {
     result.error = "golden run failed: " + why;
     return result;
   }
@@ -233,14 +253,16 @@ AuditResult RunAtomicityAudit(const KernelConfig& base_cfg, const ProgramRef& pr
     uint64_t extractions = 0;
     uint64_t audits = 0;
     std::string dump;
+    AuditFlight flight;
     char buf[128];
-    if (!RunOnce(base_cfg, plan, prog, anon_base, anon_size, max_time, &registry, &got, nullptr,
-                 &extractions, &audits, &dump, &why)) {
+    if (!RunOnce(base_cfg, plan, prog, anon_base, anon_size, max_time, &registry, flight_events,
+                 &flight, &got, nullptr, &extractions, &audits, &dump, &why)) {
       std::snprintf(buf, sizeof(buf), "extraction at boundary %llu: ",
                     static_cast<unsigned long long>(b));
       result.failed_boundary = b;
       result.error = buf + why;
       result.divergent_dump = std::move(dump);
+      result.flight = std::move(flight);
       return result;
     }
     if (extractions != 1 || audits != 1) {
@@ -252,6 +274,7 @@ AuditResult RunAtomicityAudit(const KernelConfig& base_cfg, const ProgramRef& pr
       result.failed_boundary = b;
       result.error = buf;
       result.divergent_dump = std::move(dump);
+      result.flight = std::move(flight);
       return result;
     }
     if (!(got == golden)) {
@@ -260,6 +283,7 @@ AuditResult RunAtomicityAudit(const KernelConfig& base_cfg, const ProgramRef& pr
       result.failed_boundary = b;
       result.error = buf + DescribeDivergence(golden, got);
       result.divergent_dump = std::move(dump);
+      result.flight = std::move(flight);
       return result;
     }
     ++result.audited;

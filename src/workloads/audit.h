@@ -48,6 +48,23 @@ struct AuditSnapshot {
   bool operator==(const AuditSnapshot&) const = default;
 };
 
+// Flight-recorder capture of a diverging run: the last `flight_events`
+// trace events plus the full stats snapshot, carried out of the sweep so
+// the caller can write a postmortem bundle. Captured only when the audit
+// was invoked with flight_events != 0 and a sweep run failed -- tracing
+// inside the sweep is host-side (the injector is armed, so the swept
+// kernels already run the instrumented slow path) and cannot perturb the
+// audited virtual-time behavior.
+struct AuditFlight {
+  bool captured = false;
+  std::vector<TraceEvent> events;
+  Time end_ns = 0;
+  uint64_t total = 0;
+  uint64_t dropped = 0;
+  std::vector<std::pair<uint64_t, std::string>> thread_names;
+  std::string stats_json;
+};
+
 struct AuditResult {
   bool ok = false;
   uint64_t boundaries = 0;       // dispatch boundaries in the golden run
@@ -55,6 +72,7 @@ struct AuditResult {
   uint64_t failed_boundary = 0;  // first diverging boundary (when !ok)
   std::string error;             // human-readable failure description
   std::string divergent_dump;    // DumpKernel of the diverging run
+  AuditFlight flight;            // postmortem capture of the diverging run
 };
 
 // Builds the audit workload: a deterministic single-threaded program of
@@ -65,10 +83,14 @@ struct AuditResult {
 ProgramRef BuildAuditProgram(uint32_t anon_base);
 
 // Runs the full sweep described above for one kernel configuration.
-// `max_time` bounds each individual run in virtual time.
+// `max_time` bounds each individual run in virtual time. `flight_events`
+// != 0 arms a flight-recorder ring of that many events inside every swept
+// kernel; on divergence the diverging run's capture lands in
+// AuditResult::flight.
 AuditResult RunAtomicityAudit(const KernelConfig& base_cfg, const ProgramRef& prog,
                               uint32_t anon_base, uint32_t anon_size,
-                              Time max_time = 60ull * 1000 * 1000 * 1000);
+                              Time max_time = 60ull * 1000 * 1000 * 1000,
+                              size_t flight_events = 0);
 
 }  // namespace fluke
 

@@ -1,0 +1,345 @@
+// Compact binary trace (FBT) tests: snapshot round-trip, varint edge
+// values, streaming-sink fidelity past ring truncation, byte-identical
+// JSON conversion, CRC / truncation / magic failure modes, and the
+// postmortem flight bundle captured when the atomicity audit diverges.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/kern/trace_binary.h"
+#include "src/kern/trace_export.h"
+#include "src/workloads/audit.h"
+#include "tests/test_util.h"
+
+namespace fluke {
+namespace {
+
+std::string TmpPath(const std::string& name) { return testing::TempDir() + name; }
+
+std::vector<uint8_t> Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void Spit(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void ExpectSameEvents(const std::vector<TraceEvent>& got, const std::vector<TraceEvent>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].when, want[i].when) << "event " << i;
+    EXPECT_EQ(got[i].span_id, want[i].span_id) << "event " << i;
+    EXPECT_EQ(got[i].thread_id, want[i].thread_id) << "event " << i;
+    EXPECT_EQ(got[i].kind, want[i].kind) << "event " << i;
+    EXPECT_EQ(got[i].phase, want[i].phase) << "event " << i;
+    EXPECT_EQ(got[i].a, want[i].a) << "event " << i;
+    EXPECT_EQ(got[i].b, want[i].b) << "event " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip and encoding edges.
+// ---------------------------------------------------------------------------
+
+TEST(TraceBinary, SnapshotRoundTripPreservesEverything) {
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent{100, 1, 7, TraceKind::kSyscallEnter, TracePhase::kBegin, kSysNull, 0});
+  events.push_back(TraceEvent{150, 0, 7, TraceKind::kIpcChunk, TracePhase::kInstant, 16, 0});
+  events.push_back(TraceEvent{150, 3, 7, TraceKind::kIpcFlow, TracePhase::kFlowOut, 1, 0});
+  events.push_back(TraceEvent{150, 3, 9, TraceKind::kIpcFlow, TracePhase::kFlowIn, 1, 0});
+  events.push_back(
+      TraceEvent{200, 1, 7, TraceKind::kSyscallExit, TracePhase::kEnd, kSysNull, kFlukeOk});
+  const std::vector<std::pair<uint64_t, std::string>> names = {{7, "client#7"}, {9, "server#9"}};
+
+  const std::string path = TmpPath("fbt_roundtrip.fbt");
+  ASSERT_TRUE(WriteTraceBinarySnapshot(path, events, /*end_ns=*/300, /*total=*/5,
+                                       /*dropped=*/0, names));
+  TraceBinaryData data;
+  std::string error;
+  ASSERT_TRUE(ReadTraceBinary(path, &data, &error)) << error;
+  ExpectSameEvents(data.events, events);
+  EXPECT_EQ(data.end_ns, 300u);
+  EXPECT_EQ(data.total_recorded, 5u);
+  EXPECT_EQ(data.dropped, 0u);
+  EXPECT_TRUE(data.has_trailer);
+  ASSERT_EQ(data.thread_names.size(), 2u);
+  EXPECT_EQ(data.thread_names[0].second, "client#7");
+  // The string table is self-describing: kind names and syscall names are
+  // interned so a reader needs no kernel headers.
+  EXPECT_EQ(data.strings.at(0), std::string(TraceKindName(TraceKind::kSyscallEnter)));
+  EXPECT_FALSE(data.strings.at(0x100 + kSysNull).empty());
+}
+
+TEST(TraceBinary, VarintEdgeValuesSurvive) {
+  // Max-width fields: 5-byte u32 varints, 9-10 byte u64 varints, and a
+  // zero-delta timestamp pair.
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent{0, 0, 0, TraceKind::kIdle, TracePhase::kInstant, 0, 0});
+  events.push_back(TraceEvent{0, uint64_t{1} << 63, uint64_t{1} << 62, TraceKind::kCkptSave,
+                              TracePhase::kBegin, 0xFFFFFFFFu, 0xFFFFFFFFu});
+  events.push_back(TraceEvent{uint64_t{1} << 61, 127, 128, TraceKind::kWake, TracePhase::kEnd,
+                              0x80u, 0x7Fu});
+  const std::string path = TmpPath("fbt_varint.fbt");
+  ASSERT_TRUE(WriteTraceBinarySnapshot(path, events, uint64_t{1} << 61, 3, 0, {}));
+  TraceBinaryData data;
+  std::string error;
+  ASSERT_TRUE(ReadTraceBinary(path, &data, &error)) << error;
+  ExpectSameEvents(data.events, events);
+  EXPECT_EQ(data.end_ns, uint64_t{1} << 61);
+}
+
+TEST(TraceBinary, LargeStreamSpansManyChunksAndStaysExact) {
+  // ~20k events overflow several 64KB chunks; the per-chunk delta reset
+  // must keep timestamps exact across every seal boundary.
+  std::vector<TraceEvent> events;
+  events.reserve(20000);
+  for (uint32_t i = 0; i < 20000; ++i) {
+    events.push_back(TraceEvent{uint64_t{i} * 37, i, i % 11, TraceKind::kContextSwitch,
+                                TracePhase::kInstant, i * 3, i * 7});
+  }
+  const std::string path = TmpPath("fbt_chunks.fbt");
+  ASSERT_TRUE(WriteTraceBinarySnapshot(path, events, 20000 * 37, events.size(), 0, {}));
+  TraceBinaryData data;
+  std::string error;
+  ASSERT_TRUE(ReadTraceBinary(path, &data, &error)) << error;
+  ExpectSameEvents(data.events, events);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sink on a live kernel.
+// ---------------------------------------------------------------------------
+
+// A small syscall-dense program: mutex chain, a fault, a sleep.
+ProgramRef BusyProgram() {
+  Assembler a("busy");
+  EmitSys(a, kSysMutexCreate);
+  EmitSys(a, kSysMutexTrylock);
+  EmitSys(a, kSysMutexUnlock);
+  a.MovImm(kRegB, SimpleWorld::kAnonBase + 0x3000);
+  a.StoreW(kRegB, kRegB, 0);  // first touch: zero-fill fault
+  EmitSys(a, kSysClockSleep, 20);
+  EmitSys(a, kSysNull);
+  a.MovImm(kRegB, 0);
+  a.Halt();
+  return a.Build();
+}
+
+TEST(TraceBinary, StreamingSinkMatchesRingSnapshot) {
+  SimpleWorld w;
+  w.kernel.trace.SetCapacity(size_t{1} << 16);
+  w.kernel.trace.Enable();
+  TraceBinaryWriter writer;
+  const std::string path = TmpPath("fbt_live.fbt");
+  ASSERT_TRUE(writer.Open(path));
+  w.kernel.trace.SetSink(&writer);
+  w.Spawn(BusyProgram());
+  w.RunAll();
+  w.kernel.trace.SetSink(nullptr);
+  ASSERT_TRUE(writer.Finish(w.kernel.clock.now(), w.kernel.trace.total_recorded(),
+                            w.kernel.trace.dropped(), TraceThreadNames(w.kernel)));
+
+  TraceBinaryData data;
+  std::string error;
+  ASSERT_TRUE(ReadTraceBinary(path, &data, &error)) << error;
+  EXPECT_EQ(data.events.size(), writer.events_written());
+  ExpectSameEvents(data.events, w.kernel.trace.Snapshot());  // nothing dropped: streams agree
+}
+
+TEST(TraceBinary, SinkOutlivesRingTruncation) {
+  // A 16-slot ring drops heavily; the sink still captures the full stream.
+  SimpleWorld w;
+  w.kernel.trace.SetCapacity(16);
+  w.kernel.trace.Enable();
+  TraceBinaryWriter writer;
+  const std::string path = TmpPath("fbt_tiny_ring.fbt");
+  ASSERT_TRUE(writer.Open(path));
+  w.kernel.trace.SetSink(&writer);
+  w.Spawn(BusyProgram());
+  w.RunAll();
+  w.kernel.trace.SetSink(nullptr);
+  const uint64_t total = w.kernel.trace.total_recorded();
+  ASSERT_GT(w.kernel.trace.dropped(), 0u);
+  ASSERT_TRUE(writer.Finish(w.kernel.clock.now(), total, w.kernel.trace.dropped(),
+                            TraceThreadNames(w.kernel)));
+
+  TraceBinaryData data;
+  std::string error;
+  ASSERT_TRUE(ReadTraceBinary(path, &data, &error)) << error;
+  EXPECT_EQ(data.events.size(), total);  // every event, not just the ring's tail
+  EXPECT_EQ(data.total_recorded, total);
+  EXPECT_GT(data.dropped, 0u);
+}
+
+TEST(TraceBinary, ConversionIsByteIdenticalToDirectExport) {
+  SimpleWorld w;
+  w.kernel.trace.SetCapacity(size_t{1} << 16);
+  w.kernel.trace.Enable();
+  w.Spawn(BusyProgram());
+  w.RunAll();
+
+  const auto events = w.kernel.trace.Snapshot();
+  const auto names = TraceThreadNames(w.kernel);
+  const Time end = w.kernel.clock.now();
+  const std::string path = TmpPath("fbt_convert.fbt");
+  ASSERT_TRUE(WriteTraceBinarySnapshot(path, events, end, w.kernel.trace.total_recorded(),
+                                       w.kernel.trace.dropped(), names));
+  TraceBinaryData data;
+  std::string error;
+  ASSERT_TRUE(ReadTraceBinary(path, &data, &error)) << error;
+  EXPECT_EQ(ConvertToChromeJson(data), ExportChromeTrace(events, names, 0, end));
+}
+
+// ---------------------------------------------------------------------------
+// Failure modes: every damaged bundle fails loudly.
+// ---------------------------------------------------------------------------
+
+TEST(TraceBinary, CorruptChunkPayloadFailsWithCrcError) {
+  const std::string path = TmpPath("fbt_crc.fbt");
+  std::vector<TraceEvent> events = {
+      TraceEvent{5, 1, 2, TraceKind::kBlock, TracePhase::kBegin, 0, 0}};
+  ASSERT_TRUE(WriteTraceBinarySnapshot(path, events, 10, 1, 0, {}));
+  std::vector<uint8_t> bytes = Slurp(path);
+  ASSERT_GT(bytes.size(), 25u);
+  bytes[8 + 13] ^= 0xFF;  // first payload byte of the string-table chunk
+  Spit(path, bytes);
+
+  TraceBinaryData data;
+  std::string error;
+  EXPECT_FALSE(ReadTraceBinary(path, &data, &error));
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+}
+
+TEST(TraceBinary, TruncatedFileFailsLoudly) {
+  const std::string path = TmpPath("fbt_trunc.fbt");
+  std::vector<TraceEvent> events = {
+      TraceEvent{5, 1, 2, TraceKind::kBlock, TracePhase::kBegin, 0, 0}};
+  ASSERT_TRUE(WriteTraceBinarySnapshot(path, events, 10, 1, 0, {{2, "t#2"}}));
+  std::vector<uint8_t> bytes = Slurp(path);
+  ASSERT_GT(bytes.size(), 10u);
+  bytes.resize(bytes.size() - 10);  // lop off the trailer's tail
+  Spit(path, bytes);
+
+  TraceBinaryData data;
+  std::string error;
+  EXPECT_FALSE(ReadTraceBinary(path, &data, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(TraceBinary, NonFbtFileFailsOnMagic) {
+  const std::string path = TmpPath("fbt_magic.fbt");
+  Spit(path, {'{', '"', 't', 'r', 'a', 'c', 'e', '"'});
+  TraceBinaryData data;
+  std::string error;
+  EXPECT_FALSE(ReadTraceBinary(path, &data, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// The flight bundle on a real audit divergence.
+// ---------------------------------------------------------------------------
+
+// A program engineered to break the audit oracle: it spawns a worker
+// thread, so the oracle's lineage-final assumption (threads().back() is the
+// audited thread's lineage) holds in the golden run (back() == worker) but
+// not in a swept run that extracts MAIN after the spawn -- the successor
+// main is appended after the worker, back() flips, and the compared
+// registers/exit code diverge deterministically. That is exactly the
+// "kernel state diverged" shape the flight recorder exists for.
+ProgramRef SpawnerProgram(uint32_t state_buf) {
+  Assembler a("spawner");
+  const auto main_entry = a.NewLabel();
+  a.Jmp(main_entry);
+  const uint32_t worker_pc = a.Here();
+  a.MovImm(kRegB, 55);
+  a.Halt();
+  a.Bind(main_entry);
+  EmitSys(a, kSysSpaceSelf);           // B = own space handle
+  a.MovImm(kRegA, kSysThreadCreate);   // embryo thread in B's space
+  a.Syscall();
+  a.Mov(kRegDI, kRegB);                // DI = worker handle
+  // ThreadState: 12 words, all zero except pc (offset 32) and priority
+  // (offset 44).
+  a.MovImm(kRegC, state_buf);
+  a.MovImm(kRegD, 0);
+  for (int i = 0; i < 12; ++i) {
+    a.StoreW(kRegD, kRegC, 4 * i);
+  }
+  a.MovImm(kRegD, worker_pc);
+  a.StoreW(kRegD, kRegC, 32);
+  a.MovImm(kRegD, 5);
+  a.StoreW(kRegD, kRegC, 44);
+  a.Mov(kRegB, kRegDI);
+  a.MovImm(kRegD, 12);
+  a.MovImm(kRegA, kSysThreadSetState);
+  a.Syscall();
+  a.Mov(kRegB, kRegDI);
+  a.MovImm(kRegA, kSysThreadResume);
+  a.Syscall();
+  a.Mov(kRegB, kRegDI);
+  a.MovImm(kRegA, kSysThreadJoin);
+  a.Syscall();  // B = worker exit code (55) -> main's exit code
+  a.Halt();
+  return a.Build();
+}
+
+TEST(FlightRecorder, AuditDivergenceCapturesAPostmortemBundle) {
+  const uint32_t anon_base = 0x10000;
+  const AuditResult r = RunAtomicityAudit(KernelConfig{}, SpawnerProgram(anon_base + 0x100),
+                                          anon_base, 1 << 20, 60ull * 1000 * kNsPerMs,
+                                          /*flight_events=*/4096);
+  ASSERT_FALSE(r.ok) << "spawner program was expected to defeat the audit oracle";
+  EXPECT_FALSE(r.error.empty());
+
+  // The failing sweep run carried a flight ring; the bundle must be whole.
+  ASSERT_TRUE(r.flight.captured);
+  EXPECT_FALSE(r.flight.events.empty());
+  EXPECT_GT(r.flight.total, 0u);
+  EXPECT_FALSE(r.flight.thread_names.empty());
+  EXPECT_NE(r.flight.stats_json.find("\"schema\": 2"), std::string::npos);
+  EXPECT_NE(r.flight.stats_json.find("\"flight_dumps\": 1"), std::string::npos);
+
+  // Write the bundle the way fluke_run does and prove it round-trips and
+  // converts to the exact JSON a direct export would give.
+  const std::string path = TmpPath("flight_bundle.fbt");
+  ASSERT_TRUE(WriteTraceBinarySnapshot(path, r.flight.events, r.flight.end_ns, r.flight.total,
+                                       r.flight.dropped, r.flight.thread_names));
+  TraceBinaryData data;
+  std::string error;
+  ASSERT_TRUE(ReadTraceBinary(path, &data, &error)) << error;
+  ExpectSameEvents(data.events, r.flight.events);
+  EXPECT_EQ(ConvertToChromeJson(data),
+            ExportChromeTrace(r.flight.events, r.flight.thread_names, r.flight.dropped,
+                              r.flight.end_ns));
+  // The trace holds real injector activity: the forced extraction instant.
+  bool saw_inject = false;
+  for (const TraceEvent& e : data.events) {
+    if (e.kind == TraceKind::kFaultInject) {
+      saw_inject = true;
+    }
+  }
+  EXPECT_TRUE(saw_inject);
+}
+
+// Contract: a disarmed run records nothing -- no events, no binary bytes
+// past the header/string-table, no histogram mutations.
+TEST(FlightRecorder, DisarmedRunObservesNothing) {
+  SimpleWorld w;
+  ASSERT_FALSE(w.kernel.trace.enabled());
+  w.Spawn(BusyProgram());
+  w.RunAll();
+  EXPECT_EQ(w.kernel.trace.total_recorded(), 0u);
+  EXPECT_EQ(w.kernel.stats.flight_dumps, 0u);
+  EXPECT_EQ(w.kernel.stats.trace_bin_chunks, 0u);
+  EXPECT_EQ(w.kernel.stats.trace_bin_bytes, 0u);
+  EXPECT_EQ(w.kernel.stats.metrics_samples, 0u);
+  EXPECT_TRUE(w.kernel.stats.block_hist.empty());
+}
+
+}  // namespace
+}  // namespace fluke

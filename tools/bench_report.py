@@ -40,7 +40,15 @@ PAPER_BENCHES = (
     "BM_InterpMemLoop",
     "BM_HardFaultRoundTrip",
     "BM_TraceOverhead",
+    "BM_TraceBinOverhead",
+    "BM_FlightRecorder",
 )
+
+# --stats-json schema versions this script knows how to distill. 1 is the
+# unversioned original (no "schema" key); 2 added the observability-pipeline
+# counters (trace_bin_*, flight_dumps, metrics_samples). Anything else is
+# rejected rather than silently mis-read.
+KNOWN_STATS_SCHEMAS = (1, 2)
 
 # BM_Interp*/N argument -> interpreter engine, mirroring BenchEngine() in
 # bench/microbench.cc. Snapshots carry this map plus per-benchmark engine
@@ -72,6 +80,13 @@ def distill_stats(path):
     """Distills a fluke_run --stats-json snapshot to the headline numbers."""
     with open(path) as f:
         s = json.load(f)
+    schema = s.get("schema", 1)
+    if schema not in KNOWN_STATS_SCHEMAS:
+        known = ", ".join(str(v) for v in KNOWN_STATS_SCHEMAS)
+        raise SystemExit(
+            f"{path}: unknown --stats-json schema {schema!r} (this script "
+            f"understands schemas {known}); refusing to distill counters "
+            f"whose meaning may have changed")
     out = {
         "virtual_time_ms": s.get("virtual_time_ns", 0) / 1e6,
         "syscalls": s.get("syscalls"),
@@ -88,6 +103,10 @@ def distill_stats(path):
         "jit_deopts": s.get("jit_deopts"),
         "jit_bytes": s.get("jit_bytes"),
     }
+    if schema >= 2:
+        for key in ("trace_bin_chunks", "trace_bin_bytes", "flight_dumps",
+                    "metrics_samples"):
+            out[key] = s.get(key)
     for hist in ("probe_hist", "block_hist"):
         h = s.get(hist) or {}
         if h.get("count"):
@@ -138,11 +157,13 @@ def distill(raw):
         # dispatcher, and the MP epoch/cross-CPU traffic that produced it),
         # and BM_CkptOverhead (generations committed, serial-pause p95, and
         # how often a user write beat the background drain to a marked page).
+        # ... and BM_TraceBinOverhead / BM_FlightRecorder (on-disk bytes per
+        # trace event, host ms to cut one postmortem bundle).
         for counter in ("bytes_per_thread", "wakeups_per_vsec",
                         "host_ms_per_run", "speedup_vs_1cpu",
                         "mp_epochs", "cross_cpu_ipc",
                         "ckpt_generations", "ckpt_pause_p95_ns",
-                        "ckpt_cow_saves"):
+                        "ckpt_cow_saves", "bytes_per_event", "bundle_ms"):
             if counter in b:
                 entry[counter] = b[counter]
         out.append(entry)

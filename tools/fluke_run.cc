@@ -26,8 +26,29 @@
 //   --trace                       dump the kernel event trace at exit
 //   --trace-out=FILE              write the trace as Chrome trace_event JSON
 //                                 (load in ui.perfetto.dev or chrome://tracing)
+//   --trace-bin=FILE              stream every trace event into the compact
+//                                 binary FBT format (a few bytes/event; see
+//                                 src/kern/trace_binary.h). Convert to the
+//                                 JSON form with tools/trace_convert. Cheap
+//                                 enough to stay armed at c1m scale
 //   --trace-cap=N                 trace ring capacity (rounded up to a power
 //                                 of two; default 1M events when tracing)
+//   --flight-recorder[=N]         keep the last N trace events (default 64Ki)
+//                                 in a ring; on a postmortem-worthy failure
+//                                 (injected crash freeze, recoverable panic,
+//                                 audit divergence, restore failure) dump
+//                                 them plus a stats snapshot as a bundle
+//   --flight-out=PREFIX           bundle path prefix (default "flight":
+//                                 flight.trace.fbt, flight.trace.json,
+//                                 flight.stats.json)
+//   --req-report                  stitch the trace's span + flow events into
+//                                 per-request causal paths and print the
+//                                 critical-path decomposition + tail table
+//                                 (rpc / c1m workloads)
+//   --metrics-out=FILE            append a counter snapshot row every
+//                                 --metrics-every ns of virtual time
+//                                 (.json or .csv by extension)
+//   --metrics-every=NS            metrics sampling interval (default 1ms)
 //   --profile                     fold the trace span stream into a per-class
 //                                 virtual-time profile table + stream digest
 //   --workload=rpc[:N]            run the built-in RPC ping-pong workload
@@ -76,7 +97,10 @@
 #include "src/api/ulib.h"
 #include "src/kern/kernel.h"
 #include "src/kern/inspect.h"
+#include "src/kern/metrics.h"
 #include "src/kern/profile.h"
+#include "src/kern/reqpath.h"
+#include "src/kern/trace_binary.h"
 #include "src/kern/trace_export.h"
 #include "src/uvm/asmparse.h"
 #include "src/workloads/apps.h"
@@ -94,7 +118,9 @@ int Usage() {
                "usage: fluke_run [--model=process|interrupt] [--preempt=np|pp|fp]\n"
                "                 [--engine=switch|threaded|jit] [--cpus=N] [--mp-serial]\n"
                "                 [--anon=BYTES] [--max-ms=N] [--paged] [--stats] [--trace] [--ps]\n"
-               "                 [--stats-json=FILE] [--trace-out=FILE] [--trace-cap=N]\n"
+               "                 [--stats-json=FILE] [--trace-out=FILE] [--trace-bin=FILE]\n"
+               "                 [--trace-cap=N] [--flight-recorder[=N]] [--flight-out=PREFIX]\n"
+               "                 [--req-report] [--metrics-out=FILE] [--metrics-every=NS]\n"
                "                 [--profile] [--workload=rpc[:N]] [--workload=c1m[:N]]\n"
                "                 [--fault-plan=SPEC] [--audit]\n"
                "                 [--ckpt-every=MS] [--ckpt-dir=DIR] [--ckpt-delta]\n"
@@ -111,6 +137,29 @@ bool WriteFile(const std::string& path, const std::string& content) {
   }
   out << content;
   return true;
+}
+
+// The flight-recorder postmortem bundle: the ring's last events in both
+// binary and JSON form plus the full stats snapshot, under one prefix.
+bool WriteFlightBundle(const std::string& prefix, const std::vector<TraceEvent>& events,
+                       Time end_ns, uint64_t total, uint64_t dropped,
+                       const std::vector<std::pair<uint64_t, std::string>>& thread_names,
+                       const std::string& stats_json) {
+  bool ok = WriteTraceBinarySnapshot(prefix + ".trace.fbt", events, end_ns, total, dropped,
+                                     thread_names);
+  if (!ok) {
+    std::fprintf(stderr, "fluke_run: cannot write '%s.trace.fbt'\n", prefix.c_str());
+  }
+  ok = WriteFile(prefix + ".trace.json", ExportChromeTrace(events, thread_names, dropped, end_ns)) &&
+       ok;
+  ok = WriteFile(prefix + ".stats.json", stats_json) && ok;
+  if (ok) {
+    std::fprintf(stderr,
+                 "fluke_run: flight recorder dumped %zu events to "
+                 "%s.{trace.fbt,trace.json,stats.json}\n",
+                 events.size(), prefix.c_str());
+  }
+  return ok;
 }
 
 // The built-in RPC ping-pong workload (the BM_RpcRoundTrip shape): a client
@@ -171,8 +220,14 @@ int Main(int argc, char** argv) {
   bool ps = false;
   bool audit = false;
   bool profile = false;
+  bool req_report = false;
   std::string trace_out;
+  std::string trace_bin;
   std::string stats_json;
+  std::string metrics_out;
+  uint64_t metrics_every_ns = kNsPerMs;
+  size_t flight_events = 0;  // 0 = flight recorder off
+  std::string flight_out = "flight";
   size_t trace_cap = 0;  // 0 = unset
   bool workload_rpc = false;
   uint32_t rpc_rounds = 200;
@@ -225,10 +280,24 @@ int Main(int argc, char** argv) {
       audit = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--req-report") {
+      req_report = true;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(12);
+    } else if (arg.rfind("--trace-bin=", 0) == 0) {
+      trace_bin = arg.substr(12);
     } else if (arg.rfind("--stats-json=", 0) == 0) {
       stats_json = arg.substr(13);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg.rfind("--metrics-every=", 0) == 0) {
+      metrics_every_ns = std::stoull(arg.substr(16), nullptr, 0);
+    } else if (arg == "--flight-recorder") {
+      flight_events = size_t{1} << 16;
+    } else if (arg.rfind("--flight-recorder=", 0) == 0) {
+      flight_events = std::stoull(arg.substr(18), nullptr, 0);
+    } else if (arg.rfind("--flight-out=", 0) == 0) {
+      flight_out = arg.substr(13);
     } else if (arg.rfind("--trace-cap=", 0) == 0) {
       trace_cap = std::stoull(arg.substr(12), nullptr, 0);
     } else if (arg.rfind("--workload=", 0) == 0) {
@@ -279,20 +348,30 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "fluke_run: checkpointing requires --cpus=1\n");
     return 2;
   }
+  if (metrics_every_ns == 0) {
+    std::fprintf(stderr, "fluke_run: --metrics-every must be > 0\n");
+    return 2;
+  }
 
   if (audit) {
     // The atomicity audit: golden run, then a forced extract-destroy-
     // recreate at every dispatch boundary, requiring bit-identical
     // completion. A divergence is a kernel atomicity bug: exit 4 and dump
     // the diverging kernel so the failing boundary can be replayed with
-    // --fault-plan=step,extract=N.
+    // --fault-plan=step,extract=N. With --flight-recorder the diverging
+    // run's last events + stats become a postmortem bundle.
     constexpr uint32_t kAuditAnonBase = 0x10000;
-    const AuditResult r = RunAtomicityAudit(cfg, BuildAuditProgram(kAuditAnonBase),
-                                            kAuditAnonBase, 16 * 1024 * 1024);
+    const AuditResult r =
+        RunAtomicityAudit(cfg, BuildAuditProgram(kAuditAnonBase), kAuditAnonBase,
+                          16 * 1024 * 1024, 60ull * 1000 * 1000 * 1000, flight_events);
     if (!r.ok) {
       std::fprintf(stderr, "fluke_run: atomicity audit FAILED [%s]: %s\n",
                    cfg.Label().c_str(), r.error.c_str());
       std::fputs(r.divergent_dump.c_str(), stderr);
+      if (r.flight.captured) {
+        WriteFlightBundle(flight_out, r.flight.events, r.flight.end_ns, r.flight.total,
+                          r.flight.dropped, r.flight.thread_names, r.flight.stats_json);
+      }
       return 4;
     }
     std::fprintf(stderr,
@@ -305,16 +384,48 @@ int Main(int argc, char** argv) {
 
   ProgramRegistry registry;
   Kernel kernel(cfg, &registry);
-  if (trace || profile || !trace_out.empty()) {
-    // Any trace consumer forces the instrumented slow path. The exported /
-    // profiled runs default to a ring big enough for a whole run.
+  if (trace || profile || req_report || !trace_out.empty() || !trace_bin.empty() ||
+      flight_events != 0) {
+    // Any trace consumer arms the instrumented loop (a trace-only armed run
+    // keeps the syscall fast paths -- the fast handlers carry their own
+    // hooks). Snapshot consumers (export/profile/req-report) default to a
+    // ring big enough for a whole run; the streaming binary writer needs
+    // only a vestigial ring; the flight recorder sizes the ring itself.
     if (trace_cap != 0) {
       kernel.trace.SetCapacity(trace_cap);
-    } else if (profile || !trace_out.empty()) {
+    } else if (profile || req_report || !trace_out.empty()) {
       kernel.trace.SetCapacity(size_t{1} << 20);
+    } else if (flight_events != 0) {
+      kernel.trace.SetCapacity(flight_events);
+    } else if (!trace_bin.empty()) {
+      kernel.trace.SetCapacity(size_t{1} << 12);
     }
     kernel.trace.Enable();
   }
+  TraceBinaryWriter bin_writer;
+  if (!trace_bin.empty()) {
+    if (!bin_writer.Open(trace_bin)) {
+      std::fprintf(stderr, "fluke_run: cannot write '%s'\n", trace_bin.c_str());
+      return 1;
+    }
+    kernel.trace.SetSink(&bin_writer);
+  }
+  MetricsSampler metrics;
+  if (!metrics_out.empty() && !metrics.Open(metrics_out, metrics_every_ns)) {
+    std::fprintf(stderr, "fluke_run: cannot write '%s'\n", metrics_out.c_str());
+    return 1;
+  }
+  // Dumps the flight bundle from the live kernel (crash freeze, panic,
+  // failed restore). Audit divergences carry their own capture instead.
+  auto dump_flight = [&]() {
+    if (flight_events == 0) {
+      return;
+    }
+    ++kernel.stats.flight_dumps;
+    WriteFlightBundle(flight_out, kernel.trace.Snapshot(), kernel.clock.now(),
+                      kernel.trace.total_recorded(), kernel.trace.dropped(),
+                      TraceThreadNames(kernel), StatsJson(kernel));
+  };
 
   // Builds the selected workload in `k`; fills `out` with the threads whose
   // completion ends the run and `out_names` with matching labels. Returns 0,
@@ -399,12 +510,14 @@ int Main(int argc, char** argv) {
     if (!RecoverLatest(store, &img, &gen, &err)) {
       std::fprintf(stderr, "fluke_run: restore from '%s' failed: %s\n", restore_dir.c_str(),
                    err.c_str());
+      dump_flight();
       return 1;
     }
     const MachineRestoreResult r = RestoreMachine(kernel, img, registry, true);
     if (!r.ok) {
       std::fprintf(stderr, "fluke_run: restore from '%s' failed: %s\n", restore_dir.c_str(),
                    r.error.c_str());
+      dump_flight();
       return 1;
     }
     std::fprintf(stderr, "fluke_run: restored generation %llu (%zu spaces, %zu threads)\n",
@@ -433,6 +546,7 @@ int Main(int argc, char** argv) {
   FileCkptStore store(ckpt_dir);
   const Time ckpt_every_ns = ckpt_every_ms * kNsPerMs;
   Time next_ckpt = ckpt_every_ns != 0 ? kernel.clock.now() + ckpt_every_ns : 0;
+  Time next_metric = metrics.open() ? metrics.next_due(kernel.clock.now()) : 0;
   auto commit_capture = [&]() -> bool {
     MachineImage img = cc.Finish();
     img.generation = static_cast<uint32_t>(next_gen);
@@ -469,15 +583,24 @@ int Main(int argc, char** argv) {
       }
       next_ckpt += ckpt_every_ns;
     }
+    if (metrics.open() && kernel.clock.now() >= next_metric) {
+      // One row per crossing; a long burst past several boundaries yields
+      // one row at the actual time rather than duplicate back-filled rows.
+      metrics.Sample(kernel);
+      next_metric = metrics.next_due(kernel.clock.now());
+    }
     if (kernel.clock.now() >= deadline) {
       break;
     }
-    // Slice at the next checkpoint instant; if that instant is already past
-    // (a capture is still draining), poll in 1 ms slices instead.
+    // Slice at the next checkpoint / metrics instant; if that instant is
+    // already past (a capture is still draining), poll in 1 ms slices.
     Time target = deadline;
     if (ckpt_every_ns != 0) {
       target = std::min<Time>(deadline,
                               std::max<Time>(next_ckpt, kernel.clock.now() + kNsPerMs));
+    }
+    if (metrics.open()) {
+      target = std::min<Time>(target, next_metric);
     }
     if (kernel.RunUntilThreadDone(threads[ti], target - kernel.clock.now())) {
       ++ti;
@@ -495,6 +618,30 @@ int Main(int argc, char** argv) {
   if (kernel.crashed()) {
     std::fprintf(stderr, "fluke_run: kernel froze at injected crash boundary %llu\n",
                  static_cast<unsigned long long>(cfg.fault_plan.crash_at));
+  }
+  // Finalize the observability outputs before any stats dump so the
+  // schema-2 counters (trace_bin_*, metrics_samples, flight_dumps) reflect
+  // what was actually written.
+  if (metrics.open()) {
+    metrics.Sample(kernel);  // final row at end-of-run time
+    kernel.stats.metrics_samples = metrics.samples();
+    if (!metrics.Close()) {
+      std::fprintf(stderr, "fluke_run: error writing '%s'\n", metrics_out.c_str());
+      rc = 1;
+    }
+  }
+  if (bin_writer.open()) {
+    kernel.trace.SetSink(nullptr);
+    if (!bin_writer.Finish(kernel.clock.now(), kernel.trace.total_recorded(),
+                           kernel.trace.dropped(), TraceThreadNames(kernel))) {
+      std::fprintf(stderr, "fluke_run: error writing '%s'\n", trace_bin.c_str());
+      rc = 1;
+    }
+    kernel.stats.trace_bin_chunks = bin_writer.chunks_written();
+    kernel.stats.trace_bin_bytes = bin_writer.bytes_written();
+  }
+  if (kernel.crashed() || kernel.stats.panics != 0) {
+    dump_flight();
   }
   for (size_t i = 0; i < threads.size(); ++i) {
     if (threads[i]->run_state != ThreadRun::kDead) {
@@ -612,6 +759,13 @@ int Main(int argc, char** argv) {
     std::fprintf(stdout, "trace digest: %016llx (%llu events)\n",
                  static_cast<unsigned long long>(TraceDigest(events)),
                  static_cast<unsigned long long>(events.size()));
+  }
+  if (req_report) {
+    const std::vector<TraceEvent> events = kernel.trace.Snapshot();
+    std::fputs(
+        RenderReqReport(BuildReqReport(events, kernel.clock.now(), kernel.trace.dropped()))
+            .c_str(),
+        stdout);
   }
   if (!trace_out.empty() && !WriteFile(trace_out, ExportChromeTrace(kernel))) {
     return 1;

@@ -1,0 +1,60 @@
+// trace_convert: render a compact binary trace (FBT, --trace-bin /
+// flight-recorder output) as the Chrome trace_event JSON that --trace-out
+// would have produced for the same events.
+//
+// Usage:
+//   trace_convert input.fbt [output.json]
+//
+// With no output path the JSON goes to stdout. The conversion is
+// byte-identical to a direct --trace-out export of the same event stream
+// (the CI trace-determinism job asserts digest equality through this
+// tool), so downstream consumers -- ui.perfetto.dev, tools/trace_lint.py --
+// need no second code path for the binary format.
+//
+// Exit codes: 0 ok, 1 I/O error, 2 usage, 3 malformed input (bad magic,
+// CRC mismatch, truncation).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/kern/trace_binary.h"
+
+namespace fluke {
+namespace {
+
+int Main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: trace_convert input.fbt [output.json]\n");
+    return 2;
+  }
+  TraceBinaryData data;
+  std::string error;
+  if (!ReadTraceBinary(argv[1], &data, &error)) {
+    std::fprintf(stderr, "trace_convert: %s: %s\n", argv[1], error.c_str());
+    return 3;
+  }
+  const std::string json = ConvertToChromeJson(data);
+  if (argc == 3) {
+    std::ofstream out(argv[2]);
+    if (!out) {
+      std::fprintf(stderr, "trace_convert: cannot write '%s'\n", argv[2]);
+      return 1;
+    }
+    out << json;
+    if (!out.good()) {
+      std::fprintf(stderr, "trace_convert: error writing '%s'\n", argv[2]);
+      return 1;
+    }
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  std::fprintf(stderr, "trace_convert: %zu events, %zu named threads%s\n", data.events.size(),
+               data.thread_names.size(), data.dropped != 0 ? " (ring dropped events)" : "");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fluke
+
+int main(int argc, char** argv) { return fluke::Main(argc, argv); }

@@ -1,35 +1,65 @@
 #!/usr/bin/env python3
-"""Sanity-check a fluke_run --trace-out Chrome trace: valid JSON, balanced
-B/E per thread, monotonic timestamps, and paired flow events."""
+"""Sanity-check a fluke trace export.
+
+    tools/trace_lint.py trace.json
+    tools/trace_lint.py --binary trace.fbt [--convert-with build/tools/trace_convert]
+
+Checks a fluke_run --trace-out Chrome trace: valid JSON, balanced B/E per
+thread, per-thread monotonic timestamps, paired flow events, and
+deterministic span close-out -- every E must close the *most recent* open B
+with the same name (spans are strictly nested per thread; an out-of-order
+close means the kernel tore down spans in a non-LIFO order, which breaks
+the request-path analyzer's window stitching).
+
+On an MP trace pass --allow-cpu-skew: per-CPU dispatchers advance their
+virtual clocks independently within an epoch, so a cross-CPU wake can close
+a block span with the waker's (earlier) clock. That skew is bounded by the
+epoch barrier and is not a bug, but it breaks the timestamp check, which
+assumes one global clock.
+
+With --binary the input is a compact FBT stream (fluke_run --trace-bin /
+--flight-recorder bundle); it is first rendered to JSON through
+tools/trace_convert, so the lint also proves the converter produces
+well-formed output for that file.
+"""
+import argparse
 import json
+import os
+import subprocess
 import sys
+import tempfile
 
 
-def main():
-    if len(sys.argv) != 2:
-        print("usage: trace_lint.py trace.json", file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
-        events = json.load(f)["traceEvents"]
+def lint(events, allow_cpu_skew=False):
     errors = 0
-    stacks, flows, last_ts = {}, {}, None
+    stacks, flows, last_ts = {}, {}, {}
     for e in events:
         if e["ph"] == "M":
             continue
         ts = e["ts"]
-        if last_ts is not None and ts < last_ts:
-            print(f"non-monotonic ts: {ts} after {last_ts}")
-            errors += 1
-        last_ts = ts
         key = (e.get("pid"), e.get("tid"))
+        # Flow edges are stamped with the *waking* side's clock; on an MP
+        # run a cross-CPU wake can land ahead of the woken thread's own
+        # timeline, so s/f events don't participate in the monotonic check.
+        if e["ph"] not in ("s", "f") and not allow_cpu_skew:
+            if key in last_ts and ts < last_ts[key]:
+                print(f"non-monotonic ts on {key}: {ts} after {last_ts[key]}")
+                errors += 1
+            last_ts[key] = ts
         if e["ph"] == "B":
             stacks.setdefault(key, []).append(e["name"])
         elif e["ph"] == "E":
-            if not stacks.get(key):
+            stack = stacks.get(key)
+            if not stack:
                 print(f"E without B on {key} at {ts}")
                 errors += 1
+            elif stack[-1] != e["name"]:
+                print(f"non-LIFO close on {key} at {ts}: E '{e['name']}' "
+                      f"but innermost open span is '{stack[-1]}'")
+                errors += 1
+                stack.pop()
             else:
-                stacks[key].pop()
+                stack.pop()
         elif e["ph"] in ("s", "f"):
             flows.setdefault(e["id"], []).append(e["ph"])
     for key, stack in stacks.items():
@@ -42,7 +72,47 @@ def main():
             errors += 1
     n = sum(1 for e in events if e["ph"] != "M")
     print(f"trace_lint: {n} events, {len(flows)} flows, {errors} errors")
-    return 1 if errors else 0
+    return errors
+
+
+def convert_binary(path, converter):
+    if not (os.path.isfile(converter) and os.access(converter, os.X_OK)):
+        raise SystemExit(f"trace_lint: converter not found: {converter} "
+                         "(build the trace_convert target first)")
+    fd, tmp = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    try:
+        proc = subprocess.run([converter, path, tmp],
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"trace_lint: conversion of {path} failed "
+                             f"({proc.returncode})")
+        with open(tmp) as f:
+            return json.load(f)["traceEvents"]
+    finally:
+        os.unlink(tmp)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace.json, or trace.fbt with --binary")
+    ap.add_argument("--allow-cpu-skew", action="store_true",
+                    help="MP trace: skip the per-thread timestamp check "
+                    "(cross-CPU wakes are stamped with the waker's clock)")
+    ap.add_argument("--binary", action="store_true",
+                    help="input is a compact FBT stream; render it through "
+                    "the converter before linting")
+    ap.add_argument("--convert-with", default="build/tools/trace_convert",
+                    metavar="PATH", help="trace_convert binary for --binary "
+                    "(default: build/tools/trace_convert)")
+    args = ap.parse_args()
+    if args.binary:
+        events = convert_binary(args.trace, args.convert_with)
+    else:
+        with open(args.trace) as f:
+            events = json.load(f)["traceEvents"]
+    return 1 if lint(events, args.allow_cpu_skew) else 0
 
 
 if __name__ == "__main__":
